@@ -1,0 +1,47 @@
+// Command benchsuite regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	benchsuite -list
+//	benchsuite [-scale F] [-workers N] -exp <id>|all
+//
+// Experiment IDs follow DESIGN.md: table2, fig2, fig4, fig7, fig8, fig9,
+// fig10, fig11, fig12, fig13, sec86, fig14, appB. Reports are printed as
+// aligned text tables with the paper's published observations attached as
+// notes for comparison; EXPERIMENTS.md records a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1 = DESIGN.md default sizes)")
+	workers := flag.Int("workers", 4, "dataflow workers where the experiment does not vary them")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(experiments.IDs(), ", "), "(or: all)")
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchsuite -exp <id>|all [-scale F] [-workers N]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	start := time.Now()
+	err := experiments.Run(*exp, experiments.Options{Scale: *scale, Workers: *workers}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("total: %v (scale %g, %d workers)\n", time.Since(start).Round(time.Millisecond), *scale, *workers)
+}

@@ -1,0 +1,71 @@
+// Command datagen emits the synthetic evaluation datasets (the Table 2
+// analogues) as N-Triples files.
+//
+// Usage:
+//
+//	datagen -list
+//	datagen [-scale F] [-out DIR] [name ...]
+//
+// With no names, the whole suite is generated. Scale 1 produces the default
+// single-machine sizes documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available datasets and exit")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %15s %15s\n", "name", "triples@scale1", "paper triples")
+		for _, spec := range datagen.Suite() {
+			fmt.Printf("%-12s %15d %15d\n", spec.Name, spec.DefaultTriples, spec.PaperTriples)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, spec := range datagen.Suite() {
+			names = append(names, spec.Name)
+		}
+	}
+	for _, name := range names {
+		spec, ok := datagen.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		ds := spec.Generate(*scale)
+		path := filepath.Join(*out, strings.ToLower(spec.Name)+".nt")
+		if err := write(path, ds); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		st := datagen.Describe(spec.Name, ds)
+		fmt.Printf("wrote %s: %d triples, %.1f MB\n", path, st.Triples, st.SizeMB)
+	}
+}
+
+func write(path string, ds *rdf.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rdf.WriteNTriples(f, ds); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,106 @@
+// Command rdfind discovers pertinent conditional inclusion dependencies and
+// exact association rules in an N-Triples file.
+//
+// Usage:
+//
+//	rdfind [-support N] [-workers N] [-variant rdfind|de|nf|mf]
+//	       [-pred-only-conditions] [-stats] file.nt
+//
+// The result is printed one statement per line, CINDs and ARs sorted by
+// descending support. With -stats, run statistics (frequent conditions,
+// capture groups, durations, per-stage work accounting) go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	support := flag.Int("support", 100, "support threshold h (minimum distinct included values)")
+	workers := flag.Int("workers", 4, "logical dataflow workers")
+	variantName := flag.String("variant", "rdfind", "pipeline variant: rdfind, de, nf, mf")
+	predOnly := flag.Bool("pred-only-conditions", false, "use predicates only in conditions (no predicate projections)")
+	format := flag.String("format", "text", "output format: text or json")
+	check := flag.String("check", "", "instead of discovering, validate one CIND statement, e.g. '(s, p=a) <= (s, p=b)'")
+	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rdfind [flags] file.nt")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	variant, ok := map[string]rdfind.Variant{
+		"rdfind": rdfind.Standard,
+		"de":     rdfind.DirectExtraction,
+		"nf":     rdfind.NoFrequentConditions,
+		"mf":     rdfind.MinimalFirst,
+	}[*variantName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rdfind: unknown variant %q\n", *variantName)
+		os.Exit(2)
+	}
+
+	ds, err := rdfind.ReadNTriplesFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfind:", err)
+		os.Exit(1)
+	}
+
+	// -check mode: validate one statement and exit with its truth value.
+	if *check != "" {
+		inc, err := rdfind.ParseInclusion(*check, ds.Dict)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfind:", err)
+			os.Exit(2)
+		}
+		holds := rdfind.Holds(ds, inc)
+		fmt.Printf("%s  holds=%v support=%d\n", inc.Format(ds.Dict), holds, rdfind.Support(ds, inc.Dep))
+		if !holds {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, runStats := rdfind.Discover(ds, rdfind.Config{
+		Support:                    *support,
+		Workers:                    *workers,
+		Variant:                    variant,
+		PredicatesOnlyInConditions: *predOnly,
+	})
+	switch *format {
+	case "json":
+		data, err := rdfind.MarshalResultJSON(res, ds.Dict)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfind:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	case "text":
+		fmt.Print(res.Format(ds.Dict))
+	default:
+		fmt.Fprintf(os.Stderr, "rdfind: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *stats {
+		printStats(os.Stderr, runStats)
+	}
+}
+
+func printStats(w *os.File, s *core.RunStats) {
+	fmt.Fprintf(w, "triples:             %d\n", s.Triples)
+	fmt.Fprintf(w, "frequent conditions: %d unary, %d binary\n", s.FrequentUnary, s.FrequentBinary)
+	fmt.Fprintf(w, "capture groups:      %d\n", s.CaptureGroups)
+	fmt.Fprintf(w, "broad CINDs:         %d\n", s.BroadCINDs)
+	fmt.Fprintf(w, "pertinent CINDs:     %d (+%d ARs)\n", s.Pertinent, s.ARs)
+	fmt.Fprintf(w, "duration:            %v\n", s.Duration)
+	fmt.Fprintf(w, "work-balance speedup: %.2f\n", s.Dataflow.Speedup())
+}

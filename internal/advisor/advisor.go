@@ -1,0 +1,166 @@
+// Package advisor implements the first of the paper's future directions
+// (§10): "(inter-)actively aid users in determining an appropriate support
+// threshold to find the relevant cinds for their applications."
+//
+// The advisor profiles a dataset once — the condition-frequency distribution
+// of Fig. 4 plus the value-occurrence distribution that governs capture-
+// group sizes — and from the profile predicts, for any candidate threshold,
+// how many conditions survive frequent-condition pruning and how expensive
+// extraction will be (the Σ|G|² cost model of §7.1). Suggestions map the
+// paper's use cases (query minimization, knowledge discovery, exploration)
+// to thresholds hitting target pruning rates.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cind"
+	"repro/internal/rdf"
+)
+
+// Profile is the one-pass dataset summary the advisor works from.
+type Profile struct {
+	Triples int
+	// ConditionFreqs counts distinct unary+binary conditions per frequency.
+	ConditionFreqs map[int]int
+	// ValueOccurrences counts, per value, in how many triples it occurs —
+	// the quantity that drives capture-group sizes.
+	ValueOccurrences map[rdf.Value]int
+}
+
+// BuildProfile scans the dataset once.
+func BuildProfile(ds *rdf.Dataset) *Profile {
+	condFreq := make(map[cind.Condition]int)
+	valOcc := make(map[rdf.Value]int)
+	for _, t := range ds.Triples {
+		condFreq[cind.Unary(rdf.Subject, t.S)]++
+		condFreq[cind.Unary(rdf.Predicate, t.P)]++
+		condFreq[cind.Unary(rdf.Object, t.O)]++
+		condFreq[cind.Binary(rdf.Subject, t.S, rdf.Predicate, t.P)]++
+		condFreq[cind.Binary(rdf.Subject, t.S, rdf.Object, t.O)]++
+		condFreq[cind.Binary(rdf.Predicate, t.P, rdf.Object, t.O)]++
+		valOcc[t.S]++
+		valOcc[t.P]++
+		valOcc[t.O]++
+	}
+	hist := make(map[int]int)
+	for _, f := range condFreq {
+		hist[f]++
+	}
+	return &Profile{
+		Triples:          ds.Size(),
+		ConditionFreqs:   hist,
+		ValueOccurrences: valOcc,
+	}
+}
+
+// Estimate predicts the effect of a support threshold.
+type Estimate struct {
+	Threshold int
+	// FrequentConditions counts conditions with frequency ≥ h.
+	FrequentConditions int
+	// PruningRate is the share of conditions removed by the first phase of
+	// lazy pruning.
+	PruningRate float64
+	// ExtractionLoad is the Σ|G|² cost proxy for CIND extraction, using
+	// per-value evidence counts capped by the threshold regime.
+	ExtractionLoad int64
+}
+
+// EstimateFor predicts pruning and extraction cost at threshold h.
+func (p *Profile) EstimateFor(h int) Estimate {
+	total, frequent := 0, 0
+	for f, n := range p.ConditionFreqs {
+		total += n
+		if f >= h {
+			frequent += n
+		}
+	}
+	est := Estimate{Threshold: h, FrequentConditions: frequent}
+	if total > 0 {
+		est.PruningRate = 1 - float64(frequent)/float64(total)
+	}
+	// A value occurring in k triples yields at most 2k capture evidences
+	// after subsumption; values below h occurrences cannot survive
+	// capture-support pruning as group anchors of broad captures.
+	for _, k := range p.ValueOccurrences {
+		if k < h {
+			continue
+		}
+		g := int64(2 * k)
+		est.ExtractionLoad += g * g
+	}
+	return est
+}
+
+// UseCase labels a suggestion target.
+type UseCase string
+
+const (
+	// QueryMinimization wants only very broad CINDs (the paper recommends
+	// h ≈ 1000).
+	QueryMinimization UseCase = "query-minimization"
+	// KnowledgeDiscovery tolerates instance-level facts (paper: h ≈ 25).
+	KnowledgeDiscovery UseCase = "knowledge-discovery"
+	// Exploration wants the largest result the machine can afford.
+	Exploration UseCase = "exploration"
+)
+
+// pruningTargets maps each use case to the share of conditions that should
+// be pruned: broader use cases need stronger pruning.
+var pruningTargets = map[UseCase]float64{
+	QueryMinimization:  0.9995,
+	KnowledgeDiscovery: 0.995,
+	Exploration:        0.95,
+}
+
+// Suggestion is a recommended threshold for one use case.
+type Suggestion struct {
+	UseCase  UseCase
+	Estimate Estimate
+}
+
+// Suggest recommends a threshold per use case: the smallest h whose pruning
+// rate reaches the use case's target (clamped to the dataset's frequency
+// range). Suggestions are ordered from broadest to most detailed use case.
+func (p *Profile) Suggest() []Suggestion {
+	freqs := make([]int, 0, len(p.ConditionFreqs))
+	for f := range p.ConditionFreqs {
+		freqs = append(freqs, f)
+	}
+	sort.Ints(freqs)
+	if len(freqs) == 0 {
+		return nil
+	}
+	cases := []UseCase{QueryMinimization, KnowledgeDiscovery, Exploration}
+	out := make([]Suggestion, 0, len(cases))
+	for _, uc := range cases {
+		target := pruningTargets[uc]
+		h := freqs[len(freqs)-1] + 1 // prune everything as a fallback
+		// Candidate thresholds are the distinct frequencies + 1 (the
+		// smallest h that excludes that frequency).
+		for _, f := range freqs {
+			est := p.EstimateFor(f + 1)
+			if est.PruningRate >= target {
+				h = f + 1
+				break
+			}
+		}
+		out = append(out, Suggestion{UseCase: uc, Estimate: p.EstimateFor(h)})
+	}
+	return out
+}
+
+// Format renders suggestions as a small table.
+func Format(sugs []Suggestion) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %10s %9s %14s\n", "use case", "h", "frequent", "pruned", "extract-load")
+	for _, s := range sugs {
+		fmt.Fprintf(&b, "%-22s %8d %10d %8.2f%% %14d\n",
+			s.UseCase, s.Estimate.Threshold, s.Estimate.FrequentConditions,
+			100*s.Estimate.PruningRate, s.Estimate.ExtractionLoad)
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fixtures"
+	"repro/internal/naive"
+	"repro/internal/rdf"
+)
+
+func TestProfileCountsMatchOracle(t *testing.T) {
+	ds := fixtures.University()
+	p := BuildProfile(ds)
+	if p.Triples != 8 {
+		t.Errorf("Triples = %d", p.Triples)
+	}
+	// The histogram must cover exactly the distinct conditions.
+	want := len(naive.FrequentConditions(ds, 1, naive.Options{}))
+	total := 0
+	for _, n := range p.ConditionFreqs {
+		total += n
+	}
+	if total != want {
+		t.Errorf("profile covers %d conditions, oracle has %d", total, want)
+	}
+	// Value occurrences: patrick occurs in 3 triples.
+	patrick := fixtures.MustID(ds, "patrick")
+	if p.ValueOccurrences[patrick] != 3 {
+		t.Errorf("occ(patrick) = %d, want 3", p.ValueOccurrences[patrick])
+	}
+}
+
+func TestEstimateMatchesOracle(t *testing.T) {
+	ds := datagen.Countries(0.1)
+	p := BuildProfile(ds)
+	for _, h := range []int{1, 2, 5, 20} {
+		est := p.EstimateFor(h)
+		want := len(naive.FrequentConditions(ds, h, naive.Options{}))
+		if est.FrequentConditions != want {
+			t.Errorf("h=%d: estimated %d frequent conditions, oracle %d", h, est.FrequentConditions, want)
+		}
+		if est.PruningRate < 0 || est.PruningRate > 1 {
+			t.Errorf("h=%d: pruning rate %f out of range", h, est.PruningRate)
+		}
+	}
+	// Monotonicity: larger thresholds prune more and cost less.
+	prev := p.EstimateFor(1)
+	for _, h := range []int{2, 4, 16, 64} {
+		cur := p.EstimateFor(h)
+		if cur.FrequentConditions > prev.FrequentConditions {
+			t.Errorf("frequent conditions grew from h=%d", h)
+		}
+		if cur.ExtractionLoad > prev.ExtractionLoad {
+			t.Errorf("extraction load grew from h=%d", h)
+		}
+		if cur.PruningRate < prev.PruningRate {
+			t.Errorf("pruning rate fell at h=%d", h)
+		}
+		prev = cur
+	}
+}
+
+func TestSuggestOrdering(t *testing.T) {
+	ds := datagen.Diseasome(0.2)
+	sugs := BuildProfile(ds).Suggest()
+	if len(sugs) != 3 {
+		t.Fatalf("got %d suggestions", len(sugs))
+	}
+	// Broader use cases demand stronger pruning, hence larger thresholds.
+	if !(sugs[0].UseCase == QueryMinimization && sugs[2].UseCase == Exploration) {
+		t.Fatalf("unexpected order: %v %v %v", sugs[0].UseCase, sugs[1].UseCase, sugs[2].UseCase)
+	}
+	if sugs[0].Estimate.Threshold < sugs[1].Estimate.Threshold ||
+		sugs[1].Estimate.Threshold < sugs[2].Estimate.Threshold {
+		t.Errorf("thresholds not decreasing with use-case breadth: %d %d %d",
+			sugs[0].Estimate.Threshold, sugs[1].Estimate.Threshold, sugs[2].Estimate.Threshold)
+	}
+	// Each suggestion meets its pruning target.
+	for _, s := range sugs {
+		if s.Estimate.PruningRate < pruningTargets[s.UseCase] {
+			t.Errorf("%s: pruning %.4f below target %.4f", s.UseCase, s.Estimate.PruningRate, pruningTargets[s.UseCase])
+		}
+	}
+	text := Format(sugs)
+	if !strings.Contains(text, "query-minimization") || !strings.Contains(text, "h") {
+		t.Errorf("Format output unexpected:\n%s", text)
+	}
+}
+
+func TestSuggestEmptyDataset(t *testing.T) {
+	if sugs := BuildProfile(rdf.NewDataset()).Suggest(); sugs != nil {
+		t.Errorf("suggestions for empty dataset: %v", sugs)
+	}
+}
+
+func TestRankScoresSelectivity(t *testing.T) {
+	ds := datagen.LUBM(0.2)
+	res, _ := core.Discover(ds, core.Config{Support: 5, Workers: 2})
+	if len(res.CINDs) == 0 {
+		t.Skip("no CINDs at this scale")
+	}
+	scored := Rank(ds, res)
+	if len(scored) != len(res.CINDs) {
+		t.Fatalf("scored %d of %d CINDs", len(scored), len(res.CINDs))
+	}
+	for i := 1; i < len(scored); i++ {
+		if scored[i].Score > scored[i-1].Score {
+			t.Fatalf("ranking not descending at %d", i)
+		}
+	}
+	for _, s := range scored {
+		if s.Selectivity < 0 || s.Selectivity > 1 {
+			t.Errorf("selectivity %f out of range for %s", s.Selectivity, s.CIND.Inclusion.Format(ds.Dict))
+		}
+		if s.Coverage < 0 || s.Coverage > 1.0001 {
+			t.Errorf("coverage %f out of range", s.Coverage)
+		}
+		// Consistency: spurious implies low score relative to support.
+		if s.LikelySpurious() && s.Score > 0.05*float64(s.CIND.Support)+1e-9 {
+			t.Errorf("spurious CIND with score %f (support %d)", s.Score, s.CIND.Support)
+		}
+	}
+}
+
+// TestRankPrefersInformativeCIND pins the intuition on Table 1: the
+// inclusion into the *conditioned* capture must outrank an inclusion into a
+// near-universal one with equal support.
+func TestRankPrefersInformativeCIND(t *testing.T) {
+	ds := fixtures.University()
+	res, _ := core.Discover(ds, core.Config{Support: 2, Workers: 1})
+	scored := Rank(ds, res)
+	pos := func(needle string) int {
+		for i, s := range scored {
+			if strings.Contains(s.CIND.Inclusion.Format(ds.Dict), needle) {
+				return i
+			}
+		}
+		return -1
+	}
+	informative := pos("(s, p=memberOf) ⊆ (s, o=gradStudent)")
+	broad := pos("(p, s=mike) ⊆ (p, s=patrick)")
+	if informative < 0 || broad < 0 {
+		t.Skip("expected CINDs not present at this configuration")
+	}
+	if informative > broad {
+		t.Errorf("membership CIND ranked below the near-universal predicate CIND (%d vs %d)", informative, broad)
+	}
+}

@@ -1,0 +1,84 @@
+package advisor
+
+import (
+	"sort"
+
+	"repro/internal/cind"
+	"repro/internal/rdf"
+)
+
+// This file implements the second future direction of §10: "discerning
+// meaningful and spurious cinds". The heuristic follows the local-closed-
+// world intuition the paper cites: a CIND is informative when its
+// referenced capture is *selective* — containment in a near-universal set
+// (e.g. "every subject of p is among all subjects whatsoever") says little.
+// Meaningfulness combines the CIND's support with the referenced capture's
+// selectivity.
+
+// Scored is a CIND with its meaningfulness score and the quantities behind
+// it.
+type Scored struct {
+	CIND cind.CIND
+	// Selectivity is 1 − |I(ref)| / |universe(ref.Proj)|: how much of the
+	// projection attribute's value universe the referenced capture rules
+	// out. Near 0 means the inclusion was almost unavoidable.
+	Selectivity float64
+	// Coverage is supp / |I(ref)|: how much of the referenced set the
+	// dependent side fills. High coverage suggests near-equivalence.
+	Coverage float64
+	// Score is Support · Selectivity, the ranking key.
+	Score float64
+}
+
+// Rank scores every CIND in the result against the dataset and returns them
+// in descending meaningfulness order. ARs are not scored; the paper already
+// treats them as strictly stronger statements.
+func Rank(ds *rdf.Dataset, res *cind.Result) []Scored {
+	// Universe sizes per projection attribute.
+	uni := map[rdf.Attr]map[rdf.Value]struct{}{
+		rdf.Subject:   {},
+		rdf.Predicate: {},
+		rdf.Object:    {},
+	}
+	for _, t := range ds.Triples {
+		for _, a := range rdf.Attrs {
+			uni[a][t.Get(a)] = struct{}{}
+		}
+	}
+	// Referenced interpretations are shared across CINDs; memoize.
+	refSizes := map[cind.Capture]int{}
+	refSize := func(c cind.Capture) int {
+		if n, ok := refSizes[c]; ok {
+			return n
+		}
+		n := len(cind.Interpret(ds, c))
+		refSizes[c] = n
+		return n
+	}
+
+	out := make([]Scored, 0, len(res.CINDs))
+	for _, c := range res.CINDs {
+		refN := refSize(c.Ref)
+		uniN := len(uni[c.Ref.Proj])
+		s := Scored{CIND: c}
+		if uniN > 0 {
+			s.Selectivity = 1 - float64(refN)/float64(uniN)
+		}
+		if refN > 0 {
+			s.Coverage = float64(c.Support) / float64(refN)
+		}
+		s.Score = float64(c.Support) * s.Selectivity
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].CIND.Support > out[j].CIND.Support
+	})
+	return out
+}
+
+// LikelySpurious reports whether a scored CIND looks uninformative: its
+// referenced capture barely restricts the universe.
+func (s Scored) LikelySpurious() bool { return s.Selectivity < 0.05 }

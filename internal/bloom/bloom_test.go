@@ -1,0 +1,206 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Test(k) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(10000, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	inserted := make(map[uint64]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		k := rng.Uint64()
+		inserted[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		k := rng.Uint64()
+		if inserted[k] {
+			continue
+		}
+		if f.Test(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("false-positive rate %.4f exceeds 5x the 0.01 target", rate)
+	}
+}
+
+func TestUnionContainsBoth(t *testing.T) {
+	a := New(100, 0.01)
+	b := New(100, 0.01)
+	for i := uint64(0); i < 50; i++ {
+		a.Add(i)
+		b.Add(i + 1000)
+	}
+	a.Union(b)
+	for i := uint64(0); i < 50; i++ {
+		if !a.Test(i) || !a.Test(i+1000) {
+			t.Fatalf("union lost key %d", i)
+		}
+	}
+	a.Union(nil) // no-op, must not panic
+}
+
+func TestIntersectKeepsCommon(t *testing.T) {
+	a := New(100, 0.01)
+	b := New(100, 0.01)
+	for i := uint64(0); i < 40; i++ {
+		a.Add(i)
+	}
+	for i := uint64(20); i < 60; i++ {
+		b.Add(i)
+	}
+	a.Intersect(b)
+	for i := uint64(20); i < 40; i++ {
+		if !a.Test(i) {
+			t.Fatalf("intersection dropped common key %d", i)
+		}
+	}
+}
+
+func TestGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic on geometry mismatch")
+		}
+	}()
+	a := New(100, 0.01)
+	b := New(100000, 0.01)
+	a.Union(b)
+}
+
+func TestNewBytesSize(t *testing.T) {
+	f := NewBytes(64, 4)
+	if f.Bytes() != 64 {
+		t.Errorf("Bytes = %d, want 64", f.Bytes())
+	}
+	f.Add(42)
+	if !f.Test(42) {
+		t.Errorf("64-byte filter lost its only key")
+	}
+	if NewBytes(0, 0).Bytes() < 8 {
+		t.Errorf("degenerate geometry not clamped")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(100, 0.01)
+	a.Add(7)
+	c := a.Clone()
+	c.Add(8)
+	if a.Test(8) && !a.Test(7) {
+		t.Errorf("clone mutated original")
+	}
+	if !c.Test(7) || !c.Test(8) {
+		t.Errorf("clone missing keys")
+	}
+}
+
+func TestEmptyAndFillRatio(t *testing.T) {
+	f := New(100, 0.01)
+	if !f.Empty() || f.FillRatio() != 0 {
+		t.Errorf("fresh filter not empty")
+	}
+	f.Add(1)
+	if f.Empty() {
+		t.Errorf("filter with a key reports empty")
+	}
+	if r := f.FillRatio(); r <= 0 || r > 0.5 {
+		t.Errorf("fill ratio %.3f implausible after one insert", r)
+	}
+}
+
+func TestDegenerateGeometryClamps(t *testing.T) {
+	f := New(0, 2) // invalid n and p fall back to safe defaults
+	f.Add(1)
+	if !f.Test(1) {
+		t.Errorf("clamped filter lost key")
+	}
+}
+
+// Property: membership after Add always holds, for any key set.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(keys []uint64) bool {
+		fl := New(len(keys)+1, 0.01)
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		for _, k := range keys {
+			if !fl.Test(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection never drops a key present in both filters.
+func TestQuickIntersectSound(t *testing.T) {
+	f := func(common, onlyA, onlyB []uint64) bool {
+		a := New(64, 0.01)
+		b := New(64, 0.01)
+		for _, k := range common {
+			a.Add(k)
+			b.Add(k)
+		}
+		for _, k := range onlyA {
+			a.Add(k)
+		}
+		for _, k := range onlyB {
+			b.Add(k)
+		}
+		a.Intersect(b)
+		for _, k := range common {
+			if !a.Test(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1<<20, 0.01)
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f := New(1<<20, 0.01)
+	for i := 0; i < 1<<20; i++ {
+		f.Add(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Test(uint64(i))
+	}
+}

@@ -1,0 +1,129 @@
+// Package capture implements RDFind's Capture Groups Creator (§6, Alg. 2):
+// it turns the pruned triple stream into capture groups, the compact
+// representation from which all broad CINDs can be extracted (Lemma 3,
+// Theorem 1).
+//
+// A capture evidence states that a value belongs to a capture's
+// interpretation. Per triple and projection attribute, Algorithm 2 emits
+// either one binary-condition evidence (when the binary condition is
+// frequent and embeds no association rule — the binary evidence subsumes the
+// unary ones) or the evidences of the frequent unary conditions. Evidences
+// with equal values are then grouped, deduplicated, and the value dropped:
+// the remaining capture set is the capture group.
+package capture
+
+import (
+	"repro/internal/cind"
+	"repro/internal/dataflow"
+	"repro/internal/fcdetect"
+	"repro/internal/rdf"
+)
+
+// Group is a set of captures whose interpretations share one value. The
+// member order is arbitrary but duplicate-free. Binary members subsume their
+// unary relaxations (§6.1); the extractor expands that closure when needed.
+type Group struct {
+	Captures []cind.Capture
+}
+
+// evidence pairs a value with one capture containing it.
+type evidence struct {
+	Value   rdf.Value
+	Capture cind.Capture
+}
+
+// BuildGroups runs Algorithm 2 over the triples and groups the evidences by
+// value. The frequent-condition Bloom filters and the AR set from the
+// FCDetector are broadcast into the per-worker closures.
+func BuildGroups(triples *dataflow.Dataset[rdf.Triple], fc *fcdetect.Output, opts fcdetect.Options) *dataflow.Dataset[Group] {
+	bu := fc.UnaryBloom
+	bb := fc.BinaryBloom
+	ars := fc.ARSet()
+
+	evidences := dataflow.FlatMap(triples, "cgc/evidences",
+		func(t rdf.Triple, emit func(dataflow.Pair[evidence, struct{}])) {
+			emitEvidences(t, bu, bb, ars, opts.PredicatesOnlyInConditions,
+				func(e evidence) {
+					emit(dataflow.Pair[evidence, struct{}]{Key: e})
+				})
+		})
+
+	// Deduplicate evidences with early aggregation (the same value/capture
+	// pair arises once per matching triple), then group by value and drop it.
+	distinct := dataflow.ReduceByKey(evidences, "cgc/dedup",
+		func(a, _ struct{}) struct{} { return a })
+	byValue := dataflow.Map(distinct, "cgc/key-by-value",
+		func(p dataflow.Pair[evidence, struct{}]) dataflow.Pair[rdf.Value, cind.Capture] {
+			return dataflow.Pair[rdf.Value, cind.Capture]{Key: p.Key.Value, Val: p.Key.Capture}
+		})
+	grouped := dataflow.GroupByKey(byValue, "cgc/group")
+	return dataflow.Map(grouped, "cgc/strip-value",
+		func(p dataflow.Pair[rdf.Value, []cind.Capture]) Group {
+			return Group{Captures: p.Val}
+		})
+}
+
+// emitEvidences is the per-triple body of Algorithm 2. With noPredProj set
+// (§8.3: "predicates only in conditions"), the predicate element never
+// serves as a projection attribute.
+func emitEvidences(
+	t rdf.Triple,
+	bu, bb interface{ Test(uint64) bool },
+	ars map[[2]cind.Condition]struct{},
+	noPredProj bool,
+	emit func(evidence),
+) {
+	for _, alpha := range rdf.Attrs {
+		if noPredProj && alpha == rdf.Predicate {
+			continue
+		}
+		beta, gamma := alpha.Others()
+		vAlpha, vBeta, vGamma := t.Get(alpha), t.Get(beta), t.Get(gamma)
+
+		condBeta := cind.Unary(beta, vBeta)
+		condGamma := cind.Unary(gamma, vGamma)
+		betaFrequent := bu.Test(condBeta.Key())
+		gammaFrequent := bu.Test(condGamma.Key())
+		switch {
+		case betaFrequent && gammaFrequent:
+			binary := cind.Binary(beta, vBeta, gamma, vGamma)
+			_, arBG := ars[[2]cind.Condition{condBeta, condGamma}]
+			_, arGB := ars[[2]cind.Condition{condGamma, condBeta}]
+			if bb.Test(binary.Key()) && !arBG && !arGB {
+				// The binary evidence subsumes both unary ones (line 11).
+				emit(evidence{Value: vAlpha, Capture: cind.Capture{Proj: alpha, Cond: binary}})
+			} else {
+				emit(evidence{Value: vAlpha, Capture: cind.Capture{Proj: alpha, Cond: condBeta}})
+				emit(evidence{Value: vAlpha, Capture: cind.Capture{Proj: alpha, Cond: condGamma}})
+			}
+		case betaFrequent:
+			emit(evidence{Value: vAlpha, Capture: cind.Capture{Proj: alpha, Cond: condBeta}})
+		case gammaFrequent:
+			emit(evidence{Value: vAlpha, Capture: cind.Capture{Proj: alpha, Cond: condGamma}})
+		}
+	}
+}
+
+// Close expands a group to its implication closure: every binary member also
+// asserts membership of its two unary relaxations (with the same projection
+// attribute), because a binary capture evidence subsumes the unary ones.
+// The result is duplicate-free.
+func Close(g Group) Group {
+	seen := make(map[cind.Capture]struct{}, len(g.Captures)*2)
+	out := make([]cind.Capture, 0, len(g.Captures)*2)
+	add := func(c cind.Capture) {
+		if _, ok := seen[c]; !ok {
+			seen[c] = struct{}{}
+			out = append(out, c)
+		}
+	}
+	for _, c := range g.Captures {
+		add(c)
+		if c.Cond.IsBinary() {
+			for _, u := range c.Cond.UnaryParts() {
+				add(cind.Capture{Proj: c.Proj, Cond: u})
+			}
+		}
+	}
+	return Group{Captures: out}
+}

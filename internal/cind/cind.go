@@ -1,0 +1,258 @@
+// Package cind defines the conditional-inclusion-dependency model of the
+// paper (§2–§3): unary and binary conditions over triple elements, captures
+// (a projection attribute plus a condition), CINDs as inclusions between
+// captures, exact association rules, and the implication algebra that
+// underlies minimality (dependent and referenced implication).
+//
+// All types are small comparable structs over dictionary-encoded values, so
+// they serve directly as map keys and have compact 64-bit digests for Bloom
+// filters.
+package cind
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Condition is a predicate over a triple: t.A1 = V1 (unary) or
+// t.A1 = V1 ∧ t.A2 = V2 (binary). Binary conditions are normalized so that
+// A1 < A2; A2 == rdf.AttrNone marks a unary condition (Definition 2.1).
+type Condition struct {
+	A1 rdf.Attr
+	A2 rdf.Attr
+	V1 rdf.Value
+	V2 rdf.Value
+}
+
+// Unary builds the condition a = v.
+func Unary(a rdf.Attr, v rdf.Value) Condition {
+	return Condition{A1: a, A2: rdf.AttrNone, V1: v, V2: rdf.NoValue}
+}
+
+// Binary builds the condition a1 = v1 ∧ a2 = v2 in canonical attribute
+// order. The two attributes must differ.
+func Binary(a1 rdf.Attr, v1 rdf.Value, a2 rdf.Attr, v2 rdf.Value) Condition {
+	if a1 == a2 {
+		panic("cind: binary condition on a single attribute")
+	}
+	if a1 > a2 {
+		a1, a2, v1, v2 = a2, a1, v2, v1
+	}
+	return Condition{A1: a1, A2: a2, V1: v1, V2: v2}
+}
+
+// IsBinary reports whether the condition constrains two attributes.
+func (c Condition) IsBinary() bool { return c.A2 != rdf.AttrNone }
+
+// Matches reports whether triple t satisfies the condition.
+func (c Condition) Matches(t rdf.Triple) bool {
+	if t.Get(c.A1) != c.V1 {
+		return false
+	}
+	return !c.IsBinary() || t.Get(c.A2) == c.V2
+}
+
+// UnaryParts returns the unary conditions a binary condition implies. For a
+// unary condition it returns the condition itself, once.
+func (c Condition) UnaryParts() []Condition {
+	if !c.IsBinary() {
+		return []Condition{c}
+	}
+	return []Condition{Unary(c.A1, c.V1), Unary(c.A2, c.V2)}
+}
+
+// Implies reports φ ⇒ φ': the predicate of φ' is one of the predicates of φ,
+// or the two are equal (§3.1).
+func (c Condition) Implies(o Condition) bool {
+	if c == o {
+		return true
+	}
+	if o.IsBinary() {
+		return false // a condition only implies itself or its unary parts
+	}
+	return c.IsBinary() &&
+		((o.A1 == c.A1 && o.V1 == c.V1) || (o.A1 == c.A2 && o.V1 == c.V2))
+}
+
+// Uses reports whether the condition constrains attribute a.
+func (c Condition) Uses(a rdf.Attr) bool {
+	return c.A1 == a || (c.IsBinary() && c.A2 == a)
+}
+
+// Key digests the condition into 64 bits for Bloom-filter membership.
+// Collisions only cause Bloom false positives, which every consumer
+// tolerates by construction.
+func (c Condition) Key() uint64 {
+	return mix(uint64(c.A1)<<34 | uint64(c.A2)<<32 | uint64(c.V1)<<1 | 1).rotadd(mix(uint64(c.V2)))
+}
+
+// Format renders the condition against a dictionary, e.g.
+// "p=memberOf ∧ o=csd".
+func (c Condition) Format(dict *rdf.Dictionary) string {
+	s := fmt.Sprintf("%s=%s", c.A1, dict.Decode(c.V1))
+	if c.IsBinary() {
+		s += fmt.Sprintf(" ∧ %s=%s", c.A2, dict.Decode(c.V2))
+	}
+	return s
+}
+
+// Capture pairs a projection attribute with a condition that must not use it
+// (Definition 2.2). Its interpretation on a dataset is the set of values the
+// projection takes over the triples satisfying the condition.
+type Capture struct {
+	Proj rdf.Attr
+	Cond Condition
+}
+
+// NewCapture builds a capture, panicking if the condition uses the
+// projection attribute (disallowed by Definition 2.2).
+func NewCapture(proj rdf.Attr, cond Condition) Capture {
+	if cond.Uses(proj) {
+		panic("cind: capture condition uses the projection attribute")
+	}
+	return Capture{Proj: proj, Cond: cond}
+}
+
+// Key digests the capture into 64 bits for Bloom-filter membership.
+func (c Capture) Key() uint64 {
+	return mix(uint64(c.Proj) + 0x9E3779B97F4A7C15).rotadd(mix(c.Cond.Key()))
+}
+
+// Format renders the capture, e.g. "(s, p=memberOf ∧ o=csd)".
+func (c Capture) Format(dict *rdf.Dictionary) string {
+	return fmt.Sprintf("(%s, %s)", c.Proj, c.Cond.Format(dict))
+}
+
+// Inclusion is a CIND statement c ⊆ c′ between a dependent and a referenced
+// capture (Definition 2.3). It is comparable and therefore a map key.
+type Inclusion struct {
+	Dep, Ref Capture
+}
+
+// Trivial reports whether the inclusion holds on every dataset because the
+// dependent condition logically implies the referenced one under the same
+// projection (e.g. (s, p=a ∧ o=b) ⊆ (s, p=a), §5.1 "equivalence pruning").
+func (i Inclusion) Trivial() bool {
+	if i.Dep == i.Ref {
+		return true
+	}
+	return i.Dep.Proj == i.Ref.Proj && i.Dep.Cond.Implies(i.Ref.Cond)
+}
+
+// Implies reports whether this inclusion's validity entails o's validity via
+// dependent implication (tightening the dependent condition), referenced
+// implication (relaxing the referenced condition), or their composition
+// (§3.1).
+func (i Inclusion) Implies(o Inclusion) bool {
+	if i == o {
+		return false
+	}
+	return i.Dep.Proj == o.Dep.Proj && i.Ref.Proj == o.Ref.Proj &&
+		o.Dep.Cond.Implies(i.Dep.Cond) && i.Ref.Cond.Implies(o.Ref.Cond)
+}
+
+// Format renders the inclusion, e.g.
+// "(s, p=memberOf) ⊆ (s, p=rdf:type ∧ o=gradStudent)".
+func (i Inclusion) Format(dict *rdf.Dictionary) string {
+	return i.Dep.Format(dict) + " ⊆ " + i.Ref.Format(dict)
+}
+
+// CIND is an inclusion together with its support, the number of distinct
+// values in the dependent capture's interpretation (Definition 3.1).
+type CIND struct {
+	Inclusion
+	Support int
+}
+
+// Format renders the CIND with its support.
+func (c CIND) Format(dict *rdf.Dictionary) string {
+	return fmt.Sprintf("%s  [support=%d]", c.Inclusion.Format(dict), c.Support)
+}
+
+// AR is an exact association rule If → Then with confidence 1 over triples
+// read as transactions {s=..., p=..., o=...} (§3.2). Both sides are unary
+// conditions on distinct attributes.
+type AR struct {
+	If, Then Condition
+	Support  int
+}
+
+// ImpliedCIND returns the CIND the rule implies:
+// (γ, If) ⊆ (γ, If ∧ Then) where γ is the attribute used by neither side
+// (Lemma 2 gives it the same support as the rule).
+func (r AR) ImpliedCIND() CIND {
+	var free rdf.Attr
+	for _, a := range rdf.Attrs {
+		if !r.If.Uses(a) && !r.Then.Uses(a) {
+			free = a
+		}
+	}
+	return CIND{
+		Inclusion: Inclusion{
+			Dep: NewCapture(free, r.If),
+			Ref: NewCapture(free, Binary(r.If.A1, r.If.V1, r.Then.A1, r.Then.V1)),
+		},
+		Support: r.Support,
+	}
+}
+
+// Format renders the rule, e.g. "o=gradStudent → p=rdf:type [support=2]".
+func (r AR) Format(dict *rdf.Dictionary) string {
+	return fmt.Sprintf("%s → %s  [support=%d]", r.If.Format(dict), r.Then.Format(dict), r.Support)
+}
+
+// Result is the output of a discovery run: the pertinent CINDs and the
+// association rules that replace their implied CINDs (§3.3).
+type Result struct {
+	CINDs []CIND
+	ARs   []AR
+}
+
+// Sort orders both result lists by descending support, then lexicographically
+// by rendered form, giving deterministic output.
+func (r *Result) Sort(dict *rdf.Dictionary) {
+	sort.Slice(r.CINDs, func(i, j int) bool {
+		if r.CINDs[i].Support != r.CINDs[j].Support {
+			return r.CINDs[i].Support > r.CINDs[j].Support
+		}
+		return r.CINDs[i].Format(dict) < r.CINDs[j].Format(dict)
+	})
+	sort.Slice(r.ARs, func(i, j int) bool {
+		if r.ARs[i].Support != r.ARs[j].Support {
+			return r.ARs[i].Support > r.ARs[j].Support
+		}
+		return r.ARs[i].Format(dict) < r.ARs[j].Format(dict)
+	})
+}
+
+// Format renders the whole result, one statement per line.
+func (r *Result) Format(dict *rdf.Dictionary) string {
+	var b strings.Builder
+	for _, ar := range r.ARs {
+		fmt.Fprintf(&b, "AR   %s\n", ar.Format(dict))
+	}
+	for _, c := range r.CINDs {
+		fmt.Fprintf(&b, "CIND %s\n", c.Format(dict))
+	}
+	return b.String()
+}
+
+// mix is a 64-bit finalizer (splitmix64) used to build digests.
+type mixed uint64
+
+func mix(x uint64) mixed {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return mixed(x)
+}
+
+func (m mixed) rotadd(o mixed) uint64 {
+	x := uint64(m)
+	return (x<<13 | x>>51) + 0x9E3779B97F4A7C15*uint64(o)
+}

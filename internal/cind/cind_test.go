@@ -1,0 +1,296 @@
+package cind
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixtures"
+	"repro/internal/rdf"
+)
+
+// uni builds the Table 1 dataset and returns it with a term lookup helper.
+func uni(t *testing.T) (*rdf.Dataset, func(string) rdf.Value) {
+	t.Helper()
+	ds := fixtures.University()
+	return ds, func(term string) rdf.Value { return fixtures.MustID(ds, term) }
+}
+
+func TestConditionNormalization(t *testing.T) {
+	a := Binary(rdf.Object, 5, rdf.Predicate, 3)
+	b := Binary(rdf.Predicate, 3, rdf.Object, 5)
+	if a != b {
+		t.Errorf("binary conditions not normalized: %+v vs %+v", a, b)
+	}
+	if a.A1 != rdf.Predicate || a.A2 != rdf.Object {
+		t.Errorf("canonical order violated: %+v", a)
+	}
+}
+
+func TestBinaryPanicsOnSameAttr(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for binary condition on one attribute")
+		}
+	}()
+	Binary(rdf.Subject, 1, rdf.Subject, 2)
+}
+
+func TestConditionMatches(t *testing.T) {
+	ds, id := uni(t)
+	phi := Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent"))
+	matches := 0
+	for _, tr := range ds.Triples {
+		if phi.Matches(tr) {
+			matches++
+		}
+	}
+	if matches != 2 { // t1 and t2, as in Example 2
+		t.Errorf("binary condition matched %d triples, want 2", matches)
+	}
+	uphi := Unary(rdf.Predicate, id("undergradFrom"))
+	if FrequencyOf(ds, uphi) != 3 {
+		t.Errorf("frequency of p=undergradFrom = %d, want 3", FrequencyOf(ds, uphi))
+	}
+}
+
+func TestConditionImplies(t *testing.T) {
+	bin := Binary(rdf.Predicate, 1, rdf.Object, 2)
+	u1 := Unary(rdf.Predicate, 1)
+	u2 := Unary(rdf.Object, 2)
+	other := Unary(rdf.Predicate, 9)
+	if !bin.Implies(u1) || !bin.Implies(u2) || !bin.Implies(bin) {
+		t.Errorf("binary condition must imply itself and both unary parts")
+	}
+	if bin.Implies(other) || u1.Implies(bin) || u1.Implies(u2) {
+		t.Errorf("spurious implication")
+	}
+}
+
+func TestUnaryParts(t *testing.T) {
+	bin := Binary(rdf.Subject, 1, rdf.Object, 2)
+	parts := bin.UnaryParts()
+	if len(parts) != 2 || parts[0] != Unary(rdf.Subject, 1) || parts[1] != Unary(rdf.Object, 2) {
+		t.Errorf("UnaryParts = %+v", parts)
+	}
+	u := Unary(rdf.Subject, 1)
+	if got := u.UnaryParts(); len(got) != 1 || got[0] != u {
+		t.Errorf("UnaryParts of unary = %+v", got)
+	}
+}
+
+func TestCaptureRejectsProjectionInCondition(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for capture projecting a conditioned attribute")
+		}
+	}()
+	NewCapture(rdf.Predicate, Unary(rdf.Predicate, 1))
+}
+
+func TestInterpretExample2(t *testing.T) {
+	ds, id := uni(t)
+	c := NewCapture(rdf.Subject, Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent")))
+	got := Interpret(ds, c)
+	if len(got) != 2 {
+		t.Fatalf("|I| = %d, want 2", len(got))
+	}
+	for _, who := range []string{"patrick", "mike"} {
+		if _, ok := got[id(who)]; !ok {
+			t.Errorf("interpretation missing %s", who)
+		}
+	}
+	if SupportOf(ds, c) != 2 {
+		t.Errorf("SupportOf = %d, want 2", SupportOf(ds, c))
+	}
+}
+
+func TestHoldsExample3(t *testing.T) {
+	ds, id := uni(t)
+	// (s, p=rdf:type ∧ o=gradStudent) ⊆ (s, p=undergradFrom): valid.
+	valid := Inclusion{
+		Dep: NewCapture(rdf.Subject, Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent"))),
+		Ref: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("undergradFrom"))),
+	}
+	if !Holds(ds, valid) {
+		t.Errorf("Example 3 CIND does not hold")
+	}
+	// The reverse direction is violated by tim.
+	reverse := Inclusion{Dep: valid.Ref, Ref: valid.Dep}
+	if Holds(ds, reverse) {
+		t.Errorf("reverse of Example 3 CIND should not hold (tim)")
+	}
+}
+
+func TestInclusionTrivial(t *testing.T) {
+	dep := NewCapture(rdf.Subject, Binary(rdf.Predicate, 1, rdf.Object, 2))
+	refU := NewCapture(rdf.Subject, Unary(rdf.Predicate, 1))
+	if !(Inclusion{Dep: dep, Ref: refU}).Trivial() {
+		t.Errorf("binary ⊆ its unary relaxation must be trivial")
+	}
+	if !(Inclusion{Dep: dep, Ref: dep}).Trivial() {
+		t.Errorf("reflexive inclusion must be trivial")
+	}
+	if (Inclusion{Dep: refU, Ref: dep}).Trivial() {
+		t.Errorf("unary ⊆ binary is not trivial")
+	}
+	otherProj := NewCapture(rdf.Object, Unary(rdf.Predicate, 1))
+	if (Inclusion{Dep: NewCapture(rdf.Subject, Unary(rdf.Predicate, 1)), Ref: otherProj}).Trivial() {
+		t.Errorf("inclusion across projections is never trivial")
+	}
+}
+
+// TestImplicationFigure1 checks the four-CIND implication lattice of Fig. 1.
+func TestImplicationFigure1(t *testing.T) {
+	ds, id := uni(t)
+	_ = ds
+	mo := Unary(rdf.Predicate, id("memberOf"))
+	moCsd := Binary(rdf.Predicate, id("memberOf"), rdf.Object, id("csd"))
+	ty := Unary(rdf.Predicate, id("rdf:type"))
+	tyGrad := Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent"))
+	s := rdf.Subject
+
+	psi1 := Inclusion{Dep: NewCapture(s, mo), Ref: NewCapture(s, tyGrad)}
+	psi2 := Inclusion{Dep: NewCapture(s, moCsd), Ref: NewCapture(s, tyGrad)}
+	psi3 := Inclusion{Dep: NewCapture(s, mo), Ref: NewCapture(s, ty)}
+	psi4 := Inclusion{Dep: NewCapture(s, moCsd), Ref: NewCapture(s, ty)}
+
+	wantImplies := map[[2]Inclusion]bool{
+		{psi1, psi2}: true, // dependent implication
+		{psi1, psi3}: true, // referenced implication
+		{psi1, psi4}: true, // composition
+		{psi2, psi4}: true,
+		{psi3, psi4}: true,
+		{psi2, psi3}: false,
+		{psi3, psi2}: false,
+		{psi4, psi1}: false,
+		{psi2, psi1}: false,
+		{psi1, psi1}: false, // irreflexive
+	}
+	for pair, want := range wantImplies {
+		if got := pair[0].Implies(pair[1]); got != want {
+			t.Errorf("%s implies %s = %v, want %v",
+				pair[0].Format(ds.Dict), pair[1].Format(ds.Dict), got, want)
+		}
+	}
+}
+
+func TestARImpliedCIND(t *testing.T) {
+	ds, id := uni(t)
+	r := AR{
+		If:      Unary(rdf.Object, id("gradStudent")),
+		Then:    Unary(rdf.Predicate, id("rdf:type")),
+		Support: 2,
+	}
+	if !ARHolds(ds, r) {
+		t.Fatalf("the paper's example AR does not hold on Table 1")
+	}
+	implied := r.ImpliedCIND()
+	if implied.Dep.Proj != rdf.Subject {
+		t.Errorf("implied CIND projects %v, want s", implied.Dep.Proj)
+	}
+	if !Holds(ds, implied.Inclusion) {
+		t.Errorf("implied CIND %s does not hold", implied.Inclusion.Format(ds.Dict))
+	}
+	// Lemma 2: AR support equals the implied CIND's support.
+	if got := SupportOf(ds, implied.Dep); got != r.Support {
+		t.Errorf("implied CIND support = %d, want %d (Lemma 2)", got, r.Support)
+	}
+	// An AR violated by a triple where If holds but Then does not.
+	bad := AR{If: Unary(rdf.Predicate, id("rdf:type")), Then: Unary(rdf.Object, id("gradStudent"))}
+	if ARHolds(ds, bad) {
+		t.Errorf("AR p=rdf:type → o=gradStudent should fail (john is a professor)")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	ds, id := uni(t)
+	c := CIND{
+		Inclusion: Inclusion{
+			Dep: NewCapture(rdf.Subject, Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent"))),
+			Ref: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("undergradFrom"))),
+		},
+		Support: 2,
+	}
+	got := c.Format(ds.Dict)
+	want := "(s, p=rdf:type ∧ o=gradStudent) ⊆ (s, p=undergradFrom)  [support=2]"
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+	r := AR{If: Unary(rdf.Object, id("gradStudent")), Then: Unary(rdf.Predicate, id("rdf:type")), Support: 2}
+	if got := r.Format(ds.Dict); got != "o=gradStudent → p=rdf:type  [support=2]" {
+		t.Errorf("AR Format = %q", got)
+	}
+}
+
+func TestResultSortAndFormat(t *testing.T) {
+	ds, id := uni(t)
+	low := CIND{Inclusion: Inclusion{
+		Dep: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("memberOf"))),
+		Ref: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("rdf:type"))),
+	}, Support: 2}
+	high := CIND{Inclusion: Inclusion{
+		Dep: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("undergradFrom"))),
+		Ref: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("rdf:type"))),
+	}, Support: 3}
+	res := &Result{CINDs: []CIND{low, high}, ARs: []AR{
+		{If: Unary(rdf.Object, id("gradStudent")), Then: Unary(rdf.Predicate, id("rdf:type")), Support: 2},
+	}}
+	res.Sort(ds.Dict)
+	if res.CINDs[0].Support != 3 {
+		t.Errorf("Sort did not order by descending support")
+	}
+	text := res.Format(ds.Dict)
+	if !strings.Contains(text, "AR   o=gradStudent") || !strings.Contains(text, "CIND (s, p=undergradFrom)") {
+		t.Errorf("Format output unexpected:\n%s", text)
+	}
+}
+
+// Property: condition keys rarely collide and are stable.
+func TestConditionKeyStability(t *testing.T) {
+	f := func(a1 uint8, v1, v2 uint32) bool {
+		attr := rdf.Attr(a1 % 3)
+		c := Unary(attr, rdf.Value(v1))
+		if c.Key() != c.Key() {
+			return false
+		}
+		other1, other2 := attr.Others()
+		_ = other2
+		b := Binary(attr, rdf.Value(v1), other1, rdf.Value(v2))
+		return b.Key() != c.Key() // binary and unary must differ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Matches(t) for a unary condition is consistent with projection.
+func TestQuickUnaryMatches(t *testing.T) {
+	f := func(s, p, o uint16, attr uint8, v uint16) bool {
+		tr := rdf.Triple{S: rdf.Value(s), P: rdf.Value(p), O: rdf.Value(o)}
+		a := rdf.Attr(attr % 3)
+		c := Unary(a, rdf.Value(v))
+		return c.Matches(tr) == (tr.Get(a) == rdf.Value(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Implies is consistent with the set semantics — if φ ⇒ φ' then
+// every triple matching φ matches φ'.
+func TestQuickImpliesSemantics(t *testing.T) {
+	f := func(s, p, o, v1, v2 uint8) bool {
+		tr := rdf.Triple{S: rdf.Value(s % 4), P: rdf.Value(p % 4), O: rdf.Value(o % 4)}
+		bin := Binary(rdf.Subject, rdf.Value(v1%4), rdf.Predicate, rdf.Value(v2%4))
+		for _, u := range bin.UnaryParts() {
+			if bin.Matches(tr) && !u.Matches(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

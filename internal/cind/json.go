@@ -1,0 +1,156 @@
+package cind
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// JSON serialization renders statements with term surface forms, so result
+// files are self-contained and machine-readable independent of a dictionary.
+
+type jsonCondition struct {
+	// Attrs and Values are parallel; one entry for unary conditions, two
+	// for binary ones.
+	Attrs  []string `json:"attrs"`
+	Values []string `json:"values"`
+}
+
+type jsonCapture struct {
+	Projection string        `json:"projection"`
+	Condition  jsonCondition `json:"condition"`
+}
+
+type jsonCIND struct {
+	Dependent  jsonCapture `json:"dependent"`
+	Referenced jsonCapture `json:"referenced"`
+	Support    int         `json:"support"`
+}
+
+type jsonAR struct {
+	IfAttr    string `json:"ifAttr"`
+	IfValue   string `json:"ifValue"`
+	ThenAttr  string `json:"thenAttr"`
+	ThenValue string `json:"thenValue"`
+	Support   int    `json:"support"`
+}
+
+type jsonResult struct {
+	CINDs []jsonCIND `json:"cinds"`
+	ARs   []jsonAR   `json:"associationRules"`
+}
+
+func conditionToJSON(c Condition, dict *rdf.Dictionary) jsonCondition {
+	out := jsonCondition{
+		Attrs:  []string{c.A1.String()},
+		Values: []string{dict.Decode(c.V1)},
+	}
+	if c.IsBinary() {
+		out.Attrs = append(out.Attrs, c.A2.String())
+		out.Values = append(out.Values, dict.Decode(c.V2))
+	}
+	return out
+}
+
+func captureToJSON(c Capture, dict *rdf.Dictionary) jsonCapture {
+	return jsonCapture{Projection: c.Proj.String(), Condition: conditionToJSON(c.Cond, dict)}
+}
+
+// MarshalJSON renders a result with surface-form terms.
+func MarshalJSON(r *Result, dict *rdf.Dictionary) ([]byte, error) {
+	out := jsonResult{CINDs: []jsonCIND{}, ARs: []jsonAR{}}
+	for _, c := range r.CINDs {
+		out.CINDs = append(out.CINDs, jsonCIND{
+			Dependent:  captureToJSON(c.Dep, dict),
+			Referenced: captureToJSON(c.Ref, dict),
+			Support:    c.Support,
+		})
+	}
+	for _, a := range r.ARs {
+		out.ARs = append(out.ARs, jsonAR{
+			IfAttr:    a.If.A1.String(),
+			IfValue:   dict.Decode(a.If.V1),
+			ThenAttr:  a.Then.A1.String(),
+			ThenValue: dict.Decode(a.Then.V1),
+			Support:   a.Support,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func conditionFromJSON(j jsonCondition, dict *rdf.Dictionary) (Condition, error) {
+	if len(j.Attrs) != len(j.Values) || len(j.Attrs) < 1 || len(j.Attrs) > 2 {
+		return Condition{}, fmt.Errorf("cind: malformed JSON condition: %d attrs, %d values", len(j.Attrs), len(j.Values))
+	}
+	a1, err := parseAttr(j.Attrs[0])
+	if err != nil {
+		return Condition{}, err
+	}
+	if len(j.Attrs) == 1 {
+		return Unary(a1, dict.Encode(j.Values[0])), nil
+	}
+	a2, err := parseAttr(j.Attrs[1])
+	if err != nil {
+		return Condition{}, err
+	}
+	if a1 == a2 {
+		return Condition{}, fmt.Errorf("cind: JSON condition repeats attribute %s", a1)
+	}
+	return Binary(a1, dict.Encode(j.Values[0]), a2, dict.Encode(j.Values[1])), nil
+}
+
+func captureFromJSON(j jsonCapture, dict *rdf.Dictionary) (Capture, error) {
+	proj, err := parseAttr(j.Projection)
+	if err != nil {
+		return Capture{}, err
+	}
+	cond, err := conditionFromJSON(j.Condition, dict)
+	if err != nil {
+		return Capture{}, err
+	}
+	if cond.Uses(proj) {
+		return Capture{}, fmt.Errorf("cind: JSON capture conditions its projection attribute")
+	}
+	return Capture{Proj: proj, Cond: cond}, nil
+}
+
+// UnmarshalJSON reads a result, interning terms into the dictionary (terms
+// absent from it are added, so results can be loaded before their dataset).
+func UnmarshalJSON(data []byte, dict *rdf.Dictionary) (*Result, error) {
+	var in jsonResult
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("cind: %w", err)
+	}
+	res := &Result{}
+	for _, c := range in.CINDs {
+		dep, err := captureFromJSON(c.Dependent, dict)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := captureFromJSON(c.Referenced, dict)
+		if err != nil {
+			return nil, err
+		}
+		res.CINDs = append(res.CINDs, CIND{Inclusion: Inclusion{Dep: dep, Ref: ref}, Support: c.Support})
+	}
+	for _, a := range in.ARs {
+		ifAttr, err := parseAttr(a.IfAttr)
+		if err != nil {
+			return nil, err
+		}
+		thenAttr, err := parseAttr(a.ThenAttr)
+		if err != nil {
+			return nil, err
+		}
+		if ifAttr == thenAttr {
+			return nil, fmt.Errorf("cind: JSON rule repeats attribute %s", ifAttr)
+		}
+		res.ARs = append(res.ARs, AR{
+			If:      Unary(ifAttr, dict.Encode(a.IfValue)),
+			Then:    Unary(thenAttr, dict.Encode(a.ThenValue)),
+			Support: a.Support,
+		})
+	}
+	return res, nil
+}

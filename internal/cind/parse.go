@@ -1,0 +1,157 @@
+package cind
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// This file parses the textual forms produced by the Format methods, so
+// results can round-trip through files and tools can accept statements on
+// the command line:
+//
+//	condition:  p=rdf:type ∧ o=gradStudent        (also "&&" for ∧)
+//	capture:    (s, p=memberOf)
+//	inclusion:  (s, p=memberOf) ⊆ (s, p=rdf:type)  (also "<=" for ⊆)
+//	AR:         o=gradStudent → p=rdf:type         (also "->" for →)
+//
+// Terms resolve against a dictionary; a term the dictionary has never seen
+// makes the statement unsatisfiable on that dataset and is reported as an
+// error.
+
+// parseAttr reads "s", "p", or "o".
+func parseAttr(s string) (rdf.Attr, error) {
+	switch strings.TrimSpace(s) {
+	case "s":
+		return rdf.Subject, nil
+	case "p":
+		return rdf.Predicate, nil
+	case "o":
+		return rdf.Object, nil
+	}
+	return 0, fmt.Errorf("cind: unknown attribute %q (want s, p, or o)", s)
+}
+
+// ParseCondition reads a unary or binary condition.
+func ParseCondition(s string, dict *rdf.Dictionary) (Condition, error) {
+	s = strings.ReplaceAll(s, "&&", "∧")
+	parts := strings.Split(s, "∧")
+	if len(parts) > 2 {
+		return Condition{}, fmt.Errorf("cind: more than two conjuncts in %q", s)
+	}
+	var unaries []Condition
+	for _, part := range parts {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return Condition{}, fmt.Errorf("cind: conjunct %q lacks '='", strings.TrimSpace(part))
+		}
+		attr, err := parseAttr(part[:eq])
+		if err != nil {
+			return Condition{}, err
+		}
+		term := strings.TrimSpace(part[eq+1:])
+		id, ok := dict.Lookup(term)
+		if !ok {
+			return Condition{}, fmt.Errorf("cind: term %q does not occur in the dataset", term)
+		}
+		unaries = append(unaries, Unary(attr, id))
+	}
+	if len(unaries) == 1 {
+		return unaries[0], nil
+	}
+	if unaries[0].A1 == unaries[1].A1 {
+		return Condition{}, fmt.Errorf("cind: binary condition repeats attribute %s", unaries[0].A1)
+	}
+	return Binary(unaries[0].A1, unaries[0].V1, unaries[1].A1, unaries[1].V1), nil
+}
+
+// ParseCapture reads "(α, condition)".
+func ParseCapture(s string, dict *rdf.Dictionary) (Capture, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return Capture{}, fmt.Errorf("cind: capture %q must be parenthesized", s)
+	}
+	inner := s[1 : len(s)-1]
+	comma := strings.IndexByte(inner, ',')
+	if comma < 0 {
+		return Capture{}, fmt.Errorf("cind: capture %q lacks a projection attribute", s)
+	}
+	proj, err := parseAttr(inner[:comma])
+	if err != nil {
+		return Capture{}, err
+	}
+	cond, err := ParseCondition(inner[comma+1:], dict)
+	if err != nil {
+		return Capture{}, err
+	}
+	if cond.Uses(proj) {
+		return Capture{}, fmt.Errorf("cind: capture %q conditions its projection attribute", s)
+	}
+	return Capture{Proj: proj, Cond: cond}, nil
+}
+
+// ParseInclusion reads "capture ⊆ capture". A trailing "[support=N]"
+// annotation is ignored.
+func ParseInclusion(s string, dict *rdf.Dictionary) (Inclusion, error) {
+	s = stripSupport(strings.ReplaceAll(s, "<=", "⊆"))
+	parts := strings.Split(s, "⊆")
+	if len(parts) != 2 {
+		return Inclusion{}, fmt.Errorf("cind: inclusion %q must have exactly one ⊆", s)
+	}
+	dep, err := ParseCapture(parts[0], dict)
+	if err != nil {
+		return Inclusion{}, fmt.Errorf("dependent: %w", err)
+	}
+	ref, err := ParseCapture(parts[1], dict)
+	if err != nil {
+		return Inclusion{}, fmt.Errorf("referenced: %w", err)
+	}
+	return Inclusion{Dep: dep, Ref: ref}, nil
+}
+
+// ParseAR reads "condition → condition" with unary sides. A trailing
+// "[support=N]" annotation sets the support.
+func ParseAR(s string, dict *rdf.Dictionary) (AR, error) {
+	support, s := takeSupport(strings.ReplaceAll(s, "->", "→"))
+	parts := strings.Split(s, "→")
+	if len(parts) != 2 {
+		return AR{}, fmt.Errorf("cind: rule %q must have exactly one →", s)
+	}
+	ifCond, err := ParseCondition(parts[0], dict)
+	if err != nil {
+		return AR{}, err
+	}
+	thenCond, err := ParseCondition(parts[1], dict)
+	if err != nil {
+		return AR{}, err
+	}
+	if ifCond.IsBinary() || thenCond.IsBinary() {
+		return AR{}, fmt.Errorf("cind: association rule sides must be unary")
+	}
+	if ifCond.A1 == thenCond.A1 {
+		return AR{}, fmt.Errorf("cind: association rule sides must use different attributes")
+	}
+	return AR{If: ifCond, Then: thenCond, Support: support}, nil
+}
+
+// stripSupport removes a trailing "[support=N]" annotation.
+func stripSupport(s string) string {
+	_, out := takeSupport(s)
+	return out
+}
+
+// takeSupport extracts a trailing "[support=N]" annotation.
+func takeSupport(s string) (int, string) {
+	s = strings.TrimSpace(s)
+	open := strings.LastIndex(s, "[support=")
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return 0, s
+	}
+	n, err := strconv.Atoi(s[open+len("[support=") : len(s)-1])
+	if err != nil {
+		return 0, s
+	}
+	return n, strings.TrimSpace(s[:open])
+}

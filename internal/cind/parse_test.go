@@ -1,0 +1,182 @@
+package cind
+
+import (
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/rdf"
+)
+
+func TestParseConditionForms(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+
+	u, err := ParseCondition("p=memberOf", ds.Dict)
+	if err != nil || u != Unary(rdf.Predicate, id("memberOf")) {
+		t.Errorf("unary parse: %v, %v", u, err)
+	}
+	b, err := ParseCondition("p=rdf:type ∧ o=gradStudent", ds.Dict)
+	want := Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent"))
+	if err != nil || b != want {
+		t.Errorf("binary parse: %v, %v", b, err)
+	}
+	// ASCII conjunction and attribute order normalization.
+	b2, err := ParseCondition("o=gradStudent && p=rdf:type", ds.Dict)
+	if err != nil || b2 != want {
+		t.Errorf("ASCII/reordered parse: %v, %v", b2, err)
+	}
+}
+
+func TestParseConditionErrors(t *testing.T) {
+	ds := fixtures.University()
+	for _, in := range []string{
+		"p=unknownTerm",                  // term not in dataset
+		"x=memberOf",                     // bad attribute
+		"memberOf",                       // no '='
+		"p=a ∧ p=b",                      // repeated attribute (terms exist? 'a' doesn't; use real)
+		"p=memberOf ∧ p=rdf:type",        // repeated attribute
+		"p=memberOf ∧ o=csd ∧ s=patrick", // ternary
+	} {
+		if _, err := ParseCondition(in, ds.Dict); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestParseCaptureRoundTrip(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	orig := NewCapture(rdf.Subject, Binary(rdf.Predicate, id("memberOf"), rdf.Object, id("csd")))
+	parsed, err := ParseCapture(orig.Format(ds.Dict), ds.Dict)
+	if err != nil || parsed != orig {
+		t.Errorf("capture round trip: %v, %v", parsed, err)
+	}
+	for _, in := range []string{
+		"s, p=memberOf",   // not parenthesized
+		"(p=memberOf)",    // no projection
+		"(q, p=memberOf)", // bad attribute
+		"(p, p=memberOf)", // projection conditioned
+	} {
+		if _, err := ParseCapture(in, ds.Dict); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestParseInclusionRoundTrip(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	orig := Inclusion{
+		Dep: NewCapture(rdf.Subject, Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent"))),
+		Ref: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("undergradFrom"))),
+	}
+	parsed, err := ParseInclusion(orig.Format(ds.Dict), ds.Dict)
+	if err != nil || parsed != orig {
+		t.Fatalf("inclusion round trip: %v, %v", parsed, err)
+	}
+	// The CIND rendering with support annotation parses too.
+	c := CIND{Inclusion: orig, Support: 2}
+	parsed2, err := ParseInclusion(c.Format(ds.Dict), ds.Dict)
+	if err != nil || parsed2 != orig {
+		t.Errorf("annotated round trip: %v, %v", parsed2, err)
+	}
+	// ASCII arrow form.
+	ascii := "(s, p=memberOf) <= (s, p=rdf:type)"
+	if _, err := ParseInclusion(ascii, ds.Dict); err != nil {
+		t.Errorf("ASCII inclusion rejected: %v", err)
+	}
+	if _, err := ParseInclusion("(s, p=memberOf)", ds.Dict); err == nil {
+		t.Errorf("no error for inclusion without ⊆")
+	}
+}
+
+func TestParseARRoundTrip(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	orig := AR{If: Unary(rdf.Object, id("gradStudent")), Then: Unary(rdf.Predicate, id("rdf:type")), Support: 2}
+	parsed, err := ParseAR(orig.Format(ds.Dict), ds.Dict)
+	if err != nil || parsed != orig {
+		t.Fatalf("AR round trip: %+v, %v", parsed, err)
+	}
+	if _, err := ParseAR("o=gradStudent -> p=rdf:type", ds.Dict); err != nil {
+		t.Errorf("ASCII arrow rejected: %v", err)
+	}
+	for _, in := range []string{
+		"o=gradStudent",                          // no arrow
+		"o=gradStudent → o=hpi",                  // same attribute
+		"p=rdf:type ∧ o=gradStudent → s=patrick", // binary side
+	} {
+		if _, err := ParseAR(in, ds.Dict); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	res := &Result{
+		CINDs: []CIND{{
+			Inclusion: Inclusion{
+				Dep: NewCapture(rdf.Subject, Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent"))),
+				Ref: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("undergradFrom"))),
+			},
+			Support: 2,
+		}},
+		ARs: []AR{{If: Unary(rdf.Object, id("gradStudent")), Then: Unary(rdf.Predicate, id("rdf:type")), Support: 2}},
+	}
+	data, err := MarshalJSON(res, ds.Dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalJSON(data, ds.Dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.CINDs) != 1 || back.CINDs[0] != res.CINDs[0] {
+		t.Errorf("CIND round trip: %+v", back.CINDs)
+	}
+	if len(back.ARs) != 1 || back.ARs[0] != res.ARs[0] {
+		t.Errorf("AR round trip: %+v", back.ARs)
+	}
+}
+
+func TestJSONIntoFreshDictionary(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	res := &Result{CINDs: []CIND{{
+		Inclusion: Inclusion{
+			Dep: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("memberOf"))),
+			Ref: NewCapture(rdf.Subject, Unary(rdf.Predicate, id("rdf:type"))),
+		},
+		Support: 2,
+	}}}
+	data, err := MarshalJSON(res, ds.Dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := rdf.NewDictionary()
+	back, err := UnmarshalJSON(data, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fresh dictionary interned the surface forms.
+	if got := back.CINDs[0].Dep.Format(fresh); got != "(s, p=memberOf)" {
+		t.Errorf("fresh-dictionary load renders %q", got)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	dict := rdf.NewDictionary()
+	for name, data := range map[string]string{
+		"syntax":        "{",
+		"bad attr":      `{"cinds":[{"dependent":{"projection":"x","condition":{"attrs":["p"],"values":["v"]}},"referenced":{"projection":"s","condition":{"attrs":["p"],"values":["v"]}},"support":1}]}`,
+		"arity":         `{"cinds":[{"dependent":{"projection":"s","condition":{"attrs":["p","o","s"],"values":["a","b","c"]}},"referenced":{"projection":"s","condition":{"attrs":["p"],"values":["v"]}},"support":1}]}`,
+		"proj conflict": `{"cinds":[{"dependent":{"projection":"p","condition":{"attrs":["p"],"values":["v"]}},"referenced":{"projection":"s","condition":{"attrs":["p"],"values":["v"]}},"support":1}]}`,
+		"ar same attr":  `{"associationRules":[{"ifAttr":"p","ifValue":"a","thenAttr":"p","thenValue":"b","support":1}]}`,
+	} {
+		if _, err := UnmarshalJSON([]byte(data), dict); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package cind
+
+import "repro/internal/rdf"
+
+// This file gives the model types their direct, set-based semantics. These
+// functions materialize interpretations by scanning the dataset, so they are
+// meant for validation, tests, and the exhaustive oracle — the discovery
+// pipeline itself never interprets captures directly.
+
+// Interpret computes I(T, c), the set of values the capture projects from
+// the triples satisfying its condition (Definition 2.2).
+func Interpret(ds *rdf.Dataset, c Capture) map[rdf.Value]struct{} {
+	out := make(map[rdf.Value]struct{})
+	for _, t := range ds.Triples {
+		if c.Cond.Matches(t) {
+			out[t.Get(c.Proj)] = struct{}{}
+		}
+	}
+	return out
+}
+
+// SupportOf computes |I(T, c)|, the support any CIND with dependent capture
+// c has (Definition 3.1).
+func SupportOf(ds *rdf.Dataset, c Capture) int {
+	return len(Interpret(ds, c))
+}
+
+// Holds reports whether the dataset satisfies the inclusion, by materializing
+// both interpretations (Definition 2.3).
+func Holds(ds *rdf.Dataset, inc Inclusion) bool {
+	ref := Interpret(ds, inc.Ref)
+	for _, t := range ds.Triples {
+		if inc.Dep.Cond.Matches(t) {
+			if _, ok := ref[t.Get(inc.Dep.Proj)]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FrequencyOf counts the triples satisfying a condition — the condition
+// frequency of §5.1.
+func FrequencyOf(ds *rdf.Dataset, c Condition) int {
+	n := 0
+	for _, t := range ds.Triples {
+		if c.Matches(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// ARHolds reports whether the rule holds exactly (confidence 1): every triple
+// satisfying If also satisfies Then, and at least one does.
+func ARHolds(ds *rdf.Dataset, r AR) bool {
+	seen := false
+	for _, t := range ds.Triples {
+		if r.If.Matches(t) {
+			if !r.Then.Matches(t) {
+				return false
+			}
+			seen = true
+		}
+	}
+	return seen
+}

@@ -1,0 +1,308 @@
+// Package cinderella reimplements the state-of-the-art baseline the paper
+// compares against (Bauckmann et al., "Discovering conditional inclusion
+// dependencies", CIKM 2012), applied to RDF the way §8.2 describes: the
+// triple set becomes a three-column relation; for every ordered pair of
+// projection attributes a partial IND is checked and a left outer join
+// against the referenced column marks which dependent tuples are included;
+// conditions over the remaining attributes are then generated so that they
+// select only included tuples.
+//
+// Cinderella conditions only the dependent side — the referenced side stays
+// the whole column. This is the simplification the paper points out: the
+// baseline solves a strictly smaller problem than RDFind, which is why only
+// runtimes, not result sets, are compared (Fig. 7).
+//
+// Two variants are provided, as in the experiment:
+//
+//   - Discover (standard): materializes the full join result and tracks
+//     every candidate condition with its full distinct-value set at once, on
+//     either the hash-join ("pg") or sort-merge ("my") engine of package
+//     reldb. The join result itself is not charged against memory (the DBMS
+//     spills it to disk; it only costs time) — it is the condition-tracking
+//     structures, which the original holds in the application's heap, that
+//     exhaust the budget; when they do, the run fails with
+//     reldb.ErrOutOfMemory, reproducing the aborted runs (hollow bars in
+//     Fig. 7).
+//   - Optimized (Cinderella*): streams the join, skips self-joins (equal
+//     attribute pairs), and uses a first pass to prune conditions that are
+//     violated or whose frequency is below the support threshold before
+//     tracking value sets. Its footprint therefore shrinks as h grows,
+//     which is why the paper sees it fail only at the smallest thresholds.
+package cinderella
+
+import (
+	"fmt"
+
+	"repro/internal/cind"
+	"repro/internal/rdf"
+	"repro/internal/reldb"
+)
+
+// DefaultRowBudget emulates the 4 GB memory grant of the paper's baseline
+// runs: the standard variant fails once a join result plus its condition-
+// tracking structures exceed this many entries.
+const DefaultRowBudget = 3_000_000
+
+// Config tunes a run.
+type Config struct {
+	// Support is the minimum number of distinct dependent values a
+	// condition must select.
+	Support int
+	// Join selects the physical join operator (reldb.HashJoin emulates
+	// PostgreSQL, reldb.SortMergeJoin MySQL).
+	Join reldb.JoinAlgorithm
+	// Optimized selects the Cinderella* variant.
+	Optimized bool
+	// RowBudget caps materialized entries; 0 selects DefaultRowBudget.
+	RowBudget int
+}
+
+func (c Config) budget() int {
+	if c.RowBudget <= 0 {
+		return DefaultRowBudget
+	}
+	return c.RowBudget
+}
+
+// CIND is the baseline's result shape: a conditioned dependent capture
+// included in a whole, unconditioned referenced column.
+type CIND struct {
+	Dep     cind.Capture
+	RefAttr rdf.Attr
+	Support int
+}
+
+// Format renders the result, e.g. "(s, p=memberOf) ⊆ (s, ⊤)".
+func (c CIND) Format(dict *rdf.Dictionary) string {
+	return fmt.Sprintf("%s ⊆ (%s, ⊤)  [support=%d]", c.Dep.Format(dict), c.RefAttr, c.Support)
+}
+
+// tripleTable loads the dataset into the relational engine.
+func tripleTable(ds *rdf.Dataset) *reldb.Table {
+	t := reldb.NewTable("triples", "s", "p", "o")
+	for _, tr := range ds.Triples {
+		t.Insert(tr.S, tr.P, tr.O)
+	}
+	return t
+}
+
+// Discover runs the baseline over all attribute pairs and returns every
+// conditional inclusion it finds, or reldb.ErrOutOfMemory when the memory
+// emulation trips.
+func Discover(ds *rdf.Dataset, cfg Config) ([]CIND, error) {
+	out, _, err := DiscoverStats(ds, cfg)
+	return out, err
+}
+
+// Stats reports the memory accounting of a run, used to calibrate the
+// Fig. 7 budget.
+type Stats struct {
+	// PeakEntries is the largest number of simultaneously tracked condition
+	// entries across all attribute pairs (structures are released between
+	// pairs, as the original frees them per partial IND).
+	PeakEntries int
+}
+
+// DiscoverStats is Discover with memory accounting.
+func DiscoverStats(ds *rdf.Dataset, cfg Config) ([]CIND, Stats, error) {
+	table := tripleTable(ds)
+	var out []CIND
+	var st Stats
+	for _, dep := range rdf.Attrs {
+		for _, ref := range rdf.Attrs {
+			if dep == ref && cfg.Optimized {
+				continue // Cinderella* avoids self-joins
+			}
+			charge := 0 // per-pair: structures are released between pairs
+			cinds, err := discoverPair(table, dep, ref, cfg, &charge)
+			if charge > st.PeakEntries {
+				st.PeakEntries = charge
+			}
+			if err != nil {
+				return nil, st, err
+			}
+			out = append(out, cinds...)
+		}
+	}
+	return out, st, nil
+}
+
+// discoverPair handles one ordered attribute pair.
+func discoverPair(table *reldb.Table, dep, ref rdf.Attr, cfg Config, charge *int) ([]CIND, error) {
+	depCol, refCol := dep.String(), ref.String()
+
+	// Prerequisite: a partial IND must exist, i.e. the columns overlap.
+	if dep != ref {
+		refVals := table.DistinctValues(refCol)
+		overlap := false
+		for v := range table.DistinctValues(depCol) {
+			if _, ok := refVals[v]; ok {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			return nil, nil
+		}
+	}
+
+	if cfg.Optimized {
+		return optimizedPair(table, dep, ref, cfg, charge)
+	}
+	return standardPair(table, dep, ref, cfg, charge)
+}
+
+// condStats tracks one candidate condition during generation.
+type condStats struct {
+	violated bool
+	values   map[rdf.Value]struct{}
+}
+
+// tracker accumulates condition statistics, charging every tracked entry
+// (one per condition plus one per distinct value) against a shared budget.
+type tracker struct {
+	stats  map[cind.Condition]*condStats
+	charge *int
+	budget int
+}
+
+func newTracker(charge *int, budget int) *tracker {
+	return &tracker{stats: make(map[cind.Condition]*condStats), charge: charge, budget: budget}
+}
+
+func (tr *tracker) track(cond cind.Condition, val rdf.Value, matched bool) error {
+	cs, ok := tr.stats[cond]
+	if !ok {
+		cs = &condStats{values: make(map[rdf.Value]struct{})}
+		tr.stats[cond] = cs
+		*tr.charge++
+	}
+	if !matched {
+		cs.violated = true
+	}
+	if _, seen := cs.values[val]; !seen {
+		cs.values[val] = struct{}{}
+		*tr.charge++
+	}
+	if *tr.charge > tr.budget {
+		return fmt.Errorf("%w: condition tracking exceeded %d entries", reldb.ErrOutOfMemory, tr.budget)
+	}
+	return nil
+}
+
+// standardPair consumes the full join result — the DBMS pipelines or spills
+// it, so it costs time proportional to the join size but is not charged
+// against the application heap — while tracking every candidate condition
+// with its full value set simultaneously. That tracking is what makes the
+// standard baseline fail on all Diseasome runs in Fig. 7.
+func standardPair(table *reldb.Table, dep, ref rdf.Attr, cfg Config, charge *int) ([]CIND, error) {
+	tr := newTracker(charge, cfg.budget())
+	b, g := dep.Others()
+	bi, gi, di := int(b), int(g), int(dep)
+	var trackErr error
+	reldb.StreamFullLeftOuterJoin(table, table, dep.String(), ref.String(), cfg.Join, func(row reldb.Row, matched bool) {
+		if trackErr != nil {
+			return
+		}
+		val := row[di]
+		conds := [3]cind.Condition{
+			cind.Unary(b, row[bi]),
+			cind.Unary(g, row[gi]),
+			cind.Binary(b, row[bi], g, row[gi]),
+		}
+		for _, c := range conds {
+			if trackErr = tr.track(c, val, matched); trackErr != nil {
+				return
+			}
+		}
+	})
+	if trackErr != nil {
+		return nil, trackErr
+	}
+	return harvest(tr.stats, dep, ref, cfg.Support), nil
+}
+
+// optimizedPair streams the join twice: the first pass counts condition
+// frequencies and finds violations with O(#conditions) memory; the second
+// tracks distinct-value sets only for conditions that are unviolated and
+// frequent enough to possibly reach the support threshold (support never
+// exceeds frequency). The footprint shrinks as h grows — Cinderella* only
+// fails at the smallest thresholds.
+func optimizedPair(table *reldb.Table, dep, ref rdf.Attr, cfg Config, charge *int) ([]CIND, error) {
+	b, g := dep.Others()
+	bi, gi, di := int(b), int(g), int(dep)
+
+	// Pass 1: frequencies and violations of unary conditions.
+	type probe struct {
+		freq     int
+		violated bool
+	}
+	probes := make(map[cind.Condition]*probe)
+	note := func(c cind.Condition, matched bool) {
+		p, ok := probes[c]
+		if !ok {
+			p = &probe{}
+			probes[c] = p
+		}
+		p.freq++
+		if !matched {
+			p.violated = true
+		}
+	}
+	reldb.StreamLeftOuterJoin(table, table, dep.String(), ref.String(), func(row reldb.Row, matched bool) {
+		note(cind.Unary(b, row[bi]), matched)
+		note(cind.Unary(g, row[gi]), matched)
+	})
+	frequent := func(c cind.Condition) bool {
+		p, ok := probes[c]
+		return ok && p.freq >= cfg.Support
+	}
+	keepUnary := func(c cind.Condition) bool {
+		p, ok := probes[c]
+		return ok && !p.violated && p.freq >= cfg.Support
+	}
+
+	// Pass 2: value sets for surviving unary conditions, and for binary
+	// combinations whose parts are both frequent (Apriori — a binary
+	// condition's frequency, and hence its support, is bounded by its
+	// parts'; violations of a part do not disqualify the conjunction).
+	tr := newTracker(charge, cfg.budget())
+	var trackErr error
+	reldb.StreamLeftOuterJoin(table, table, dep.String(), ref.String(), func(row reldb.Row, matched bool) {
+		if trackErr != nil {
+			return
+		}
+		val := row[di]
+		cb := cind.Unary(b, row[bi])
+		cg := cind.Unary(g, row[gi])
+		if keepUnary(cb) {
+			trackErr = tr.track(cb, val, matched)
+		}
+		if trackErr == nil && keepUnary(cg) {
+			trackErr = tr.track(cg, val, matched)
+		}
+		if trackErr == nil && frequent(cb) && frequent(cg) {
+			trackErr = tr.track(cind.Binary(b, row[bi], g, row[gi]), val, matched)
+		}
+	})
+	if trackErr != nil {
+		return nil, trackErr
+	}
+	return harvest(tr.stats, dep, ref, cfg.Support), nil
+}
+
+// harvest emits the valid, sufficiently supported conditions as CINDs.
+func harvest(stats map[cind.Condition]*condStats, dep, ref rdf.Attr, h int) []CIND {
+	var out []CIND
+	for cond, cs := range stats {
+		if cs.violated || len(cs.values) < h {
+			continue
+		}
+		out = append(out, CIND{
+			Dep:     cind.Capture{Proj: dep, Cond: cond},
+			RefAttr: ref,
+			Support: len(cs.values),
+		})
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package cinderella
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+	"repro/internal/reldb"
+)
+
+// refColumn returns the distinct values of a projection attribute.
+func refColumn(ds *rdf.Dataset, a rdf.Attr) map[rdf.Value]struct{} {
+	out := make(map[rdf.Value]struct{})
+	for _, t := range ds.Triples {
+		out[t.Get(a)] = struct{}{}
+	}
+	return out
+}
+
+// TestResultsAreValid checks the defining property of the baseline's output:
+// the conditioned dependent values are all contained in the referenced
+// column, the condition selects no unmatched tuple, and supports are exact.
+func TestResultsAreValid(t *testing.T) {
+	// Countries has cross-attribute value overlap (capital cities appear as
+	// subjects and objects), so both variants produce results; Table 1 does
+	// not, which is why it is not used here.
+	ds := datagen.Countries(0.05)
+	for _, optimized := range []bool{false, true} {
+		for _, algo := range []reldb.JoinAlgorithm{reldb.HashJoin, reldb.SortMergeJoin} {
+			res, err := Discover(ds, Config{Support: 1, Join: algo, Optimized: optimized})
+			if err != nil {
+				t.Fatalf("optimized=%v algo=%v: %v", optimized, algo, err)
+			}
+			if len(res) == 0 {
+				t.Fatalf("optimized=%v algo=%v: no results on Countries", optimized, algo)
+			}
+			for _, c := range res {
+				vals := cind.Interpret(ds, c.Dep)
+				if len(vals) != c.Support {
+					t.Errorf("support of %s = %d, reported %d", c.Format(ds.Dict), len(vals), c.Support)
+				}
+				ref := refColumn(ds, c.RefAttr)
+				for v := range vals {
+					if _, ok := ref[v]; !ok {
+						t.Errorf("invalid result %s: value %s not in referenced column",
+							c.Format(ds.Dict), ds.Dict.Decode(v))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFindsPlantedInclusion: in Countries every subject of a capitalOf
+// statement (a city) also occurs in the object column (as object of the
+// country's hasCapital statement), so the baseline must report
+// (s, p=capitalOf) ⊆ (o, ⊤).
+func TestFindsPlantedInclusion(t *testing.T) {
+	ds := datagen.Countries(0.05)
+	capitalOf, ok := ds.Dict.Lookup("capitalOf")
+	if !ok {
+		t.Fatal("capitalOf not generated")
+	}
+	res, err := Discover(ds, Config{Support: 2, Optimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cind.Capture{Proj: rdf.Subject, Cond: cind.Unary(rdf.Predicate, capitalOf)}
+	found := false
+	for _, c := range res {
+		if c.Dep == want && c.RefAttr == rdf.Object {
+			found = true
+			if c.Support != cind.SupportOf(ds, want) {
+				t.Errorf("support = %d, want %d", c.Support, cind.SupportOf(ds, want))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("planted inclusion (s, p=capitalOf) ⊆ (o, ⊤) not found among %d results", len(res))
+	}
+}
+
+// TestSupportThresholdFilters: results must respect the support threshold
+// and shrink monotonically.
+func TestSupportThresholdFilters(t *testing.T) {
+	ds := datagen.Countries(0.1)
+	prev := -1
+	for _, h := range []int{1, 2, 5, 20} {
+		res, err := Discover(ds, Config{Support: h, Optimized: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res {
+			if c.Support < h {
+				t.Errorf("h=%d: result with support %d", h, c.Support)
+			}
+		}
+		if prev >= 0 && len(res) > prev {
+			t.Errorf("h=%d: result count grew from %d to %d", h, prev, len(res))
+		}
+		prev = len(res)
+	}
+}
+
+// TestStandardRunsOutOfMemory: with a tight budget the standard variant must
+// fail with ErrOutOfMemory while Cinderella* survives — the Fig. 7 failure
+// mode.
+func TestStandardRunsOutOfMemory(t *testing.T) {
+	ds := skewed(3000)
+	cfg := Config{Support: 5, RowBudget: 5000}
+	if _, err := Discover(ds, cfg); !errors.Is(err, reldb.ErrOutOfMemory) {
+		t.Errorf("standard variant did not fail under budget: %v", err)
+	}
+	cfg.Optimized = true
+	if _, err := Discover(ds, cfg); err != nil {
+		t.Errorf("optimized variant failed: %v", err)
+	}
+}
+
+// TestVariantsAgreeOnCrossAttributePairs: for dep≠ref pairs, standard and
+// optimized must produce the same unary results (binary combination policies
+// differ only for conditions with violated parts, which cannot be valid...
+// they can: check unary only).
+func TestVariantsAgreeOnUnaryResults(t *testing.T) {
+	ds := datagen.Countries(0.05)
+	std, err := Discover(ds, Config{Support: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Discover(ds, Config{Support: 2, Optimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(c CIND) string { return c.Dep.Format(ds.Dict) + "->" + c.RefAttr.String() }
+	stdSet := map[string]int{}
+	for _, c := range std {
+		if c.Dep.Proj != rdf.Attr(0) && false {
+			continue
+		}
+		if c.Dep.Cond.IsBinary() {
+			continue
+		}
+		// Skip self-join pairs, which optimized does not compute.
+		if sameAttrPair(c) {
+			continue
+		}
+		stdSet[key(c)] = c.Support
+	}
+	optSet := map[string]int{}
+	for _, c := range opt {
+		if c.Dep.Cond.IsBinary() {
+			continue
+		}
+		optSet[key(c)] = c.Support
+	}
+	for k, v := range stdSet {
+		if optSet[k] != v {
+			t.Errorf("standard found %s (support %d), optimized reported %d", k, v, optSet[k])
+		}
+	}
+	for k := range optSet {
+		if _, ok := stdSet[k]; !ok {
+			t.Errorf("optimized-only result %s", k)
+		}
+	}
+}
+
+func sameAttrPair(c CIND) bool { return c.Dep.Proj == c.RefAttr }
+
+// skewed builds a dataset with one hot predicate so self-joins explode.
+func skewed(n int) *rdf.Dataset {
+	rng := rand.New(rand.NewSource(5))
+	ds := rdf.NewDataset()
+	for i := 0; i < n; i++ {
+		ds.Add(fmt.Sprintf("s%d", i), "rdf:type", fmt.Sprintf("class%d", rng.Intn(5)))
+	}
+	return ds
+}
+
+func BenchmarkCinderellaOptimized(b *testing.B) {
+	ds := datagen.Countries(0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Discover(ds, Config{Support: 10, Optimized: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package cinderella
+
+import (
+	"fmt"
+
+	"repro/internal/cind"
+	"repro/internal/rdf"
+	"repro/internal/reldb"
+)
+
+// This file implements the Pli variant of the baseline (Bauckmann et al.
+// describe both; the paper skips it in Fig. 7 "because Cinderella is shown
+// to be faster" — reproducing it makes that comparison possible here).
+// Instead of joining, the variant builds position list indexes (PLIs): the
+// dependent column is clustered by value, each cluster is classified as
+// included or violating by probing the referenced column's value set, and
+// conditions are then accumulated cluster-wise.
+
+// DiscoverPLI runs the Pli variant over all attribute pairs. It honors the
+// same support threshold and memory budget as the join-based variants; the
+// PLI clusters themselves are charged against the budget, which is the
+// variant's documented weakness (it materializes the full position index
+// before generating any condition).
+func DiscoverPLI(ds *rdf.Dataset, cfg Config) ([]CIND, error) {
+	out, _, err := DiscoverPLIStats(ds, cfg)
+	return out, err
+}
+
+// DiscoverPLIStats is DiscoverPLI with memory accounting.
+func DiscoverPLIStats(ds *rdf.Dataset, cfg Config) ([]CIND, Stats, error) {
+	table := tripleTable(ds)
+	var out []CIND
+	var st Stats
+	for _, dep := range rdf.Attrs {
+		for _, ref := range rdf.Attrs {
+			if dep == ref {
+				continue // a column is always included in itself
+			}
+			charge := 0
+			cinds, err := pliPair(table, dep, ref, cfg, &charge)
+			if charge > st.PeakEntries {
+				st.PeakEntries = charge
+			}
+			if err != nil {
+				return nil, st, err
+			}
+			out = append(out, cinds...)
+		}
+	}
+	return out, st, nil
+}
+
+// pliPair handles one ordered attribute pair with position list indexes.
+func pliPair(table *reldb.Table, dep, ref rdf.Attr, cfg Config, charge *int) ([]CIND, error) {
+	budget := cfg.budget()
+	di, ri := int(dep), int(ref)
+
+	// Build the PLI: dependent value → row positions. Every entry counts
+	// against the budget, reproducing the variant's up-front memory cost.
+	pli := make(map[rdf.Value][]int)
+	for pos, row := range table.Rows {
+		pli[row[di]] = append(pli[row[di]], pos)
+		*charge++
+		if *charge > budget {
+			return nil, fmt.Errorf("%w: position list index exceeded %d entries", reldb.ErrOutOfMemory, budget)
+		}
+	}
+
+	// Referenced value set.
+	refVals := make(map[rdf.Value]struct{}, len(table.Rows))
+	for _, row := range table.Rows {
+		refVals[row[ri]] = struct{}{}
+	}
+
+	// Partial-IND prerequisite: some dependent value must be included.
+	anyIncluded := false
+	for v := range pli {
+		if _, ok := refVals[v]; ok {
+			anyIncluded = true
+			break
+		}
+	}
+	if !anyIncluded {
+		return nil, nil
+	}
+
+	// Cluster-wise condition accumulation.
+	b, g := dep.Others()
+	bi, gi := int(b), int(g)
+	tr := newTracker(charge, budget)
+	for v, positions := range pli {
+		_, included := refVals[v]
+		for _, pos := range positions {
+			row := table.Rows[pos]
+			conds := [3]cind.Condition{
+				cind.Unary(b, row[bi]),
+				cind.Unary(g, row[gi]),
+				cind.Binary(b, row[bi], g, row[gi]),
+			}
+			for _, c := range conds {
+				if err := tr.track(c, v, included); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return harvest(tr.stats, dep, ref, cfg.Support), nil
+}

@@ -1,0 +1,80 @@
+package cinderella
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/datagen"
+	"repro/internal/reldb"
+)
+
+// TestPLIMatchesOptimizedOnCrossPairs: the Pli variant computes the same
+// problem as Cinderella*, so their results on cross-attribute pairs must
+// coincide exactly for unary and binary conditions alike, except that the
+// optimized variant prunes conditions whose frequency is below the support
+// threshold earlier (same final harvest).
+func TestPLIMatchesOptimizedOnCrossPairs(t *testing.T) {
+	ds := datagen.Countries(0.05)
+	for _, h := range []int{1, 2, 5} {
+		pli, err := DiscoverPLI(ds, Config{Support: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Discover(ds, Config{Support: h, Optimized: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := func(c CIND) string { return c.Dep.Format(ds.Dict) + "⊆" + c.RefAttr.String() }
+		pliSet := map[string]int{}
+		for _, c := range pli {
+			pliSet[key(c)] = c.Support
+		}
+		optSet := map[string]int{}
+		for _, c := range opt {
+			optSet[key(c)] = c.Support
+		}
+		if len(pliSet) != len(optSet) {
+			t.Errorf("h=%d: PLI found %d results, Cinderella* %d", h, len(pliSet), len(optSet))
+		}
+		for k, v := range optSet {
+			if pliSet[k] != v {
+				t.Errorf("h=%d: %s support %d (Cinderella*) vs %d (PLI)", h, k, v, pliSet[k])
+			}
+		}
+	}
+}
+
+// TestPLIResultsValid: every PLI result's dependent values must lie in the
+// referenced column.
+func TestPLIResultsValid(t *testing.T) {
+	ds := datagen.Countries(0.05)
+	res, err := DiscoverPLI(ds, Config{Support: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for _, c := range res {
+		vals := cind.Interpret(ds, c.Dep)
+		if len(vals) != c.Support {
+			t.Errorf("support of %s = %d, reported %d", c.Format(ds.Dict), len(vals), c.Support)
+		}
+		ref := refColumn(ds, c.RefAttr)
+		for v := range vals {
+			if _, ok := ref[v]; !ok {
+				t.Errorf("invalid result %s", c.Format(ds.Dict))
+			}
+		}
+	}
+}
+
+// TestPLIBudget: the PLI variant pays for the index up front and fails
+// before any condition is generated.
+func TestPLIBudget(t *testing.T) {
+	ds := datagen.Countries(0.1)
+	if _, err := DiscoverPLI(ds, Config{Support: 5, RowBudget: 100}); !errors.Is(err, reldb.ErrOutOfMemory) {
+		t.Errorf("tiny budget not enforced: %v", err)
+	}
+}

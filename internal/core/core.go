@@ -1,0 +1,188 @@
+// Package core orchestrates the full RDFind pipeline (Fig. 3): FCDetector →
+// CGCreator → CINDExtractor, on top of the dataflow engine. It also provides
+// the pipeline variants evaluated in §8.5 and §8.6 — RDFind-DE (direct
+// extraction), RDFind-NF (no frequent-condition pruning), and the
+// minimal-first strategy — which trade performance but, up to the documented
+// AR differences of NF, compute the same pertinent CINDs.
+package core
+
+import (
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/cind"
+	"repro/internal/dataflow"
+	"repro/internal/extract"
+	"repro/internal/fcdetect"
+	"repro/internal/rdf"
+)
+
+// Variant selects a pipeline strategy.
+type Variant int
+
+const (
+	// Standard is the full RDFind pipeline: lazy pruning in two phases,
+	// load balancing, and approximate-validate extraction.
+	Standard Variant = iota
+	// DirectExtraction (RDFind-DE) skips capture-support pruning, load
+	// balancing, and the Bloom-filter candidate encoding (§7.1, §8.5).
+	DirectExtraction
+	// NoFrequentConditions (RDFind-NF) additionally waives everything
+	// related to frequent conditions: all conditions count as frequent and
+	// no association rules are derived, so AR-implied CINDs appear as plain
+	// CINDs in the result (§8.5).
+	NoFrequentConditions
+	// MinimalFirst extracts minimal CINDs directly in multiple passes over
+	// the capture groups instead of minimizing the broad set afterwards
+	// (§8.6; shown there to be up to 3× slower than even RDFind-DE).
+	MinimalFirst
+)
+
+// String names the variant as in the paper.
+func (v Variant) String() string {
+	switch v {
+	case Standard:
+		return "RDFind"
+	case DirectExtraction:
+		return "RDFind-DE"
+	case NoFrequentConditions:
+		return "RDFind-NF"
+	case MinimalFirst:
+		return "RDFind-MF"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a discovery run.
+type Config struct {
+	// Support is the broadness threshold h (Definition 3.1). Values below 1
+	// are treated as 1.
+	Support int
+	// Workers is the logical worker count of the dataflow engine; 0 selects
+	// one worker.
+	Workers int
+	// Variant selects the pipeline strategy; the zero value is the full
+	// RDFind pipeline.
+	Variant Variant
+	// PredicatesOnlyInConditions uses the predicate element only inside
+	// conditions, never as a projection attribute (the Freebase experiment
+	// of §8.3).
+	PredicatesOnlyInConditions bool
+	// BloomBytes sizes candidate-set Bloom filters; 0 selects the paper's
+	// 64 bytes.
+	BloomBytes int
+	// LoadLimit caps the estimated extraction load (candidate-set entries);
+	// 0 means unlimited. A bounded run that would exceed it fails with
+	// extract.ErrLoadLimit instead of exhausting memory — use TryDiscover
+	// to observe the error.
+	LoadLimit int64
+}
+
+func (c Config) normalized() Config {
+	if c.Support < 1 {
+		c.Support = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// RunStats reports what a run did, for the experiment harness.
+type RunStats struct {
+	Triples        int
+	FrequentUnary  int
+	FrequentBinary int
+	CaptureGroups  int
+	BroadCINDs     int
+	Pertinent      int
+	ARs            int
+	Duration       time.Duration
+	Dataflow       *dataflow.Stats
+}
+
+// Discover runs the selected pipeline over the dataset and returns the
+// pertinent CINDs and association rules, plus run statistics. It panics if
+// a configured LoadLimit is exceeded; set one only through TryDiscover.
+func Discover(ds *rdf.Dataset, cfg Config) (*cind.Result, *RunStats) {
+	res, stats, err := TryDiscover(ds, cfg)
+	if err != nil {
+		panic("core: " + err.Error() + " (use TryDiscover with Config.LoadLimit)")
+	}
+	return res, stats
+}
+
+// TryDiscover is Discover with the load-limit error surfaced: when
+// Config.LoadLimit is set and the extraction would exceed it, the run stops
+// with extract.ErrLoadLimit and partial statistics.
+func TryDiscover(ds *rdf.Dataset, cfg Config) (*cind.Result, *RunStats, error) {
+	cfg = cfg.normalized()
+	start := time.Now()
+	ctx := dataflow.NewContext(cfg.Workers)
+	stats := &RunStats{Triples: ds.Size(), Dataflow: ctx.Stats()}
+
+	triples := dataflow.Parallelize(ctx, "input", ds.Triples)
+	fcOpts := fcdetect.Options{PredicatesOnlyInConditions: cfg.PredicatesOnlyInConditions}
+
+	// Phase 1 of lazy pruning: frequent conditions and association rules
+	// (skipped entirely by RDFind-NF).
+	var fc *fcdetect.Output
+	if cfg.Variant == NoFrequentConditions {
+		fc = allFrequent(triples, cfg)
+	} else {
+		fc = fcdetect.Detect(triples, cfg.Support, fcOpts)
+		stats.FrequentUnary = fc.Unary.Len()
+		stats.FrequentBinary = fc.Binary.Len()
+	}
+
+	// Capture groups (§6).
+	groups := capture.BuildGroups(triples, fc, fcOpts)
+	stats.CaptureGroups = groups.Len()
+
+	// CIND extraction (§7).
+	ecfg := extract.Config{
+		Support:          cfg.Support,
+		DirectExtraction: cfg.Variant == DirectExtraction || cfg.Variant == NoFrequentConditions,
+		BloomBytes:       cfg.BloomBytes,
+		LoadLimit:        cfg.LoadLimit,
+	}
+	var pertinent []cind.CIND
+	if cfg.Variant == MinimalFirst {
+		mf, err := minimalFirst(groups, ecfg)
+		if err != nil {
+			stats.Duration = time.Since(start)
+			return nil, stats, err
+		}
+		pertinent = mf
+		stats.BroadCINDs = len(pertinent) // broad set never materialized
+	} else {
+		broad, err := extract.BroadCINDs(groups, ecfg)
+		if err != nil {
+			stats.Duration = time.Since(start)
+			return nil, stats, err
+		}
+		stats.BroadCINDs = len(broad)
+		pertinent = extract.Minimize(broad)
+	}
+
+	res := &cind.Result{CINDs: pertinent, ARs: fc.ARs}
+	res.Sort(ds.Dict)
+	stats.Pertinent = len(res.CINDs)
+	stats.ARs = len(res.ARs)
+	stats.Duration = time.Since(start)
+	return res, stats, nil
+}
+
+// allFrequent fabricates an FCDetector output that treats every condition as
+// frequent and knows no association rules — the RDFind-NF configuration.
+// Saturated one-bit "filters" make every membership probe succeed.
+func allFrequent(triples *dataflow.Dataset[rdf.Triple], cfg Config) *fcdetect.Output {
+	empty := dataflow.Parallelize(triples.Context(), "nf/no-counters",
+		[]dataflow.Pair[cind.Condition, int](nil))
+	return &fcdetect.Output{
+		Unary:       empty,
+		Binary:      empty,
+		UnaryBloom:  saturatedFilter(),
+		BinaryBloom: saturatedFilter(),
+	}
+}

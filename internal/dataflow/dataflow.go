@@ -1,0 +1,429 @@
+// Package dataflow is a small general-purpose dataflow engine that stands in
+// for Apache Flink, the substrate RDFind was implemented on (App. C of the
+// paper). It provides the operator repertoire RDFind's data flows require —
+// Map, FlatMap, Filter, ReduceByKey with early aggregation (Flink's
+// GroupCombine), GroupByKey, CoGroup, global reduction ("collect"), custom
+// repartitioning, and broadcast variables — over horizontally partitioned
+// in-memory datasets.
+//
+// A Context fixes the number of logical workers w. Every dataset is held as
+// w partitions and every operator processes partitions in parallel, one
+// goroutine per worker. Shuffles hash-partition records by key, with
+// combiner-style pre-aggregation before data crosses partitions, mirroring
+// the "early aggregation" the paper uses to cut network traffic (§5.2, §6.1).
+//
+// Because the reproduction runs on a single machine, the engine additionally
+// keeps per-worker work accounting (records processed per worker per stage).
+// From it, Stats derives the critical-path cost and the work-balance speedup
+// used by the scale-out experiment (Fig. 9): on a real cluster the elapsed
+// time of a stage is governed by its most loaded worker, which is exactly
+// what the per-stage maximum models.
+package dataflow
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+)
+
+// Context carries the worker count, the hash seed that fixes the
+// key-to-partition mapping for the lifetime of a job, and the work
+// accounting shared by all stages.
+type Context struct {
+	workers int
+	seed    maphash.Seed
+	stats   *Stats
+}
+
+// NewContext returns a context with the given number of logical workers.
+// Worker counts below 1 are clamped to 1.
+func NewContext(workers int) *Context {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Context{
+		workers: workers,
+		seed:    maphash.MakeSeed(),
+		stats:   &Stats{},
+	}
+}
+
+// Workers returns the number of logical workers.
+func (c *Context) Workers() int { return c.workers }
+
+// Stats returns the accumulated work accounting.
+func (c *Context) Stats() *Stats { return c.stats }
+
+// Dataset is a horizontally partitioned collection: one slice of records per
+// logical worker.
+type Dataset[T any] struct {
+	ctx   *Context
+	parts [][]T
+}
+
+// Context returns the context the dataset belongs to.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// Partitions exposes the raw partitions, mainly for tests and diagnostics.
+func (d *Dataset[T]) Partitions() [][]T { return d.parts }
+
+// Len returns the total number of records across all partitions.
+func (d *Dataset[T]) Len() int {
+	n := 0
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// runParallel executes f(worker) once per worker, concurrently.
+func (c *Context) runParallel(f func(worker int)) {
+	var wg sync.WaitGroup
+	wg.Add(c.workers)
+	for w := 0; w < c.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// hashPartition maps a key to a worker index.
+func hashPartition[K comparable](c *Context, k K) int {
+	return int(maphash.Comparable(c.seed, k) % uint64(c.workers))
+}
+
+// Parallelize splits items across the context's workers in contiguous
+// chunks, mimicking reading an unpartitioned input file split-wise.
+func Parallelize[T any](c *Context, name string, items []T) *Dataset[T] {
+	parts := make([][]T, c.workers)
+	chunk := (len(items) + c.workers - 1) / c.workers
+	counts := make([]int64, c.workers)
+	for w := 0; w < c.workers; w++ {
+		lo := w * chunk
+		if lo > len(items) {
+			lo = len(items)
+		}
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		parts[w] = items[lo:hi:hi]
+		counts[w] = int64(len(parts[w]))
+	}
+	c.stats.record(name, counts)
+	return &Dataset[T]{ctx: c, parts: parts}
+}
+
+// Map applies f to every record, preserving partitioning.
+func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
+	c := d.ctx
+	out := make([][]U, c.workers)
+	counts := make([]int64, c.workers)
+	c.runParallel(func(w int) {
+		in := d.parts[w]
+		res := make([]U, len(in))
+		for i, t := range in {
+			res[i] = f(t)
+		}
+		out[w] = res
+		counts[w] = int64(len(in))
+	})
+	c.stats.record(name, counts)
+	return &Dataset[U]{ctx: c, parts: out}
+}
+
+// FlatMap applies f to every record; f may emit any number of outputs.
+func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[U] {
+	c := d.ctx
+	out := make([][]U, c.workers)
+	counts := make([]int64, c.workers)
+	c.runParallel(func(w int) {
+		var res []U
+		emit := func(u U) { res = append(res, u) }
+		for _, t := range d.parts[w] {
+			f(t, emit)
+		}
+		out[w] = res
+		counts[w] = int64(len(d.parts[w]))
+	})
+	c.stats.record(name, counts)
+	return &Dataset[U]{ctx: c, parts: out}
+}
+
+// Filter keeps the records satisfying pred, preserving partitioning.
+func Filter[T any](d *Dataset[T], name string, pred func(T) bool) *Dataset[T] {
+	return FlatMap(d, name, func(t T, emit func(T)) {
+		if pred(t) {
+			emit(t)
+		}
+	})
+}
+
+// MapPartitions applies f once per partition with the worker index, for
+// operators that need partition-local state (e.g. building a partial Bloom
+// filter per worker).
+func MapPartitions[T, U any](d *Dataset[T], name string, f func(worker int, items []T, emit func(U))) *Dataset[U] {
+	c := d.ctx
+	out := make([][]U, c.workers)
+	counts := make([]int64, c.workers)
+	c.runParallel(func(w int) {
+		var res []U
+		f(w, d.parts[w], func(u U) { res = append(res, u) })
+		out[w] = res
+		counts[w] = int64(len(d.parts[w]))
+	})
+	c.stats.record(name, counts)
+	return &Dataset[U]{ctx: c, parts: out}
+}
+
+// Pair is a keyed record, the currency of shuffles.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// shuffleByKey hash-partitions keyed records so that all records with equal
+// keys land in the same output partition.
+func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]]) [][]Pair[K, V] {
+	c := d.ctx
+	// Each input partition fills one bucket per target worker; buckets are
+	// then concatenated per target, keeping source order deterministic.
+	buckets := make([][][]Pair[K, V], c.workers)
+	c.runParallel(func(w int) {
+		local := make([][]Pair[K, V], c.workers)
+		for _, kv := range d.parts[w] {
+			t := hashPartition(c, kv.Key)
+			local[t] = append(local[t], kv)
+		}
+		buckets[w] = local
+	})
+	out := make([][]Pair[K, V], c.workers)
+	c.runParallel(func(t int) {
+		var part []Pair[K, V]
+		for w := 0; w < c.workers; w++ {
+			part = append(part, buckets[w][t]...)
+		}
+		out[t] = part
+	})
+	return out
+}
+
+// ReduceByKey combines values of equal keys with the associative,
+// commutative function combine. Values are pre-aggregated within each source
+// partition before the shuffle (early aggregation) and reduced again at the
+// target, exactly like Flink's GroupCombine + GroupReduce pairing the paper
+// describes.
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combine func(V, V) V) *Dataset[Pair[K, V]] {
+	c := d.ctx
+	// Combiner pass: partition-local aggregation.
+	pre := make([][]Pair[K, V], c.workers)
+	counts := make([]int64, c.workers)
+	c.runParallel(func(w int) {
+		agg := make(map[K]V)
+		for _, kv := range d.parts[w] {
+			if cur, ok := agg[kv.Key]; ok {
+				agg[kv.Key] = combine(cur, kv.Val)
+			} else {
+				agg[kv.Key] = kv.Val
+			}
+		}
+		local := make([]Pair[K, V], 0, len(agg))
+		for k, v := range agg {
+			local = append(local, Pair[K, V]{k, v})
+		}
+		pre[w] = local
+		counts[w] = int64(len(d.parts[w]))
+	})
+	shuffled := shuffleByKey(&Dataset[Pair[K, V]]{ctx: c, parts: pre})
+	// Final reduce at the target partitions.
+	out := make([][]Pair[K, V], c.workers)
+	c.runParallel(func(w int) {
+		agg := make(map[K]V)
+		for _, kv := range shuffled[w] {
+			if cur, ok := agg[kv.Key]; ok {
+				agg[kv.Key] = combine(cur, kv.Val)
+			} else {
+				agg[kv.Key] = kv.Val
+			}
+		}
+		local := make([]Pair[K, V], 0, len(agg))
+		for k, v := range agg {
+			local = append(local, Pair[K, V]{k, v})
+		}
+		out[w] = local
+	})
+	c.stats.record(name, counts)
+	return &Dataset[Pair[K, V]]{ctx: c, parts: out}
+}
+
+// GroupByKey gathers all values of equal keys into one record.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Dataset[Pair[K, []V]] {
+	c := d.ctx
+	counts := make([]int64, c.workers)
+	for w, p := range d.parts {
+		counts[w] = int64(len(p))
+	}
+	shuffled := shuffleByKey(d)
+	out := make([][]Pair[K, []V], c.workers)
+	c.runParallel(func(w int) {
+		agg := make(map[K][]V)
+		for _, kv := range shuffled[w] {
+			agg[kv.Key] = append(agg[kv.Key], kv.Val)
+		}
+		local := make([]Pair[K, []V], 0, len(agg))
+		for k, vs := range agg {
+			local = append(local, Pair[K, []V]{k, vs})
+		}
+		out[w] = local
+	})
+	c.stats.record(name, counts)
+	return &Dataset[Pair[K, []V]]{ctx: c, parts: out}
+}
+
+// CoGrouped is the result record of a CoGroup: all left and right values
+// sharing one key.
+type CoGrouped[K comparable, V, W any] struct {
+	Key   K
+	Left  []V
+	Right []W
+}
+
+// CoGroup joins two keyed datasets, emitting one record per key present on
+// either side (a full-outer co-group, Flink's CoGroup operator).
+func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]], name string) *Dataset[CoGrouped[K, V, W]] {
+	c := a.ctx
+	if b.ctx != c {
+		panic("dataflow: cogroup of datasets from different contexts")
+	}
+	sa := shuffleByKey(a)
+	sb := shuffleByKey(b)
+	out := make([][]CoGrouped[K, V, W], c.workers)
+	counts := make([]int64, c.workers)
+	c.runParallel(func(w int) {
+		left := make(map[K][]V)
+		for _, kv := range sa[w] {
+			left[kv.Key] = append(left[kv.Key], kv.Val)
+		}
+		right := make(map[K][]W)
+		for _, kv := range sb[w] {
+			right[kv.Key] = append(right[kv.Key], kv.Val)
+		}
+		var local []CoGrouped[K, V, W]
+		for k, vs := range left {
+			local = append(local, CoGrouped[K, V, W]{k, vs, right[k]})
+		}
+		for k, ws := range right {
+			if _, seen := left[k]; !seen {
+				local = append(local, CoGrouped[K, V, W]{Key: k, Right: ws})
+			}
+		}
+		out[w] = local
+		counts[w] = int64(len(sa[w]) + len(sb[w]))
+	})
+	c.stats.record(name, counts)
+	return &Dataset[CoGrouped[K, V, W]]{ctx: c, parts: out}
+}
+
+// Union concatenates two datasets partition-wise without a shuffle. Both
+// must belong to the same context.
+func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
+	c := a.ctx
+	if b.ctx != c {
+		panic("dataflow: union of datasets from different contexts")
+	}
+	out := make([][]T, c.workers)
+	counts := make([]int64, c.workers)
+	c.runParallel(func(w int) {
+		part := make([]T, 0, len(a.parts[w])+len(b.parts[w]))
+		part = append(part, a.parts[w]...)
+		part = append(part, b.parts[w]...)
+		out[w] = part
+		counts[w] = int64(len(part))
+	})
+	c.stats.record(name, counts)
+	return &Dataset[T]{ctx: c, parts: out}
+}
+
+// Distinct removes duplicate records via a hash shuffle, so equal records
+// meet on one worker. It is the engine-level form of the early-aggregated
+// deduplication RDFind's capture-evidence stage performs.
+func Distinct[T comparable](d *Dataset[T], name string) *Dataset[T] {
+	keyed := Map(d, name+"-key", func(t T) Pair[T, struct{}] {
+		return Pair[T, struct{}]{Key: t}
+	})
+	reduced := ReduceByKey(keyed, name, func(a, _ struct{}) struct{} { return a })
+	return Map(reduced, name+"-unkey", func(p Pair[T, struct{}]) T { return p.Key })
+}
+
+// PartitionBy redistributes records by an explicit partition function,
+// Flink's Repartition. RDFind uses it to spread the work units of dominant
+// capture groups round-robin across workers (§7.2).
+func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T] {
+	c := d.ctx
+	buckets := make([][][]T, c.workers)
+	counts := make([]int64, c.workers)
+	c.runParallel(func(w int) {
+		local := make([][]T, c.workers)
+		for _, t := range d.parts[w] {
+			p := part(t) % c.workers
+			if p < 0 {
+				p += c.workers
+			}
+			local[p] = append(local[p], t)
+		}
+		buckets[w] = local
+		counts[w] = int64(len(d.parts[w]))
+	})
+	out := make([][]T, c.workers)
+	c.runParallel(func(t int) {
+		var part []T
+		for w := 0; w < c.workers; w++ {
+			part = append(part, buckets[w][t]...)
+		}
+		out[t] = part
+	})
+	c.stats.record(name, counts)
+	return &Dataset[T]{ctx: c, parts: out}
+}
+
+// Collect gathers all records on the driver, Flink's collect/broadcast
+// boundary. The returned slice concatenates partitions in worker order.
+func Collect[T any](d *Dataset[T]) []T {
+	var all []T
+	for _, p := range d.parts {
+		all = append(all, p...)
+	}
+	return all
+}
+
+// GlobalReduce folds all records into one value on a single worker, used to
+// union per-worker partial Bloom filters (Fig. 5, step 4). The boolean is
+// false when the dataset is empty.
+func GlobalReduce[T any](d *Dataset[T], name string, f func(T, T) T) (T, bool) {
+	c := d.ctx
+	counts := make([]int64, c.workers)
+	for w, p := range d.parts {
+		counts[w] = int64(len(p))
+	}
+	c.stats.record(name, counts)
+	var acc T
+	have := false
+	for _, p := range d.parts {
+		for _, t := range p {
+			if !have {
+				acc = t
+				have = true
+			} else {
+				acc = f(acc, t)
+			}
+		}
+	}
+	return acc, have
+}
+
+// String summarizes the dataset for diagnostics.
+func (d *Dataset[T]) String() string {
+	return fmt.Sprintf("Dataset(workers=%d, records=%d)", d.ctx.workers, d.Len())
+}

@@ -1,0 +1,103 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Stats accumulates per-stage, per-worker work accounting. Each operator
+// records how many input records every worker processed. On a cluster, a
+// stage finishes when its most loaded worker finishes, so the critical-path
+// cost of a job is the sum of per-stage maxima; the ratio of total work to
+// that critical path is the speedup a w-worker deployment can realize. The
+// scale-out experiment (Fig. 9) reports this quantity next to wall-clock
+// time, because on the single-core reproduction machine goroutine
+// parallelism cannot manifest as elapsed-time speedup.
+type Stats struct {
+	mu     sync.Mutex
+	stages []StageStat
+}
+
+// StageStat is the per-worker record count of one named operator instance.
+type StageStat struct {
+	Name      string
+	PerWorker []int64
+}
+
+// record appends one stage's accounting.
+func (s *Stats) record(name string, perWorker []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]int64, len(perWorker))
+	copy(cp, perWorker)
+	s.stages = append(s.stages, StageStat{Name: name, PerWorker: cp})
+}
+
+// Stages returns a copy of the recorded stages.
+func (s *Stats) Stages() []StageStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StageStat, len(s.stages))
+	copy(out, s.stages)
+	return out
+}
+
+// TotalWork is the sum of all records processed by all workers in all stages.
+func (s *Stats) TotalWork() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, st := range s.stages {
+		for _, n := range st.PerWorker {
+			total += n
+		}
+	}
+	return total
+}
+
+// CriticalPath is the sum over stages of the most loaded worker's record
+// count — the work a w-worker cluster cannot parallelize below.
+func (s *Stats) CriticalPath() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, st := range s.stages {
+		var max int64
+		for _, n := range st.PerWorker {
+			if n > max {
+				max = n
+			}
+		}
+		total += max
+	}
+	return total
+}
+
+// Speedup is the work-balance speedup TotalWork / CriticalPath. It is 1 for
+// a single worker and approaches the worker count under perfect balance.
+func (s *Stats) Speedup() float64 {
+	cp := s.CriticalPath()
+	if cp == 0 {
+		return 1
+	}
+	return float64(s.TotalWork()) / float64(cp)
+}
+
+// String renders a per-stage table for diagnostics.
+func (s *Stats) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	for _, st := range s.stages {
+		var total, max int64
+		for _, n := range st.PerWorker {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		fmt.Fprintf(&b, "%-40s total=%-10d max=%d\n", st.Name, total, max)
+	}
+	return b.String()
+}

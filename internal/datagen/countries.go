@@ -1,0 +1,73 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Countries generates the smallest suite dataset (~5.5k triples at scale 1):
+// country entities with type, capital, continent, currency, language, and
+// organization-membership statements, plus typed capital cities.
+//
+// Planted regularities (all in the style of Appendix B):
+//   - ontology: every entity with a hasCapital statement is typed Country,
+//     so (s, p=hasCapital) ⊆ (s, p=rdf:type ∧ o=Country);
+//   - range discovery: every capital is typed City, so
+//     (o, p=hasCapital) ⊆ (s, p=rdf:type ∧ o=City);
+//   - knowledge discovery: all countries that use the euro are members of
+//     the EU in this synthetic world, giving a low-support CIND.
+func Countries(scale float64) *rdf.Dataset {
+	const seed = 101
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder()
+
+	nCountries := scaled(400, scale)
+	continents := []string{"Africa", "Asia", "Europe", "NorthAmerica", "SouthAmerica", "Oceania", "Antarctica"}
+	currencies := make([]string, 40)
+	for i := range currencies {
+		currencies[i] = fmt.Sprintf("currency%d", i)
+	}
+	languages := zipfValues(rng, "lang", 80, 1.5)
+	orgs := make([]string, 25)
+	for i := range orgs {
+		orgs[i] = fmt.Sprintf("org%d", i)
+	}
+
+	for i := 0; i < nCountries; i++ {
+		c := fmt.Sprintf("country%d", i)
+		capital := fmt.Sprintf("city%d", i)
+		b.add(c, "rdf:type", "Country")
+		b.add(c, "hasCapital", capital)
+		b.add(capital, "rdf:type", "City")
+		b.add(capital, "capitalOf", c)
+		continent := continents[rng.Intn(len(continents))]
+		b.add(c, "onContinent", continent)
+
+		// The euro bloc: countries 0..59 share a currency and an org.
+		if i < 60 {
+			b.add(c, "usesCurrency", "euro")
+			b.add(c, "memberOf", "EU")
+		} else {
+			b.add(c, "usesCurrency", currencies[rng.Intn(len(currencies))])
+		}
+		for l := 0; l < 1+rng.Intn(3); l++ {
+			b.add(c, "speaks", languages())
+		}
+		for m := 0; m < rng.Intn(4); m++ {
+			b.add(c, "memberOf", orgs[rng.Intn(len(orgs))])
+		}
+		// Borders form a sparse symmetric relation.
+		if i > 0 {
+			other := fmt.Sprintf("country%d", rng.Intn(i))
+			b.add(c, "borders", other)
+			b.add(other, "borders", c)
+		}
+		if b.size() >= scaled(5500, scale) {
+			break
+		}
+	}
+	SortTriples(b.ds)
+	return b.ds
+}

@@ -1,0 +1,250 @@
+package datagen
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/rdf"
+)
+
+// mustID fails the test if the term is absent.
+func mustID(t *testing.T, ds *rdf.Dataset, term string) rdf.Value {
+	t.Helper()
+	id, ok := ds.Dict.Lookup(term)
+	if !ok {
+		t.Fatalf("term %q not in dataset", term)
+	}
+	return id
+}
+
+func TestSuiteCoversTable2(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d datasets, Table 2 lists 8", len(suite))
+	}
+	wantOrder := []string{"Countries", "Diseasome", "LUBM-1", "DrugBank",
+		"LinkedMDB", "DB14-MPCE", "DB14-PLE", "Freebase"}
+	for i, s := range suite {
+		if s.Name != wantOrder[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, s.Name, wantOrder[i])
+		}
+		if s.PaperTriples <= 0 || s.DefaultTriples <= 0 {
+			t.Errorf("%s: missing size metadata", s.Name)
+		}
+	}
+	if _, ok := ByName("Diseasome"); !ok {
+		t.Errorf("ByName(Diseasome) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Errorf("ByName(nope) succeeded")
+	}
+}
+
+// TestGeneratorsDeterministicAndDeduped builds every dataset at a small
+// scale twice and checks determinism, duplicate-freeness, and that the size
+// lands in the expected ballpark.
+func TestGeneratorsDeterministicAndDeduped(t *testing.T) {
+	for _, spec := range Suite() {
+		const scale = 0.05
+		a := spec.Generate(scale)
+		bds := spec.Generate(scale)
+		if a.Size() != bds.Size() {
+			t.Errorf("%s: non-deterministic size %d vs %d", spec.Name, a.Size(), bds.Size())
+			continue
+		}
+		for i := range a.Triples {
+			for _, attr := range rdf.Attrs {
+				if a.Dict.Decode(a.Triples[i].Get(attr)) != bds.Dict.Decode(bds.Triples[i].Get(attr)) {
+					t.Fatalf("%s: triple %d differs between runs", spec.Name, i)
+				}
+			}
+		}
+		seen := map[rdf.Triple]bool{}
+		for _, tr := range a.Triples {
+			if seen[tr] {
+				t.Errorf("%s: duplicate triple %s", spec.Name, tr.String(a.Dict))
+				break
+			}
+			seen[tr] = true
+		}
+		if a.Size() == 0 {
+			t.Errorf("%s: empty at scale %f", spec.Name, scale)
+		}
+		// At scale 1 sizes should be near DefaultTriples; at 0.05, well below.
+		if a.Size() > spec.DefaultTriples {
+			t.Errorf("%s: scale 0.05 produced %d triples, exceeding the scale-1 default %d",
+				spec.Name, a.Size(), spec.DefaultTriples)
+		}
+	}
+}
+
+func TestScaleGrowsTriples(t *testing.T) {
+	for _, spec := range Suite() {
+		small := spec.Generate(0.02).Size()
+		large := spec.Generate(0.1).Size()
+		if large <= small {
+			t.Errorf("%s: scale 0.1 (%d triples) not larger than scale 0.02 (%d)", spec.Name, large, small)
+		}
+	}
+}
+
+// holds checks a planted inclusion directly.
+func holds(t *testing.T, ds *rdf.Dataset, dep, ref cind.Capture) {
+	t.Helper()
+	inc := cind.Inclusion{Dep: dep, Ref: ref}
+	if !cind.Holds(ds, inc) {
+		t.Errorf("planted CIND does not hold: %s", inc.Format(ds.Dict))
+	}
+	if cind.SupportOf(ds, dep) == 0 {
+		t.Errorf("planted CIND is vacuous: %s", inc.Format(ds.Dict))
+	}
+}
+
+func TestCountriesPlantedCINDs(t *testing.T) {
+	ds := Countries(0.2)
+	typ := mustID(t, ds, "rdf:type")
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "hasCapital"))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, mustID(t, ds, "Country"))))
+	holds(t, ds,
+		cind.NewCapture(rdf.Object, cind.Unary(rdf.Predicate, mustID(t, ds, "hasCapital"))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, mustID(t, ds, "City"))))
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, mustID(t, ds, "usesCurrency"), rdf.Object, mustID(t, ds, "euro"))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, mustID(t, ds, "memberOf"), rdf.Object, mustID(t, ds, "EU"))))
+}
+
+func TestDiseasomePlantedCINDs(t *testing.T) {
+	ds := Diseasome(0.2)
+	typ := mustID(t, ds, "rdf:type")
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "associatedGene"))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, mustID(t, ds, "Disease"))))
+	// Subclass typing implies parent-class typing.
+	sub, ok := ds.Dict.Lookup("diseaseClass0_sub0")
+	if !ok {
+		t.Skip("subclass term not generated at this scale")
+	}
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, sub)),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, mustID(t, ds, "diseaseClass0"))))
+}
+
+func TestLUBMPlantedCINDs(t *testing.T) {
+	ds := LUBM(0.5)
+	typ := mustID(t, ds, "rdf:type")
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "memberOf"))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, mustID(t, ds, "GraduateStudent"))))
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "subOrganizationOf"))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, mustID(t, ds, "Department"))))
+	holds(t, ds,
+		cind.NewCapture(rdf.Object, cind.Unary(rdf.Predicate, mustID(t, ds, "undergraduateDegreeFrom"))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, mustID(t, ds, "University"))))
+}
+
+func TestDrugBankPlantedCINDs(t *testing.T) {
+	ds := DrugBank(0.3)
+	// The nested-target pair: drug00001's targets ⊆ drug00000's targets.
+	holds(t, ds,
+		cind.NewCapture(rdf.Object, cind.Binary(rdf.Subject, mustID(t, ds, "drug00001"), rdf.Predicate, mustID(t, ds, "target"))),
+		cind.NewCapture(rdf.Object, cind.Binary(rdf.Subject, mustID(t, ds, "drug00000"), rdf.Predicate, mustID(t, ds, "target"))))
+	// Classification hierarchy.
+	cf := mustID(t, ds, "classificationFunction")
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, cf, rdf.Object, mustID(t, ds, "\"hydrolase activity\""))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, cf, rdf.Object, mustID(t, ds, "\"catalytic activity\""))))
+}
+
+func TestLinkedMDBPlantedAR(t *testing.T) {
+	ds := LinkedMDB(0.2)
+	r := cind.AR{
+		If:   cind.Unary(rdf.Object, mustID(t, ds, "lmdb:performance")),
+		Then: cind.Unary(rdf.Predicate, mustID(t, ds, "rdf:type")),
+	}
+	if !cind.ARHolds(ds, r) {
+		t.Errorf("planted AR o=lmdb:performance → p=rdf:type does not hold")
+	}
+	typ := mustID(t, ds, "rdf:type")
+	holds(t, ds,
+		cind.NewCapture(rdf.Object, cind.Unary(rdf.Predicate, mustID(t, ds, "movieEditor"))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, typ, rdf.Object, mustID(t, ds, "foaf:Person"))))
+}
+
+func TestDBpediaPlantedCINDs(t *testing.T) {
+	ds := DBpediaMPCE(0.3)
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "associatedBand"))),
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "associatedMusicalArtist"))))
+	holds(t, ds,
+		cind.NewCapture(rdf.Object, cind.Unary(rdf.Predicate, mustID(t, ds, "associatedBand"))),
+		cind.NewCapture(rdf.Object, cind.Unary(rdf.Predicate, mustID(t, ds, "associatedMusicalArtist"))))
+	// The AC/DC pair holds in both directions with support 26.
+	w := mustID(t, ds, "writer")
+	angus := cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, w, rdf.Object, mustID(t, ds, "dbr:Angus_Young")))
+	malcolm := cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, w, rdf.Object, mustID(t, ds, "dbr:Malcolm_Young")))
+	holds(t, ds, angus, malcolm)
+	holds(t, ds, malcolm, angus)
+	if supp := cind.SupportOf(ds, angus); supp != 26 {
+		t.Errorf("AC/DC support = %d, want 26 (as in the paper)", supp)
+	}
+	// Area code 559 ⊆ partOf California.
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, mustID(t, ds, "areaCode"), rdf.Object, mustID(t, ds, "\"559\""))),
+		cind.NewCapture(rdf.Subject, cind.Binary(rdf.Predicate, mustID(t, ds, "partOf"), rdf.Object, mustID(t, ds, "dbr:California"))))
+}
+
+func TestFreebasePredicateChains(t *testing.T) {
+	ds := Freebase(0.1)
+	// Ladder inclusion: a specific domain predicate implies the broader one
+	// and the root type predicate.
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "fb:domain0.level1"))),
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "fb:domain0.level0"))))
+	holds(t, ds,
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "fb:domain0.level0"))),
+		cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, mustID(t, ds, "fb:type.object.type"))))
+}
+
+// TestFreebaseARsPeakAndDecline mirrors the Fig. 8 association-rule series:
+// an early prefix satisfies more notable-type rules than the full dataset.
+func TestFreebaseARsPeakAndDecline(t *testing.T) {
+	ds := Freebase(0.1)
+	typeID := mustID(t, ds, "fb:type.object.type")
+	countARs := func(n int) int {
+		prefix := &rdf.Dataset{Dict: ds.Dict, Triples: ds.Triples[:n]}
+		found := 0
+		for i := 0; i < 40; i++ {
+			term, ok := ds.Dict.Lookup(fmt.Sprintf("fb:notable_type%d", i))
+			if !ok {
+				continue
+			}
+			r := cind.AR{If: cind.Unary(rdf.Object, term), Then: cind.Unary(rdf.Predicate, typeID)}
+			if cind.ARHolds(prefix, r) {
+				found++
+			}
+		}
+		return found
+	}
+	early := countARs(ds.Size() / 3)
+	full := countARs(ds.Size())
+	if early <= full {
+		t.Errorf("notable-type ARs do not decline: %d at 1/3 prefix, %d at full size", early, full)
+	}
+	if early == 0 {
+		t.Errorf("no notable-type ARs hold on the early prefix")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	ds := Countries(0.1)
+	st := Describe("Countries", ds)
+	if st.Triples != ds.Size() || st.DistinctTerms != ds.Dict.Len() {
+		t.Errorf("Describe stats inconsistent: %+v", st)
+	}
+	if st.SizeMB <= 0 {
+		t.Errorf("SizeMB = %f", st.SizeMB)
+	}
+}

@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// dbpedia generates the heterogeneous encyclopedic shape of the two DBpedia
+// 2014 slices the paper uses (DB14-MPCE: mapping-based properties, classes,
+// external links; DB14-PLE: page links and literals — larger and noisier).
+//
+// Planted regularities from the paper's own DBpedia findings (§8.4, App. B):
+//   - subproperty pair: every associatedBand statement has a matching
+//     associatedMusicalArtist statement, both on subjects and objects, so
+//     (s, p=associatedBand) ⊆ (s, p=associatedMusicalArtist) and
+//     (o, p=associatedBand) ⊆ (o, p=associatedMusicalArtist);
+//   - the AC/DC fact: Angus Young and Malcolm Young co-wrote all their
+//     songs: (s, p=writer ∧ o=AngusYoung) ≡ (s, p=writer ∧ o=MalcolmYoung),
+//     a low-support CIND pair;
+//   - area codes: all subjects with areaCode 559 are partOf California.
+func dbpedia(seed int64, targetTriples, nEntities, nPredicates int, literalShare int) *rdf.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder()
+
+	classes := zipfValues(rng, "dbo:Class", 120, 1.6)
+	predOf := zipfValues(rng, "dbo:prop", nPredicates, 1.35)
+	objOf := zipfValues(rng, "dbr:entity", nEntities, 1.15)
+	// Subjects are Zipf-popular too: encyclopedic corpora have head entities
+	// with hundreds of statements. Their subject conditions are frequent but
+	// project onto few distinct predicates, creating exactly the prunable
+	// low-support captures and dominant rdf:type capture groups that
+	// RDFind's capture-support pruning and load balancing target (§7).
+	subjOf := zipfValues(rng, "dbr:e", nEntities, 1.05)
+
+	// The AC/DC songs (the paper found 26).
+	for i := 0; i < 26; i++ {
+		song := fmt.Sprintf("dbr:acdc_song%d", i)
+		b.add(song, "writer", "dbr:Angus_Young")
+		b.add(song, "writer", "dbr:Malcolm_Young")
+		b.add(song, "rdf:type", "dbo:Song")
+	}
+	// Other songs have other writers, keeping the pair non-vacuous.
+	for i := 0; i < 120; i++ {
+		song := fmt.Sprintf("dbr:song%d", i)
+		b.add(song, "writer", fmt.Sprintf("dbr:writer%d", rng.Intn(40)))
+		b.add(song, "rdf:type", "dbo:Song")
+	}
+
+	// Cities with area code 559 are all in California (the paper found 98).
+	for i := 0; i < 98; i++ {
+		city := fmt.Sprintf("dbr:ca_city%d", i)
+		b.add(city, "areaCode", "\"559\"")
+		b.add(city, "partOf", "dbr:California")
+		b.add(city, "rdf:type", "dbo:City")
+	}
+	for i := 0; i < 300; i++ {
+		city := fmt.Sprintf("dbr:city%d", i)
+		b.add(city, "areaCode", fmt.Sprintf("\"%d\"", 200+rng.Intn(700)))
+		b.add(city, "partOf", fmt.Sprintf("dbr:state%d", rng.Intn(50)))
+		b.add(city, "rdf:type", "dbo:City")
+	}
+
+	// The associatedBand ⊑ associatedMusicalArtist subproperty pair.
+	for i := 0; i < scaled(900, float64(targetTriples)/130000); i++ {
+		artist := fmt.Sprintf("dbr:musician%d", i)
+		band := fmt.Sprintf("dbr:band%d", rng.Intn(200))
+		b.add(artist, "associatedMusicalArtist", band)
+		if rng.Intn(10) < 8 {
+			b.add(artist, "associatedBand", band)
+		}
+		b.add(artist, "rdf:type", "dbo:MusicalArtist")
+	}
+
+	// Heterogeneous encyclopedic bulk: Zipf subjects and objects, Zipf
+	// predicates, occasional literals; every entity sighting gets a class
+	// statement once.
+	typed := make(map[string]struct{})
+	for i := 0; b.size() < targetTriples; i++ {
+		e := subjOf()
+		if _, ok := typed[e]; !ok {
+			typed[e] = struct{}{}
+			b.add(e, "rdf:type", classes())
+		}
+		p := predOf()
+		if rng.Intn(100) < literalShare {
+			b.add(e, p, fmt.Sprintf("\"literal %d\"", rng.Intn(1<<20)))
+		} else {
+			b.add(e, p, objOf())
+		}
+	}
+	SortTriples(b.ds)
+	return b.ds
+}
+
+// DBpediaMPCE is the mapping-based properties / classes / external-links
+// slice (33.3M triples in the paper; ~130k at scale 1 here).
+func DBpediaMPCE(scale float64) *rdf.Dataset {
+	return dbpedia(606, scaled(130000, scale), scaled(20000, scale), 400, 20)
+}
+
+// DBpediaPLE is the page-links / literals slice: larger, fewer distinct
+// predicates, far more literals (152.9M triples in the paper; ~200k here).
+func DBpediaPLE(scale float64) *rdf.Dataset {
+	return dbpedia(707, scaled(200000, scale), scaled(40000, scale), 60, 55)
+}

@@ -1,0 +1,71 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Diseasome generates a disease–gene network in the shape of the FU Berlin
+// Diseasome dataset the paper profiles most (Figs. 2, 7, 12): diseases with
+// classes, associated genes, possible drugs, and subtype links.
+//
+// Planted regularities:
+//   - class hierarchy (App. B / "Leptodactylidae ⊆ Frog" style): every
+//     disease typed with a specific class c is also typed with its parent
+//     class, so (s, p=rdf:type ∧ o=c) ⊆ (s, p=rdf:type ∧ o=parent(c));
+//   - domain discovery: only diseases carry associatedGene, so
+//     (s, p=associatedGene) ⊆ (s, p=rdf:type ∧ o=Disease);
+//   - the degree distribution of genes is Zipf-shaped, giving the heavy
+//     condition-frequency skew of Fig. 4 and a dominant capture group for
+//     the value "Disease".
+func Diseasome(scale float64) *rdf.Dataset {
+	const seed = 202
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder()
+
+	nDiseases := scaled(2600, scale)
+	nGenes := scaled(3000, scale)
+	nDrugs := scaled(800, scale)
+	target := scaled(24000, scale)
+
+	// A two-level class tree: 12 parent classes, 5 subclasses each.
+	parents := make([]string, 12)
+	for i := range parents {
+		parents[i] = fmt.Sprintf("diseaseClass%d", i)
+	}
+	geneOf := zipfValues(rng, "gene", nGenes, 1.3)
+	drugOf := zipfValues(rng, "drug", nDrugs, 1.4)
+
+	for i := 0; i < nDiseases && b.size() < target; i++ {
+		d := fmt.Sprintf("disease%d", i)
+		b.add(d, "rdf:type", "Disease")
+		parent := parents[rng.Intn(len(parents))]
+		sub := fmt.Sprintf("%s_sub%d", parent, rng.Intn(5))
+		// Subclass typing always implies parent-class typing.
+		b.add(d, "rdf:type", sub)
+		b.add(d, "rdf:type", parent)
+		b.add(d, "diseaseClass", parent)
+
+		for g := 0; g < 1+rng.Intn(6); g++ {
+			gene := geneOf()
+			b.add(d, "associatedGene", gene)
+			b.add(gene, "rdf:type", "Gene")
+		}
+		if rng.Intn(3) == 0 {
+			b.add(d, "possibleDrug", drugOf())
+		}
+		if i > 0 && rng.Intn(4) == 0 {
+			b.add(d, "diseaseSubtypeOf", fmt.Sprintf("disease%d", rng.Intn(i)))
+		}
+		b.add(d, "label", fmt.Sprintf("\"disease label %d\"", i))
+	}
+	// Gene-to-chromosome statements pad the long tail.
+	for i := 0; b.size() < target && i < nGenes; i++ {
+		gene := fmt.Sprintf("gene%d", i)
+		b.add(gene, "chromosome", fmt.Sprintf("chr%d", rng.Intn(23)))
+	}
+	SortTriples(b.ds)
+	return b.ds
+}

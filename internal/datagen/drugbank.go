@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// DrugBank generates a drug/target/category dataset shaped like the FU
+// Berlin DrugBank export: drugs with Zipf-popular protein targets, category
+// and classification statements, interactions, and literal-heavy metadata.
+//
+// Planted regularities:
+//   - the knowledge-discovery pair of Appendix B: drug pairs whose target
+//     sets are strictly nested, giving low-support CINDs of the form
+//     (o, s=drugA ∧ p=target) ⊆ (o, s=drugB ∧ p=target);
+//   - classification-function strings with a hierarchy, e.g. every drug
+//     classified "hydrolase activity" is also classified "catalytic
+//     activity" — the ontology-engineering hint of Appendix B;
+//   - only drugs carry target statements, fixing the domain of target.
+func DrugBank(scale float64) *rdf.Dataset {
+	const seed = 404
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder()
+
+	nDrugs := scaled(1800, scale)
+	nTargets := scaled(2200, scale)
+	target := scaled(52000, scale)
+
+	targetOf := zipfValues(rng, "protein", nTargets, 1.25)
+	categories := zipfValues(rng, "category", 60, 1.6)
+	functionPairs := [][2]string{
+		{"\"hydrolase activity\"", "\"catalytic activity\""},
+		{"\"kinase activity\"", "\"transferase activity\""},
+		{"\"oxidoreductase activity\"", "\"catalytic activity\""},
+	}
+
+	// Nested-target drug pairs: drug i targets a superset of what drug i+1
+	// targets, for every hundredth pair. The "sub" drug of a pair gets no
+	// further targets, keeping the nesting intact.
+	pairedSub := make(map[int]bool)
+	for i := 0; i < nDrugs && b.size() < target; i++ {
+		d := fmt.Sprintf("drug%05d", i)
+		b.add(d, "rdf:type", "Drug")
+		b.add(d, "category", categories())
+		b.add(d, "brandName", fmt.Sprintf("\"Brand %d\"", i))
+
+		switch {
+		case i%100 == 0 && i+1 < nDrugs:
+			// A nested pair: drugN+1's targets ⊂ drugN's targets, sized so
+			// the contained drug has 14 distinct targets — the support the
+			// paper reports for the drug00030/drug00047 finding.
+			sub := fmt.Sprintf("drug%05d", i+1)
+			pairedSub[i+1] = true
+			seen := make(map[string]struct{})
+			var shared []string
+			for len(shared) < 15 {
+				p := targetOf()
+				if _, dup := seen[p]; dup {
+					continue
+				}
+				seen[p] = struct{}{}
+				shared = append(shared, p)
+			}
+			for _, p := range shared {
+				b.add(d, "target", p)
+			}
+			for _, p := range shared[:14] {
+				b.add(sub, "target", p)
+			}
+		case pairedSub[i]:
+			// Targets were already assigned by the pair's superset drug.
+		default:
+			for t := 0; t < 1+rng.Intn(5); t++ {
+				b.add(d, "target", targetOf())
+			}
+		}
+
+		fp := functionPairs[rng.Intn(len(functionPairs))]
+		if rng.Intn(2) == 0 {
+			b.add(d, "classificationFunction", fp[0])
+			b.add(d, "classificationFunction", fp[1]) // hierarchy implies parent
+		} else {
+			b.add(d, "classificationFunction", fp[1])
+		}
+		if i > 0 && rng.Intn(3) == 0 {
+			b.add(d, "interactsWith", fmt.Sprintf("drug%05d", rng.Intn(i)))
+		}
+	}
+	// Protein metadata pads the tail.
+	for i := 0; b.size() < target && i < nTargets; i++ {
+		p := fmt.Sprintf("protein%d", i)
+		b.add(p, "rdf:type", "Protein")
+		b.add(p, "organism", fmt.Sprintf("\"organism %d\"", rng.Intn(40)))
+	}
+	SortTriples(b.ds)
+	return b.ds
+}

@@ -1,0 +1,104 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Freebase generates the very large, very heterogeneous corpus used for the
+// triple-scaling experiment (Fig. 8). The paper ran that experiment with
+// predicates used only in conditions, growing the input from 0.5 to 3
+// billion triples. The triples are emitted in "temporal" order (not sorted),
+// because the experiment takes growing prefixes; the generator is
+// deterministic without sorting.
+//
+// Structure planted to reproduce Fig. 8's series:
+//
+//   - predicate-implication ladders inside topic domains (an entity carrying
+//     a domain's specific predicate also carries its broader ones), so
+//     pertinent CINDs (s, p=specific) ⊆ (s, p=broad) accumulate as more
+//     domains cross the support threshold — the growing CIND series;
+//   - "notable type" terms that initially occur only as objects of
+//     fb:type.object.type — exact association rules o=T → p=type — which
+//     later triples violate by reusing the type term under
+//     fb:common.notable_for: the AR count rises, peaks, and declines, as in
+//     the paper (exact rules are fragile under growth);
+//   - a Zipf bulk over ~2000 predicates for heterogeneity.
+func Freebase(scale float64) *rdf.Dataset {
+	const seed = 808
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder()
+
+	target := scaled(400000, scale)
+	nEntities := scaled(60000, scale)
+	nPredicates := 2000
+
+	predOf := zipfValues(rng, "fb:p", nPredicates, 1.3)
+	objOf := zipfValues(rng, "fb:m", nEntities, 1.1)
+
+	// Topic domains with predicate ladders, broad to specific. Domain d is
+	// used by entities with probability ~1/(d+2), so later domains cross
+	// the support threshold only as the dataset grows.
+	const nDomains = 24
+	domains := make([][]string, nDomains)
+	for d := range domains {
+		ladder := []string{"fb:type.object.type"}
+		for l := 0; l < 2+d%3; l++ {
+			ladder = append(ladder, fmt.Sprintf("fb:domain%d.level%d", d, l))
+		}
+		domains[d] = ladder
+	}
+
+	// Notable types: AR candidates. Type t is violated once the dataset
+	// passes its violation point, spread across the second half of the
+	// generation — early prefixes satisfy many rules, the full dataset few.
+	const nNotable = 40
+	notable := make([]string, nNotable)
+	violateAt := make([]int, nNotable)
+	for i := range notable {
+		notable[i] = fmt.Sprintf("fb:notable_type%d", i)
+		violateAt[i] = target/3 + (i*2*target)/(3*nNotable)
+	}
+
+	for i := 0; b.size() < target; i++ {
+		e := fmt.Sprintf("fb:m.%x", i%nEntities)
+		switch {
+		case i%5 == 0:
+			// Domain member: carries a suffix of its domain's ladder, so
+			// specific predicates imply broader ones.
+			d := rng.Intn(nDomains)
+			if rng.Intn(d+2) != 0 {
+				d = rng.Intn(4) // bias toward the first domains
+			}
+			ladder := domains[d]
+			depth := 1 + rng.Intn(len(ladder))
+			for _, p := range ladder[:depth] {
+				b.add(e, p, objOf())
+			}
+		case i%7 == 1:
+			// Notable-type statement: initially only under
+			// fb:type.object.type; after the violation point the same type
+			// term also appears under fb:common.notable_for, breaking the
+			// exact rule o=T → p=fb:type.object.type.
+			t := notable[rng.Intn(nNotable)]
+			idx := 0
+			for j, n := range notable {
+				if n == t {
+					idx = j
+				}
+			}
+			if b.size() >= violateAt[idx] && rng.Intn(3) == 0 {
+				b.add(e, "fb:common.notable_for", t)
+			} else {
+				b.add(e, "fb:type.object.type", t)
+			}
+		case i%11 == 2:
+			b.add(e, "fb:common.topic.description", fmt.Sprintf("\"desc %d\"", rng.Intn(1<<22)))
+		default:
+			b.add(e, predOf(), objOf())
+		}
+	}
+	return b.ds
+}

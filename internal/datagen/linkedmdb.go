@@ -1,0 +1,64 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// LinkedMDB generates a movie dataset in the shape of LinkedMDB, the
+// medium-size dataset of the scale-out experiment (Fig. 9): films with
+// performances, actors, directors, editors, genres, and countries.
+//
+// Planted regularities:
+//   - the Appendix B association rule o=lmdb:performance → p=rdf:type: the
+//     term lmdb:performance occurs only as the object of rdf:type;
+//   - (o, p=movieEditor) ⊆ (s, p=rdf:type ∧ o=foaf:Person): editors are
+//     typed persons (range discovery);
+//   - performance entities link films and actors, producing the join-heavy
+//     self-similar structure SPARQL queries over LinkedMDB exhibit.
+func LinkedMDB(scale float64) *rdf.Dataset {
+	const seed = 505
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder()
+
+	nFilms := scaled(6000, scale)
+	nActors := scaled(4000, scale)
+	target := scaled(90000, scale)
+
+	actorOf := zipfValues(rng, "actor", nActors, 1.2)
+	genres := zipfValues(rng, "genre", 30, 1.8)
+	countries := zipfValues(rng, "mdbcountry", 60, 1.7)
+
+	perf := 0
+	for i := 0; i < nFilms && b.size() < target; i++ {
+		f := fmt.Sprintf("film%d", i)
+		b.add(f, "rdf:type", "lmdb:film")
+		b.add(f, "genre", genres())
+		b.add(f, "country", countries())
+		b.add(f, "initialReleaseDate", fmt.Sprintf("\"19%02d\"", rng.Intn(100)))
+
+		// Performances: the AR class — these entities are typed
+		// lmdb:performance and nothing else uses that term.
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			pe := fmt.Sprintf("performance%d", perf)
+			perf++
+			actor := actorOf()
+			b.add(pe, "rdf:type", "lmdb:performance")
+			b.add(pe, "performanceFilm", f)
+			b.add(pe, "performanceActor", actor)
+			b.add(actor, "rdf:type", "foaf:Person")
+		}
+		director := fmt.Sprintf("director%d", rng.Intn(nFilms/8+1))
+		b.add(f, "director", director)
+		b.add(director, "rdf:type", "foaf:Person")
+		if rng.Intn(2) == 0 {
+			editor := fmt.Sprintf("editor%d", rng.Intn(nFilms/10+1))
+			b.add(f, "movieEditor", editor)
+			b.add(editor, "rdf:type", "foaf:Person")
+		}
+	}
+	SortTriples(b.ds)
+	return b.ds
+}

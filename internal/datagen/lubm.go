@@ -1,0 +1,93 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// LUBM generates a university benchmark dataset following the LUBM schema
+// closely enough to run query Q2 (the query-minimization experiment,
+// Fig. 14): universities contain departments; graduate students are members
+// of departments, have advisors, take courses, and hold an undergraduate
+// degree from some university; professors work for departments and teach
+// courses.
+//
+// The generator maintains the invariants that make the Fig. 14 CINDs hold:
+//   - only graduate students carry memberOf, so
+//     (s, p=memberOf) ⊆ (s, p=rdf:type ∧ o=GraduateStudent);
+//   - only departments carry subOrganizationOf, so
+//     (s, p=subOrganizationOf) ⊆ (s, p=rdf:type ∧ o=Department);
+//   - undergraduate degrees point at universities, so
+//     (o, p=undergraduateDegreeFrom) ⊆ (s, p=rdf:type ∧ o=University).
+func LUBM(scale float64) *rdf.Dataset {
+	const seed = 303
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder()
+
+	// Sizes scale smoothly: first the per-department population grows, then
+	// the number of universities.
+	nUniversities := scaled(5, scale)
+	if nUniversities < 2 {
+		nUniversities = 2
+	}
+	inner := scale * 5 / float64(nUniversities)
+	if inner > 1.5 {
+		inner = 1.5
+	}
+	deptsPer := max(2, scaled(15, inner))
+	profsPerDept := max(2, scaled(7, inner))
+	studentsPerDept := max(3, scaled(30, inner))
+	coursesPerDept := max(2, scaled(10, inner))
+
+	var universities []string
+	for u := 0; u < nUniversities; u++ {
+		univ := fmt.Sprintf("university%d", u)
+		universities = append(universities, univ)
+		b.add(univ, "rdf:type", "University")
+		b.add(univ, "name", fmt.Sprintf("\"University %d\"", u))
+	}
+	for u, univ := range universities {
+		for d := 0; d < deptsPer; d++ {
+			dept := fmt.Sprintf("dept%d_%d", u, d)
+			b.add(dept, "rdf:type", "Department")
+			b.add(dept, "subOrganizationOf", univ)
+
+			var courses []string
+			for c := 0; c < coursesPerDept; c++ {
+				course := fmt.Sprintf("course%d_%d_%d", u, d, c)
+				courses = append(courses, course)
+				b.add(course, "rdf:type", "GraduateCourse")
+			}
+			var profs []string
+			for p := 0; p < profsPerDept; p++ {
+				prof := fmt.Sprintf("prof%d_%d_%d", u, d, p)
+				profs = append(profs, prof)
+				b.add(prof, "rdf:type", "FullProfessor")
+				b.add(prof, "worksFor", dept)
+				b.add(prof, "teacherOf", courses[rng.Intn(len(courses))])
+				b.add(prof, "doctoralDegreeFrom", universities[rng.Intn(len(universities))])
+				b.add(prof, "researchInterest", fmt.Sprintf("\"research%d\"", rng.Intn(30)))
+			}
+			for s := 0; s < studentsPerDept; s++ {
+				stud := fmt.Sprintf("gradStudent%d_%d_%d", u, d, s)
+				b.add(stud, "rdf:type", "GraduateStudent")
+				b.add(stud, "memberOf", dept)
+				b.add(stud, "advisor", profs[rng.Intn(len(profs))])
+				b.add(stud, "takesCourse", courses[rng.Intn(len(courses))])
+				b.add(stud, "takesCourse", courses[rng.Intn(len(courses))])
+				// Q2 asks for students whose undergraduate university hosts
+				// their department; give one third of students that shape.
+				if rng.Intn(3) == 0 {
+					b.add(stud, "undergraduateDegreeFrom", univ)
+				} else {
+					b.add(stud, "undergraduateDegreeFrom", universities[rng.Intn(len(universities))])
+				}
+				b.add(stud, "emailAddress", fmt.Sprintf("\"student%d_%d_%d@example.edu\"", u, d, s))
+			}
+		}
+	}
+	SortTriples(b.ds)
+	return b.ds
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps every experiment in test-friendly territory.
+var tinyOpts = Options{Scale: 0.04, Workers: 2}
+
+func run(t *testing.T, id string) *Report {
+	t.Helper()
+	runner, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	rep, err := runner(tinyOpts.normalized())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id {
+		t.Errorf("%s: report carries ID %q", id, rep.ID)
+	}
+	if len(rep.Header) == 0 || len(rep.Rows) == 0 {
+		t.Fatalf("%s: empty report", id)
+	}
+	for i, row := range rep.Rows {
+		if len(row) != len(rep.Header) {
+			t.Errorf("%s: row %d has %d cells, header has %d", id, i, len(row), len(rep.Header))
+		}
+	}
+	return rep
+}
+
+// number parses a fmtCount-rendered cell.
+func number(t *testing.T, cell string) int64 {
+	t.Helper()
+	n, err := strconv.ParseInt(strings.ReplaceAll(cell, ",", ""), 10, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a count: %v", cell, err)
+	}
+	return n
+}
+
+func TestAllExperimentsProduceReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		rep := run(t, id)
+		var buf bytes.Buffer
+		if _, err := rep.WriteTo(&buf); err != nil {
+			t.Errorf("%s: WriteTo: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), rep.Title) {
+			t.Errorf("%s: rendering lacks the title", id)
+		}
+	}
+}
+
+func TestTable2CoversSuite(t *testing.T) {
+	rep := run(t, "table2")
+	if len(rep.Rows) != 8 {
+		t.Errorf("table2 has %d rows, want 8", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if number(t, row[2]) <= 0 {
+			t.Errorf("dataset %s has no triples", row[0])
+		}
+	}
+}
+
+func TestFig2FunnelInvariants(t *testing.T) {
+	rep := run(t, "fig2")
+	get := func(box string) int64 {
+		for _, row := range rep.Rows {
+			if row[0] == box {
+				return number(t, row[1])
+			}
+		}
+		t.Fatalf("fig2: missing box %q", box)
+		return 0
+	}
+	all := get("all CIND candidates")
+	freq := get("candidates w/ frequent conditions")
+	broadCand := get("broad CIND candidates")
+	allCINDs := get("all CINDs")
+	minimal := get("minimal CINDs")
+	broad := get("broad CINDs")
+	pertinent := get("pertinent CINDs")
+	if !(all >= freq && freq >= broadCand) {
+		t.Errorf("candidate funnel violated: %d ≥ %d ≥ %d", all, freq, broadCand)
+	}
+	if !(allCINDs >= minimal && minimal >= pertinent && broad >= pertinent) {
+		t.Errorf("result funnel violated: all=%d minimal=%d broad=%d pertinent=%d",
+			allCINDs, minimal, broad, pertinent)
+	}
+	// The funnel must actually prune: frequent candidates are orders of
+	// magnitude below all candidates, as in the paper.
+	if freq*10 > all {
+		t.Errorf("frequent-condition pruning removed <90%%: %d of %d", freq, all)
+	}
+}
+
+func TestFig4DecayShape(t *testing.T) {
+	rep := run(t, "fig4")
+	// For every dataset column, the first bucket must dominate the last.
+	for col := 1; col < len(rep.Header); col++ {
+		first := number(t, rep.Rows[0][col])
+		last := number(t, rep.Rows[len(rep.Rows)-1][col])
+		if first <= last {
+			t.Errorf("fig4 %s: no decay (%d -> %d)", rep.Header[col], first, last)
+		}
+	}
+}
+
+func TestFig11MonotoneInSupport(t *testing.T) {
+	rep := run(t, "fig11")
+	last := map[string]int64{}
+	for _, row := range rep.Rows {
+		ds := row[0]
+		n := number(t, row[2]) + number(t, row[3])
+		if prev, ok := last[ds]; ok && n > prev {
+			t.Errorf("fig11 %s: results grew with h (%d -> %d)", ds, prev, n)
+		}
+		last[ds] = n
+	}
+}
+
+func TestFig14RemovesPatterns(t *testing.T) {
+	rep := run(t, "fig14")
+	if len(rep.Rows) != 2 {
+		t.Fatalf("fig14 has %d rows", len(rep.Rows))
+	}
+	orig := number(t, rep.Rows[0][1])
+	min := number(t, rep.Rows[1][1])
+	if orig != 6 || min != 3 {
+		t.Errorf("fig14: %d -> %d query triples, want 6 -> 3", orig, min)
+	}
+}
+
+func TestAppBFindsAllUseCases(t *testing.T) {
+	// At a fuller scale all planted facts must be recovered; run appB at a
+	// larger scale than the rest of this file.
+	runner, _ := Lookup("appB")
+	rep, err := runner(Options{Scale: 0.3, Workers: 2}.normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if row[2] != "yes" {
+			t.Errorf("appB: use case %q not recovered: %s", row[0], row[1])
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", tinyOpts, &buf); err == nil {
+		t.Errorf("no error for unknown experiment")
+	}
+}
+
+func TestRunAllWritesEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("all", tinyOpts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(buf.String(), "== "+id+":") {
+			t.Errorf("combined run lacks %s", id)
+		}
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	cases := map[int64]string{
+		0: "0", 12: "12", 123: "123", 1234: "1,234",
+		1234567: "1,234,567", 1000: "1,000",
+	}
+	for n, want := range cases {
+		if got := fmtCount(n); got != want {
+			t.Errorf("fmtCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/datagen"
+	"repro/internal/fcdetect"
+	"repro/internal/naive"
+)
+
+// RunTable2 regenerates Table 2: the dataset inventory with sizes. The
+// paper's original triple counts are shown next to the scaled reproduction.
+func RunTable2(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "table2",
+		Title:  "Evaluation RDF datasets",
+		Header: []string{"Name", "Size [MB]", "Triples", "Distinct terms", "Paper triples"},
+		Notes: []string{
+			fmt.Sprintf("generated at scale %g; paper sizes shown for reference", opts.Scale),
+		},
+	}
+	for _, spec := range datagen.Suite() {
+		ds := dataset(spec.Name, opts.Scale)
+		st := datagen.Describe(spec.Name, ds)
+		rep.Rows = append(rep.Rows, []string{
+			st.Name,
+			fmt.Sprintf("%.1f", st.SizeMB),
+			fmtCount(st.Triples),
+			fmtCount(st.DistinctTerms),
+			fmtCount(spec.PaperTriples),
+		})
+	}
+	return rep, nil
+}
+
+// RunFig2 regenerates the search-space funnel of Fig. 2 on the Diseasome
+// analogue with support threshold 10: every box of the figure, computed
+// exactly by the oracle. The funnel ordering — candidates shrink by orders
+// of magnitude through lazy pruning, and pertinent CINDs are a small
+// fraction of all valid CINDs — is the reproduced property.
+func RunFig2(opts Options) (*Report, error) {
+	// The oracle materializes every valid CIND, so the funnel runs on a
+	// reduced Diseasome (the paper's own numbers come from a 72k-triple
+	// dataset processed on a cluster).
+	scale := 0.2 * opts.Scale
+	ds := dataset("Diseasome", scale)
+	const h = 10
+	st := naive.SearchSpace(ds, h, naive.Options{})
+	rep := &Report{
+		ID:     "fig2",
+		Title:  fmt.Sprintf("CIND search space, Diseasome analogue (%s triples), h=%d", fmtCount(ds.Size()), h),
+		Header: []string{"Box", "Count", "Paper (72,445 triples)"},
+		Rows: [][]string{
+			{"all CIND candidates", fmtCount(st.AllCandidates), "> 50 billion"},
+			{"candidates w/ frequent conditions", fmtCount(st.FrequentCandidates), "> 77 million"},
+			{"broad CIND candidates", fmtCount(st.BroadCandidates), "> 21 million"},
+			{"all CINDs", fmtCount(st.AllCINDs), "> 1.3 billion"},
+			{"minimal CINDs", fmtCount(st.MinimalCINDs), "> 219 million"},
+			{"broad CINDs", fmtCount(st.BroadCINDs), "915,647"},
+			{"pertinent CINDs", fmtCount(st.Pertinent), "879,637"},
+			{"(broad) association rules", fmtCount(st.ARs), "690"},
+		},
+		Notes: []string{
+			"funnel invariants: candidates ≥ frequent ≥ broad candidates; all ≥ minimal ≥ pertinent; broad ≥ pertinent",
+		},
+	}
+	return rep, nil
+}
+
+// RunFig4 regenerates the condition-frequency distribution of Fig. 4 for
+// the four datasets the paper plots, bucketed into powers of two. The
+// reproduced property is the heavy head: the overwhelming majority of
+// conditions hold on very few triples.
+func RunFig4(opts Options) (*Report, error) {
+	names := []string{"Diseasome", "DrugBank", "LinkedMDB", "DB14-MPCE"}
+	buckets := map[string]map[int]int{} // dataset -> log2 bucket -> count
+	maxBucket := 0
+	for _, name := range names {
+		ds := dataset(name, opts.Scale)
+		ctx := dataflow.NewContext(opts.Workers)
+		triples := dataflow.Parallelize(ctx, "input", ds.Triples)
+		hist := fcdetect.ConditionFrequencyHistogram(triples)
+		bs := map[int]int{}
+		for _, b := range hist {
+			lg := 0
+			for f := b.Frequency; f > 1; f >>= 1 {
+				lg++
+			}
+			bs[lg] += b.Count
+			if lg > maxBucket {
+				maxBucket = lg
+			}
+		}
+		buckets[name] = bs
+	}
+	rep := &Report{
+		ID:     "fig4",
+		Title:  "Number of conditions by frequency (log2 buckets)",
+		Header: append([]string{"Frequency"}, names...),
+		Notes: []string{
+			"reproduced property: counts decay by orders of magnitude with frequency (Zipf head)",
+		},
+	}
+	for lg := 0; lg <= maxBucket; lg++ {
+		lo := 1 << lg
+		hi := (1 << (lg + 1)) - 1
+		label := fmt.Sprintf("%d", lo)
+		if hi > lo {
+			label = fmt.Sprintf("%d–%d", lo, hi)
+		}
+		row := []string{label}
+		any := false
+		for _, name := range names {
+			n := buckets[name][lg]
+			if n > 0 {
+				any = true
+			}
+			row = append(row, fmtCount(n))
+		}
+		if any {
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	// Headline statistic the paper quotes: share of conditions holding on a
+	// single triple.
+	for _, name := range names {
+		total, ones := 0, buckets[name][0]
+		for _, n := range buckets[name] {
+			total += n
+		}
+		if total > 0 {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("%s: %.0f%% of conditions have frequency 1 (paper: 86%% for DBpedia)",
+					name, 100*float64(ones)/float64(total)))
+		}
+	}
+	sort.Strings(rep.Notes[1:])
+	return rep, nil
+}

@@ -1,0 +1,418 @@
+// Package extract implements RDFind's CINDExtractor (§7, Fig. 6): it turns
+// capture groups into the set of broad CINDs and then consolidates them into
+// the pertinent (minimal ∧ broad) CINDs.
+//
+// The extractor follows the paper's recipe for cracking dominant capture
+// groups: capture-support pruning (the second phase of lazy pruning), load
+// estimation and work-unit splitting, the approximate-validate candidate
+// generation with fixed-size Bloom filters (Algorithm 3), and a final
+// validation pass for candidates with Bloom lineage. Disabling the pruning
+// and balancing steps yields the RDFind-DE baseline of §8.5; both variants
+// produce identical results.
+package extract
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/capture"
+	"repro/internal/cind"
+	"repro/internal/dataflow"
+)
+
+// ErrLoadLimit reports that the estimated extraction load (the number of
+// candidate-set entries generation would materialize) exceeds the configured
+// limit. It stands in for the out-of-memory failures the paper observed for
+// RDFind-DE on the DBpedia datasets at small supports (Fig. 13).
+var ErrLoadLimit = errors.New("extract: extraction load exceeds the configured limit")
+
+// Arity restricts which captures may serve as dependent or referenced side
+// of generated candidates. The minimal-first strategy (§8.6) uses it to
+// extract one condition-arity class (Ψ1:1, Ψ1:2, Ψ2:1, Ψ2:2) per pass.
+type Arity uint8
+
+const (
+	AnyArity Arity = iota
+	UnaryOnly
+	BinaryOnly
+)
+
+func (a Arity) matches(c cind.Capture) bool {
+	switch a {
+	case UnaryOnly:
+		return !c.Cond.IsBinary()
+	case BinaryOnly:
+		return c.Cond.IsBinary()
+	}
+	return true
+}
+
+// Config tunes the extractor.
+type Config struct {
+	// Support is the broadness threshold h.
+	Support int
+	// DirectExtraction disables capture-support pruning, load balancing,
+	// and the approximate-validate strategy, reverting to the basic
+	// extraction of §7.1 (the RDFind-DE variant).
+	DirectExtraction bool
+	// BloomBytes sizes the per-candidate-set Bloom filters; the paper found
+	// 64 bytes to perform best (§7.2). Zero selects 64.
+	BloomBytes int
+	// DepArity and RefArity restrict candidate generation to one condition
+	// arity per side (minimal-first strategy). The zero value admits all.
+	DepArity, RefArity Arity
+	// LoadLimit caps the estimated candidate-set entries (|G|² per exact
+	// group, |G| per Bloom-encoded work unit); 0 means unlimited. Exceeding
+	// it aborts extraction with ErrLoadLimit, emulating a memory-bound run.
+	LoadLimit int64
+}
+
+func (c Config) bloomBytes() int {
+	if c.BloomBytes <= 0 {
+		return 64
+	}
+	return c.BloomBytes
+}
+
+// candSet is a CIND candidate set: a dependent capture's referenced captures
+// plus the number of capture groups seen so far (which sums to the support).
+// Exactly one of exact/approx is set. The lineage flag records whether any
+// Bloom filter took part in building the set; such candidates are uncertain
+// and require validation (Algorithm 3 — we track lineage with OR rather than
+// the paper's AND so that Bloom false positives can never leak into results).
+type candSet struct {
+	exact   map[cind.Capture]struct{}
+	approx  *bloom.Filter
+	count   int
+	lineage bool
+}
+
+// workUnit is a slice of a dominant capture group: the dependent captures
+// this unit is responsible for, plus the full group as referenced captures.
+type workUnit struct {
+	Deps []cind.Capture
+	All  []cind.Capture
+}
+
+// BroadCINDs extracts all valid CINDs with support ≥ cfg.Support from the
+// capture groups. The result includes logically trivial inclusions (they are
+// valid CINDs); Minimize removes them. Reflexive statements are excluded.
+// The only possible error is ErrLoadLimit, and only when cfg.LoadLimit is
+// set.
+func BroadCINDs(groups *dataflow.Dataset[capture.Group], cfg Config) ([]cind.CIND, error) {
+	h := cfg.Support
+
+	// Expand every group to its implication closure so that Lemma 3's
+	// membership test sees subsumed unary captures (see DESIGN.md).
+	closed := dataflow.Map(groups, "ext/close", capture.Close)
+
+	// Capture-support pruning (steps 1–3): captures occurring in fewer than
+	// h groups cannot take part in any broad CIND — neither as dependent
+	// (support too small) nor as referenced (a referenced capture's support
+	// bounds the dependent one's from above).
+	if !cfg.DirectExtraction {
+		closed = pruneBySupport(closed, h)
+	}
+
+	var normal *dataflow.Dataset[capture.Group]
+	var units *dataflow.Dataset[workUnit]
+	if cfg.DirectExtraction {
+		normal = closed
+		units = emptyUnits(closed)
+	} else {
+		normal, units = splitDominant(closed)
+	}
+
+	// Memory guard: candidate generation materializes |G|² entries per
+	// exact group and O(|G|) per Bloom-encoded work unit. The load is known
+	// exactly before any allocation, so a bounded run can abort cleanly.
+	if cfg.LoadLimit > 0 {
+		load := estimateLoad(normal, units)
+		if load > cfg.LoadLimit {
+			return nil, fmt.Errorf("%w: %d candidate entries > limit %d", ErrLoadLimit, load, cfg.LoadLimit)
+		}
+	}
+
+	// Candidate generation (step 7). Normal groups enumerate exact
+	// referenced-capture sets; work units encode the group in a fixed-size
+	// Bloom filter, shared per group and cloned per dependent capture.
+	bloomBytes := cfg.bloomBytes()
+	normalCands := dataflow.FlatMap(normal, "ext/candidates-exact",
+		func(g capture.Group, emit func(dataflow.Pair[cind.Capture, *candSet])) {
+			for _, dep := range g.Captures {
+				if !cfg.DepArity.matches(dep) {
+					continue
+				}
+				refs := make(map[cind.Capture]struct{}, len(g.Captures)-1)
+				for _, r := range g.Captures {
+					if r != dep && cfg.RefArity.matches(r) {
+						refs[r] = struct{}{}
+					}
+				}
+				emit(dataflow.Pair[cind.Capture, *candSet]{Key: dep, Val: &candSet{exact: refs, count: 1}})
+			}
+		})
+	unitCands := dataflow.FlatMap(units, "ext/candidates-bloom",
+		func(u workUnit, emit func(dataflow.Pair[cind.Capture, *candSet])) {
+			shared := bloom.NewBytes(bloomBytes, 4)
+			for _, r := range u.All {
+				if cfg.RefArity.matches(r) {
+					shared.Add(r.Key())
+				}
+			}
+			for _, dep := range u.Deps {
+				if !cfg.DepArity.matches(dep) {
+					continue
+				}
+				emit(dataflow.Pair[cind.Capture, *candSet]{
+					Key: dep,
+					Val: &candSet{approx: shared.Clone(), count: 1, lineage: true},
+				})
+			}
+		})
+
+	// Merge candidate sets per dependent capture (Algorithm 3, step 8).
+	all := dataflow.Union(normalCands, unitCands, "ext/concat")
+	merged := dataflow.ReduceByKey(all, "ext/merge-candidates", mergeCandSets)
+
+	// Certain candidates become CINDs directly; uncertain ones (Bloom
+	// lineage) go through the validation pass (steps 9–10).
+	var out []cind.CIND
+	uncertain := make(map[cind.Capture]*candSet)
+	for _, p := range dataflow.Collect(merged) {
+		dep, cs := p.Key, p.Val
+		if cs.count < h {
+			continue // not broad (only reachable in direct extraction)
+		}
+		if !cs.lineage {
+			for r := range cs.exact {
+				if r != dep {
+					out = append(out, cind.CIND{Inclusion: cind.Inclusion{Dep: dep, Ref: r}, Support: cs.count})
+				}
+			}
+			continue
+		}
+		if cs.exact != nil && len(cs.exact) == 0 {
+			continue // dead: no candidate referenced captures remain
+		}
+		uncertain[dep] = cs
+	}
+	out = append(out, validate(units, uncertain, cfg.RefArity)...)
+	return out, nil
+}
+
+// estimateLoad sums the candidate-set entries generation will allocate.
+func estimateLoad(normal *dataflow.Dataset[capture.Group], units *dataflow.Dataset[workUnit]) int64 {
+	loads := dataflow.MapPartitions(normal, "ext/load-normal",
+		func(_ int, groups []capture.Group, emit func(int64)) {
+			var load int64
+			for _, g := range groups {
+				n := int64(len(g.Captures))
+				load += n * n
+			}
+			emit(load)
+		})
+	total, _ := dataflow.GlobalReduce(loads, "ext/load-sum", func(a, b int64) int64 { return a + b })
+	unitLoads := dataflow.MapPartitions(units, "ext/load-units",
+		func(_ int, us []workUnit, emit func(int64)) {
+			var load int64
+			for _, u := range us {
+				load += int64(len(u.Deps)) + int64(len(u.All))
+			}
+			emit(load)
+		})
+	unitTotal, _ := dataflow.GlobalReduce(unitLoads, "ext/load-units-sum", func(a, b int64) int64 { return a + b })
+	return total + unitTotal
+}
+
+// pruneBySupport removes captures with fewer than h group memberships from
+// every group. Groups that become empty disappear; groups that keep members
+// still matter, because each group a dependent capture occurs in both counts
+// toward its support and constrains its referenced captures.
+func pruneBySupport(closed *dataflow.Dataset[capture.Group], h int) *dataflow.Dataset[capture.Group] {
+	counters := dataflow.FlatMap(closed, "ext/capture-counters",
+		func(g capture.Group, emit func(dataflow.Pair[cind.Capture, int])) {
+			for _, c := range g.Captures {
+				emit(dataflow.Pair[cind.Capture, int]{Key: c, Val: 1})
+			}
+		})
+	supports := dataflow.ReduceByKey(counters, "ext/capture-support", func(a, b int) int { return a + b })
+	low := dataflow.Filter(supports, "ext/prunable",
+		func(p dataflow.Pair[cind.Capture, int]) bool { return p.Val < h })
+	prunable := make(map[cind.Capture]struct{})
+	for _, p := range dataflow.Collect(low) {
+		prunable[p.Key] = struct{}{}
+	}
+	pruned := dataflow.Map(closed, "ext/prune-groups", func(g capture.Group) capture.Group {
+		kept := make([]cind.Capture, 0, len(g.Captures))
+		for _, c := range g.Captures {
+			if _, drop := prunable[c]; !drop {
+				kept = append(kept, c)
+			}
+		}
+		return capture.Group{Captures: kept}
+	})
+	return dataflow.Filter(pruned, "ext/drop-empty",
+		func(g capture.Group) bool { return len(g.Captures) > 0 })
+}
+
+// splitDominant implements the load balancing of §7.2 (steps 4–7): the
+// processing load of a group is |G|²; groups above the per-worker average
+// are dominant and get split into w work units that are spread across all
+// workers. Normal groups pass through unchanged.
+func splitDominant(closed *dataflow.Dataset[capture.Group]) (*dataflow.Dataset[capture.Group], *dataflow.Dataset[workUnit]) {
+	ctx := closed.Context()
+	w := ctx.Workers()
+
+	// Estimate per-worker loads and derive the average (steps 4–6).
+	loads := dataflow.MapPartitions(closed, "ext/estimate-load",
+		func(_ int, groups []capture.Group, emit func(int64)) {
+			var load int64
+			for _, g := range groups {
+				n := int64(len(g.Captures))
+				load += n * n
+			}
+			emit(load)
+		})
+	total, _ := dataflow.GlobalReduce(loads, "ext/total-load", func(a, b int64) int64 { return a + b })
+	avg := total / int64(w)
+
+	isDominant := func(g capture.Group) bool {
+		n := int64(len(g.Captures))
+		return n*n > avg
+	}
+	normal := dataflow.Filter(closed, "ext/normal-groups",
+		func(g capture.Group) bool { return !isDominant(g) })
+	dominant := dataflow.Filter(closed, "ext/dominant-groups", isDominant)
+
+	// Split each dominant group into w work units and spread them evenly.
+	units := dataflow.FlatMap(dominant, "ext/split-units",
+		func(g capture.Group, emit func(dataflow.Pair[int, workUnit])) {
+			n := len(g.Captures)
+			per := (n + w - 1) / w
+			spread := int(g.Captures[0].Key()) // stable per-group offset
+			for i := 0; i*per < n; i++ {
+				lo, hi := i*per, (i+1)*per
+				if hi > n {
+					hi = n
+				}
+				emit(dataflow.Pair[int, workUnit]{
+					Key: spread + i,
+					Val: workUnit{Deps: g.Captures[lo:hi:hi], All: g.Captures},
+				})
+			}
+		})
+	placed := dataflow.PartitionBy(units, "ext/place-units",
+		func(p dataflow.Pair[int, workUnit]) int { return p.Key })
+	unwrapped := dataflow.Map(placed, "ext/unwrap-units",
+		func(p dataflow.Pair[int, workUnit]) workUnit { return p.Val })
+	return normal, unwrapped
+}
+
+// emptyUnits returns an empty work-unit dataset in the same context.
+func emptyUnits(d *dataflow.Dataset[capture.Group]) *dataflow.Dataset[workUnit] {
+	return dataflow.Parallelize(d.Context(), "ext/no-units", []workUnit(nil))
+}
+
+// mergeCandSets is Algorithm 3: intersect two candidate sets, distinguishing
+// exact/exact, Bloom/Bloom, and mixed cases, summing the group counts and
+// propagating Bloom lineage. The intersection is associative and commutative
+// — probing an element against two Bloom filters succeeds exactly when it
+// passes their bit-wise AND — so reduction order does not matter.
+func mergeCandSets(a, b *candSet) *candSet {
+	count := a.count + b.count
+	lineage := a.lineage || b.lineage
+	var res *candSet
+	switch {
+	case a.exact != nil && b.exact != nil:
+		// Intersect the smaller into the larger for speed.
+		small, large := a, b
+		if len(small.exact) > len(large.exact) {
+			small, large = large, small
+		}
+		for r := range small.exact {
+			if _, ok := large.exact[r]; !ok {
+				delete(small.exact, r)
+			}
+		}
+		res = small
+	case a.approx != nil && b.approx != nil:
+		a.approx.Intersect(b.approx)
+		res = a
+	default:
+		// Mixed: probe the exact side against the Bloom filter and keep the
+		// survivors as the (still possibly over-approximate) exact set.
+		exact, blm := a, b
+		if exact.exact == nil {
+			exact, blm = b, a
+		}
+		for r := range exact.exact {
+			if !blm.approx.Test(r.Key()) {
+				delete(exact.exact, r)
+			}
+		}
+		res = exact
+	}
+	res.count = count
+	res.lineage = lineage
+	return res
+}
+
+// validate resolves uncertain candidate sets (step 9–10): the uncertain map
+// is broadcast, every work unit emits the exact intersection of its group
+// with the candidate's referenced captures, and intersecting those
+// validation sets across all of a dependent capture's dominant groups yields
+// the exact referenced captures (Bloom false positives cannot survive every
+// group's probe).
+func validate(units *dataflow.Dataset[workUnit], uncertain map[cind.Capture]*candSet, refArity Arity) []cind.CIND {
+	if len(uncertain) == 0 {
+		return nil
+	}
+	vsets := dataflow.FlatMap(units, "ext/validation-sets",
+		func(u workUnit, emit func(dataflow.Pair[cind.Capture, map[cind.Capture]struct{}])) {
+			for _, dep := range u.Deps {
+				cs, ok := uncertain[dep]
+				if !ok {
+					continue
+				}
+				refs := make(map[cind.Capture]struct{})
+				for _, r := range u.All {
+					if r == dep || !refArity.matches(r) {
+						continue
+					}
+					if cs.exact != nil {
+						if _, ok := cs.exact[r]; ok {
+							refs[r] = struct{}{}
+						}
+					} else if cs.approx.Test(r.Key()) {
+						refs[r] = struct{}{}
+					}
+				}
+				emit(dataflow.Pair[cind.Capture, map[cind.Capture]struct{}]{Key: dep, Val: refs})
+			}
+		})
+	final := dataflow.ReduceByKey(vsets, "ext/validate",
+		func(a, b map[cind.Capture]struct{}) map[cind.Capture]struct{} {
+			if len(a) > len(b) {
+				a, b = b, a
+			}
+			for r := range a {
+				if _, ok := b[r]; !ok {
+					delete(a, r)
+				}
+			}
+			return a
+		})
+	var out []cind.CIND
+	for _, p := range dataflow.Collect(final) {
+		dep, refs := p.Key, p.Val
+		cs := uncertain[dep]
+		for r := range refs {
+			if r != dep {
+				out = append(out, cind.CIND{Inclusion: cind.Inclusion{Dep: dep, Ref: r}, Support: cs.count})
+			}
+		}
+	}
+	return out
+}

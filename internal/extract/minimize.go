@@ -1,0 +1,79 @@
+package extract
+
+import (
+	"repro/internal/cind"
+)
+
+// Minimize keeps only the minimal CINDs among the broad ones (§7.3). A CIND
+// is non-minimal when another valid CIND implies it — by relaxing its
+// dependent condition (dependent implication) or tightening its referenced
+// condition (referenced implication). The paper consolidates the four arity
+// classes in two passes (Ψ2:1 against Ψ1:1 ∪ Ψ2:2, then Ψ1:1 ∪ Ψ2:2 against
+// Ψ1:2); because an implier is itself implied by some CIND that survives, a
+// single pass over hash indexes of the full broad set decides every CIND
+// independently and reaches the same fixpoint.
+//
+// Trivial inclusions (the dependent condition logically implies the
+// referenced one, e.g. (s, p=a ∧ o=b) ⊆ (s, p=a)) are never minimal: their
+// dependent condition relaxes to the referenced condition itself, which
+// yields a reflexive, universally valid statement.
+func Minimize(broad []cind.CIND) []cind.CIND {
+	// Index 1: the full statement set, for dependent-implication lookups.
+	all := make(map[cind.Inclusion]struct{}, len(broad))
+	for _, c := range broad {
+		all[c.Inclusion] = struct{}{}
+	}
+	// Index 2: referenced-tightening coverage. A CIND with a binary
+	// referenced condition covers the same statement with either unary
+	// relaxation of that condition (Ψx:2 kills Ψx:1).
+	tightened := make(map[cind.Inclusion]struct{})
+	for _, c := range broad {
+		if !c.Ref.Cond.IsBinary() {
+			continue
+		}
+		for _, u := range c.Ref.Cond.UnaryParts() {
+			if u.Uses(c.Ref.Proj) {
+				continue
+			}
+			relaxedRef := cind.Capture{Proj: c.Ref.Proj, Cond: u}
+			tightened[cind.Inclusion{Dep: c.Dep, Ref: relaxedRef}] = struct{}{}
+		}
+	}
+
+	minimal := make([]cind.CIND, 0, len(broad))
+	for _, c := range broad {
+		if c.Trivial() {
+			continue
+		}
+		if _, ok := tightened[c.Inclusion]; ok {
+			continue // referenced implication (Ψ1:2 kills Ψ1:1, Ψ2:2 kills Ψ2:1, …)
+		}
+		if dependentImplied(c.Inclusion, all) {
+			continue // dependent implication (Ψ1:1 kills Ψ2:1, Ψ1:2 kills Ψ2:2)
+		}
+		minimal = append(minimal, c)
+	}
+	return minimal
+}
+
+// dependentImplied reports whether relaxing the binary dependent condition
+// of inc to one of its unary parts yields a statement that is valid — either
+// because it is in the broad set or because it is reflexive.
+func dependentImplied(inc cind.Inclusion, all map[cind.Inclusion]struct{}) bool {
+	if !inc.Dep.Cond.IsBinary() {
+		return false
+	}
+	for _, u := range inc.Dep.Cond.UnaryParts() {
+		if u.Uses(inc.Dep.Proj) {
+			continue
+		}
+		relaxed := cind.Capture{Proj: inc.Dep.Proj, Cond: u}
+		if relaxed == inc.Ref {
+			return true // relaxes to a reflexive statement
+		}
+		if _, ok := all[cind.Inclusion{Dep: relaxed, Ref: inc.Ref}]; ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+// Package fixtures provides small, hand-checked datasets used by tests and
+// examples across the repository — most prominently the university instance
+// of Table 1 of the paper, whose CINDs are worked out in the text.
+package fixtures
+
+import "repro/internal/rdf"
+
+// University returns the eight-triple instance of Table 1.
+//
+//	t1 patrick rdf:type       gradStudent
+//	t2 mike    rdf:type       gradStudent
+//	t3 john    rdf:type       professor
+//	t4 patrick memberOf       csd
+//	t5 mike    memberOf       biod
+//	t6 patrick undergradFrom  hpi
+//	t7 tim     undergradFrom  hpi
+//	t8 mike    undergradFrom  cmu
+func University() *rdf.Dataset {
+	ds := rdf.NewDataset()
+	ds.Add("patrick", "rdf:type", "gradStudent")
+	ds.Add("mike", "rdf:type", "gradStudent")
+	ds.Add("john", "rdf:type", "professor")
+	ds.Add("patrick", "memberOf", "csd")
+	ds.Add("mike", "memberOf", "biod")
+	ds.Add("patrick", "undergradFrom", "hpi")
+	ds.Add("tim", "undergradFrom", "hpi")
+	ds.Add("mike", "undergradFrom", "cmu")
+	return ds
+}
+
+// MustID returns the dictionary ID of a term that is known to exist in the
+// dataset, panicking otherwise. It keeps test setup terse.
+func MustID(ds *rdf.Dataset, term string) rdf.Value {
+	id, ok := ds.Dict.Lookup(term)
+	if !ok {
+		panic("fixtures: unknown term " + term)
+	}
+	return id
+}

@@ -1,0 +1,28 @@
+package fixtures
+
+import "testing"
+
+func TestUniversityShape(t *testing.T) {
+	ds := University()
+	if ds.Size() != 8 {
+		t.Fatalf("Table 1 has %d triples, want 8", ds.Size())
+	}
+	// Spot-check t6: (patrick, undergradFrom, hpi).
+	tr := ds.Triples[5]
+	if ds.Dict.Decode(tr.S) != "patrick" || ds.Dict.Decode(tr.P) != "undergradFrom" || ds.Dict.Decode(tr.O) != "hpi" {
+		t.Errorf("t6 = %s", tr.String(ds.Dict))
+	}
+}
+
+func TestMustIDPanicsOnUnknownTerm(t *testing.T) {
+	ds := University()
+	if MustID(ds, "patrick") != ds.Triples[0].S {
+		t.Errorf("MustID(patrick) wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for unknown term")
+		}
+	}()
+	MustID(ds, "nonexistent")
+}

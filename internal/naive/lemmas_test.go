@@ -1,0 +1,106 @@
+package naive
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cind"
+	"repro/internal/rdf"
+)
+
+// TestLemma1 checks the paper's Lemma 1 on discovered CINDs: the condition
+// frequencies of both the dependent and the referenced condition are at
+// least the CIND's support.
+func TestLemma1(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := seededDataset(seed, 120, 4)
+		for _, h := range []int{1, 2} {
+			for _, c := range Discover(ds, h, Options{}).CINDs {
+				if cind.FrequencyOf(ds, c.Dep.Cond) < c.Support {
+					return false
+				}
+				if cind.FrequencyOf(ds, c.Ref.Cond) < c.Support {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma2 checks that every discovered association rule's support equals
+// the support of its implied CIND.
+func TestLemma2(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := seededDataset(seed, 120, 3)
+		for _, r := range AssociationRules(ds, 1, Options{}) {
+			implied := r.ImpliedCIND()
+			if !cind.Holds(ds, implied.Inclusion) {
+				return false
+			}
+			if cind.SupportOf(ds, implied.Dep) != r.Support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiscoveredCINDsAreSound: on arbitrary datasets, everything Discover
+// reports must hold, be supported as claimed, and be minimal within the
+// reported set (no reported CIND implies another).
+func TestDiscoveredCINDsAreSound(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := seededDataset(seed, 150, 5)
+		res := Discover(ds, 2, Options{})
+		for i, a := range res.CINDs {
+			if !cind.Holds(ds, a.Inclusion) {
+				return false
+			}
+			if cind.SupportOf(ds, a.Dep) != a.Support {
+				return false
+			}
+			for j, b := range res.CINDs {
+				if i != j && a.Inclusion.Implies(b.Inclusion) {
+					return false
+				}
+			}
+		}
+		for _, r := range res.ARs {
+			if !cind.ARHolds(ds, r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// seededDataset builds a random duplicate-free dataset whose shape depends
+// only on the seed.
+func seededDataset(seed int64, n, card int) *rdf.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := rdf.NewDataset()
+	seen := map[[3]int]bool{}
+	attempts := 0
+	for len(ds.Triples) < n && attempts < n*20 {
+		attempts++
+		s, p, o := rng.Intn(card*3), rng.Intn(card), rng.Intn(card*2)
+		if seen[[3]int{s, p, o}] {
+			continue
+		}
+		seen[[3]int{s, p, o}] = true
+		ds.Add(fmt.Sprintf("s%d", s), fmt.Sprintf("p%d", p), fmt.Sprintf("o%d", o))
+	}
+	return ds
+}

@@ -1,0 +1,219 @@
+// Package naive is an exhaustive, specification-level implementation of
+// pertinent CIND discovery (§3.3). It materializes every frequent condition,
+// every capture interpretation, and checks every candidate inclusion by set
+// containment. It is exponential in nothing but brutally quadratic in the
+// number of captures, so it only runs on small datasets — which is its
+// purpose: it is the oracle the RDFind pipeline is differentially tested
+// against, and it supplies the exact search-space accounting of Fig. 2.
+package naive
+
+import (
+	"repro/internal/cind"
+	"repro/internal/rdf"
+)
+
+// Options tune the oracle to mirror pipeline configuration.
+type Options struct {
+	// PredicatesOnlyInConditions mirrors the Freebase scaling experiment
+	// (§8.3: "we consider predicates only in conditions"): the predicate
+	// element never serves as a projection attribute; conditions are
+	// unrestricted.
+	PredicatesOnlyInConditions bool
+}
+
+// conditionFrequencies counts every unary and binary condition of the
+// dataset (the condition frequency of §5.1).
+func conditionFrequencies(ds *rdf.Dataset, opts Options) map[cind.Condition]int {
+	freq := make(map[cind.Condition]int)
+	for _, t := range ds.Triples {
+		for _, a := range rdf.Attrs {
+			freq[cind.Unary(a, t.Get(a))]++
+		}
+		freq[cind.Binary(rdf.Subject, t.S, rdf.Predicate, t.P)]++
+		freq[cind.Binary(rdf.Subject, t.S, rdf.Object, t.O)]++
+		freq[cind.Binary(rdf.Predicate, t.P, rdf.Object, t.O)]++
+	}
+	return freq
+}
+
+// FrequentConditions returns all conditions with frequency ≥ h.
+func FrequentConditions(ds *rdf.Dataset, h int, opts Options) map[cind.Condition]int {
+	out := make(map[cind.Condition]int)
+	for c, n := range conditionFrequencies(ds, opts) {
+		if n >= h {
+			out[c] = n
+		}
+	}
+	return out
+}
+
+// AssociationRules derives all exact association rules between frequent
+// unary conditions: u → v holds when freq(u) == freq(u ∧ v) (§5.3); the rule
+// support is freq(u) by Lemma 2.
+func AssociationRules(ds *rdf.Dataset, h int, opts Options) []cind.AR {
+	freq := conditionFrequencies(ds, opts)
+	var rules []cind.AR
+	for c, n := range freq {
+		if !c.IsBinary() || n < h {
+			continue
+		}
+		u1, u2 := c.UnaryParts()[0], c.UnaryParts()[1]
+		if freq[u1] == n {
+			rules = append(rules, cind.AR{If: u1, Then: u2, Support: n})
+		}
+		if freq[u2] == n {
+			rules = append(rules, cind.AR{If: u2, Then: u1, Support: n})
+		}
+	}
+	return rules
+}
+
+// embedsAR reports whether a binary condition is the conjunction of an
+// association rule's sides, in either direction — such conditions yield
+// captures equivalent to unary ones and are excluded (§5.1, equivalence
+// pruning).
+func embedsAR(c cind.Condition, ars []cind.AR) bool {
+	if !c.IsBinary() {
+		return false
+	}
+	parts := c.UnaryParts()
+	for _, r := range ars {
+		if (r.If == parts[0] && r.Then == parts[1]) || (r.If == parts[1] && r.Then == parts[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// captureUniverse builds every admissible capture: a frequent condition plus
+// a projection attribute it does not use, excluding AR-equivalent binary
+// conditions (and predicate projections in the §8.3 configuration).
+func captureUniverse(freq map[cind.Condition]int, ars []cind.AR, opts Options) []cind.Capture {
+	var caps []cind.Capture
+	for c := range freq {
+		if embedsAR(c, ars) {
+			continue
+		}
+		for _, a := range rdf.Attrs {
+			if opts.PredicatesOnlyInConditions && a == rdf.Predicate {
+				continue
+			}
+			if !c.Uses(a) {
+				caps = append(caps, cind.NewCapture(a, c))
+			}
+		}
+	}
+	return caps
+}
+
+// Discover returns the pertinent CINDs (broad ∧ minimal) and the association
+// rules, by exhaustive enumeration. CINDs implied by ARs never arise because
+// AR-embedding captures are excluded from the universe (equivalence pruning,
+// §5.1), and logically trivial CINDs are non-minimal by construction: their
+// dependent condition can be relaxed to the referenced condition itself,
+// yielding a reflexive — hence valid — statement.
+func Discover(ds *rdf.Dataset, h int, opts Options) *cind.Result {
+	freq := FrequentConditions(ds, h, opts)
+	ars := AssociationRules(ds, h, opts)
+	caps := captureUniverse(freq, ars, opts)
+
+	// Materialize interpretations once.
+	interp := make([]map[rdf.Value]struct{}, len(caps))
+	for i, c := range caps {
+		interp[i] = cind.Interpret(ds, c)
+	}
+
+	// Enumerate valid broad CINDs.
+	var valid []cind.CIND
+	for i, dep := range caps {
+		if len(interp[i]) < h {
+			continue // not broad
+		}
+		for j, ref := range caps {
+			if i == j {
+				continue
+			}
+			if subset(interp[i], interp[j]) {
+				valid = append(valid, cind.CIND{
+					Inclusion: cind.Inclusion{Dep: dep, Ref: ref},
+					Support:   len(interp[i]),
+				})
+			}
+		}
+	}
+
+	// Keep minimal CINDs: those implied by no other valid one.
+	return &cind.Result{CINDs: Minimize(valid), ARs: ars}
+}
+
+// Minimize removes every CIND implied by another one in the list (§3.1).
+func Minimize(all []cind.CIND) []cind.CIND {
+	set := make(map[cind.Inclusion]struct{}, len(all))
+	for _, c := range all {
+		set[c.Inclusion] = struct{}{}
+	}
+	var out []cind.CIND
+	for _, c := range all {
+		if !impliedByAny(c.Inclusion, set) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// impliedByAny checks whether inc can be inferred from some other valid
+// inclusion: a CIND is minimal iff its dependent condition cannot be relaxed
+// nor its referenced condition tightened without violating it (§3.1).
+// Implication only relaxes the dependent condition or tightens the
+// referenced one, so the candidates are directly enumerable. The implying
+// statement is either in the set (all valid broad CINDs over the capture
+// universe) or is reflexive/trivial, i.e. valid on every dataset.
+func impliedByAny(inc cind.Inclusion, set map[cind.Inclusion]struct{}) bool {
+	// A trivial inclusion's dependent condition relaxes to the referenced
+	// condition itself, giving a reflexive, always-valid statement — so
+	// trivial inclusions are never minimal.
+	if inc.Trivial() {
+		return true
+	}
+	// Dependent implication: a valid CIND with a relaxed (unary) dependent
+	// condition implies inc.
+	if inc.Dep.Cond.IsBinary() {
+		for _, u := range inc.Dep.Cond.UnaryParts() {
+			if u.Uses(inc.Dep.Proj) {
+				continue
+			}
+			cand := cind.Inclusion{Dep: cind.Capture{Proj: inc.Dep.Proj, Cond: u}, Ref: inc.Ref}
+			if _, ok := set[cand]; ok {
+				return true
+			}
+			if cand.Trivial() {
+				return true
+			}
+		}
+	}
+	// Referenced implication: a valid CIND with a tightened (binary)
+	// referenced condition implies inc. Enumerate by scanning the set once.
+	if !inc.Ref.Cond.IsBinary() {
+		for other := range set {
+			if other != inc && other.Dep == inc.Dep && other.Ref.Proj == inc.Ref.Proj &&
+				other.Ref.Cond.Implies(inc.Ref.Cond) && other.Ref.Cond != inc.Ref.Cond {
+				return true
+			}
+		}
+	}
+	// Composition of both single steps goes through an intermediate CIND
+	// that is itself valid and present, so the two checks above suffice.
+	return false
+}
+
+func subset(a, b map[rdf.Value]struct{}) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for v := range a {
+		if _, ok := b[v]; !ok {
+			return false
+		}
+	}
+	return true
+}

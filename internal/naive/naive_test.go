@@ -1,0 +1,269 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/fixtures"
+	"repro/internal/rdf"
+)
+
+func TestFrequentConditionsTable1(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	freq := FrequentConditions(ds, 2, Options{})
+	want := map[cind.Condition]int{
+		cind.Unary(rdf.Predicate, id("rdf:type")):                                 3,
+		cind.Unary(rdf.Predicate, id("memberOf")):                                 2,
+		cind.Unary(rdf.Predicate, id("undergradFrom")):                            3,
+		cind.Unary(rdf.Object, id("gradStudent")):                                 2,
+		cind.Unary(rdf.Object, id("hpi")):                                         2,
+		cind.Unary(rdf.Subject, id("patrick")):                                    3,
+		cind.Unary(rdf.Subject, id("mike")):                                       3,
+		cind.Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent")): 2,
+		cind.Binary(rdf.Predicate, id("undergradFrom"), rdf.Object, id("hpi")):    2,
+	}
+	for c, n := range want {
+		if freq[c] != n {
+			t.Errorf("freq(%s) = %d, want %d", c.Format(ds.Dict), freq[c], n)
+		}
+	}
+	for c, n := range freq {
+		if n < 2 {
+			t.Errorf("non-frequent condition %s (freq %d) reported", c.Format(ds.Dict), n)
+		}
+	}
+	if len(freq) != len(want) {
+		t.Errorf("got %d frequent conditions, want %d", len(freq), len(want))
+		for c := range freq {
+			t.Logf("  %s (%d)", c.Format(ds.Dict), freq[c])
+		}
+	}
+}
+
+func TestAssociationRulesTable1(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	ars := AssociationRules(ds, 2, Options{})
+	// The paper's example AR: o=gradStudent → p=rdf:type, support 2.
+	// o=hpi → p=undergradFrom also holds with support 2.
+	want := map[cind.AR]bool{
+		{If: cind.Unary(rdf.Object, id("gradStudent")), Then: cind.Unary(rdf.Predicate, id("rdf:type")), Support: 2}: true,
+		{If: cind.Unary(rdf.Object, id("hpi")), Then: cind.Unary(rdf.Predicate, id("undergradFrom")), Support: 2}:    true,
+	}
+	for _, r := range ars {
+		if !cind.ARHolds(ds, r) {
+			t.Errorf("reported AR does not hold: %s", r.Format(ds.Dict))
+		}
+		delete(want, r)
+	}
+	for r := range want {
+		t.Errorf("missing AR %s", r.Format(ds.Dict))
+	}
+}
+
+func TestDiscoverTable1Example3(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	res := Discover(ds, 2, Options{})
+
+	// Every reported CIND must hold, be broad, and be non-trivial.
+	for _, c := range res.CINDs {
+		if !cind.Holds(ds, c.Inclusion) {
+			t.Errorf("invalid CIND reported: %s", c.Format(ds.Dict))
+		}
+		if got := cind.SupportOf(ds, c.Dep); got != c.Support {
+			t.Errorf("support of %s = %d, reported %d", c.Inclusion.Format(ds.Dict), got, c.Support)
+		}
+		if c.Support < 2 {
+			t.Errorf("non-broad CIND reported: %s", c.Format(ds.Dict))
+		}
+		if c.Trivial() {
+			t.Errorf("trivial CIND reported: %s", c.Format(ds.Dict))
+		}
+	}
+
+	// Example 3's CIND: (s, p=rdf:type ∧ o=gradStudent) ⊆ (s, p=undergradFrom).
+	// Its dependent condition embeds the AR o=gradStudent → p=rdf:type, so
+	// the pertinent result reports the equivalent unary form
+	// (s, o=gradStudent) ⊆ (s, p=undergradFrom) instead.
+	wantInc := cind.Inclusion{
+		Dep: cind.NewCapture(rdf.Subject, cind.Unary(rdf.Object, id("gradStudent"))),
+		Ref: cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, id("undergradFrom"))),
+	}
+	found := false
+	for _, c := range res.CINDs {
+		if c.Inclusion == wantInc {
+			found = true
+			if c.Support != 2 {
+				t.Errorf("support of Example 3 CIND = %d, want 2", c.Support)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("Example 3's CIND (unary form) not reported; got:\n%s", res.Format(ds.Dict))
+	}
+}
+
+// TestDiscoverCompleteness cross-checks Discover against a fully independent
+// validity scan: every valid, broad, minimal, non-trivial inclusion over the
+// AR-pruned capture universe must be reported.
+func TestDiscoverCompleteness(t *testing.T) {
+	ds := fixtures.University()
+	h := 2
+	res := Discover(ds, h, Options{})
+	reported := make(map[cind.Inclusion]bool)
+	for _, c := range res.CINDs {
+		reported[c.Inclusion] = true
+	}
+
+	freq := FrequentConditions(ds, h, Options{})
+	ars := AssociationRules(ds, h, Options{})
+	caps := captureUniverse(freq, ars, Options{})
+	var all []cind.CIND
+	for _, dep := range caps {
+		supp := cind.SupportOf(ds, dep)
+		if supp < h {
+			continue
+		}
+		for _, ref := range caps {
+			if dep == ref {
+				continue
+			}
+			if cind.Holds(ds, cind.Inclusion{Dep: dep, Ref: ref}) {
+				all = append(all, cind.CIND{Inclusion: cind.Inclusion{Dep: dep, Ref: ref}, Support: supp})
+			}
+		}
+	}
+	minimal := Minimize(all)
+	if len(minimal) != len(res.CINDs) {
+		t.Errorf("Discover reported %d CINDs, independent scan found %d minimal ones", len(res.CINDs), len(minimal))
+	}
+	for _, c := range minimal {
+		if !reported[c.Inclusion] {
+			t.Errorf("missing pertinent CIND %s", c.Inclusion.Format(ds.Dict))
+		}
+	}
+}
+
+func TestPredicatesOnlyInConditions(t *testing.T) {
+	ds := fixtures.University()
+	res := Discover(ds, 2, Options{PredicatesOnlyInConditions: true})
+	for _, c := range res.CINDs {
+		for _, cap := range []cind.Capture{c.Dep, c.Ref} {
+			if cap.Proj == rdf.Predicate {
+				t.Errorf("predicate projection in %s", c.Inclusion.Format(ds.Dict))
+			}
+		}
+	}
+	// (s, p=memberOf) ⊆ (s, p=rdf:type) holds with support 2 and must appear.
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	want := cind.Inclusion{
+		Dep: cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, id("memberOf"))),
+		Ref: cind.NewCapture(rdf.Subject, cind.Unary(rdf.Predicate, id("rdf:type"))),
+	}
+	found := false
+	for _, c := range res.CINDs {
+		if c.Inclusion == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected %s in predicate-only result:\n%s", want.Format(ds.Dict), res.Format(ds.Dict))
+	}
+}
+
+func TestMinimizeFigure1(t *testing.T) {
+	ds := fixtures.University()
+	id := func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+	s := rdf.Subject
+	mo := cind.Unary(rdf.Predicate, id("memberOf"))
+	moCsd := cind.Binary(rdf.Predicate, id("memberOf"), rdf.Object, id("csd"))
+	ty := cind.Unary(rdf.Predicate, id("rdf:type"))
+	tyGrad := cind.Binary(rdf.Predicate, id("rdf:type"), rdf.Object, id("gradStudent"))
+
+	mk := func(d, r cind.Condition) cind.CIND {
+		return cind.CIND{Inclusion: cind.Inclusion{
+			Dep: cind.NewCapture(s, d), Ref: cind.NewCapture(s, r),
+		}, Support: 1}
+	}
+	all := []cind.CIND{mk(mo, tyGrad), mk(moCsd, tyGrad), mk(mo, ty), mk(moCsd, ty)}
+	min := Minimize(all)
+	if len(min) != 1 || min[0].Inclusion != all[0].Inclusion {
+		t.Errorf("Minimize(Fig.1 lattice) = %d CINDs, want only ψ1", len(min))
+		for _, c := range min {
+			t.Logf("  %s", c.Inclusion.Format(ds.Dict))
+		}
+	}
+}
+
+func TestSearchSpaceFunnelOrdering(t *testing.T) {
+	ds := randomDataset(600, 7)
+	for _, h := range []int{1, 2, 5} {
+		st := SearchSpace(ds, h, Options{})
+		if st.FrequentCandidates > st.AllCandidates {
+			t.Errorf("h=%d: frequent candidates exceed all candidates", h)
+		}
+		if st.BroadCandidates > st.FrequentCandidates {
+			t.Errorf("h=%d: broad candidates (%d) exceed frequent candidates (%d)", h, st.BroadCandidates, st.FrequentCandidates)
+		}
+		if st.MinimalCINDs > st.AllCINDs {
+			t.Errorf("h=%d: minimal CINDs exceed all CINDs", h)
+		}
+		if st.BroadCINDs > st.AllCINDs {
+			t.Errorf("h=%d: broad CINDs exceed all CINDs", h)
+		}
+		if st.Pertinent > st.BroadCINDs || st.Pertinent > st.MinimalCINDs {
+			t.Errorf("h=%d: pertinent (%d) exceeds broad (%d) or minimal (%d)", h, st.Pertinent, st.BroadCINDs, st.MinimalCINDs)
+		}
+	}
+}
+
+// TestSearchSpacePertinentMatchesDiscover ties the funnel's final box to the
+// actual discovery output.
+func TestSearchSpacePertinentMatchesDiscover(t *testing.T) {
+	ds := randomDataset(300, 5)
+	for _, h := range []int{1, 2, 3} {
+		st := SearchSpace(ds, h, Options{})
+		res := Discover(ds, h, Options{})
+		if st.Pertinent != uint64(len(res.CINDs)) {
+			t.Errorf("h=%d: funnel pertinent = %d, Discover = %d", h, st.Pertinent, len(res.CINDs))
+		}
+		if st.ARs != uint64(len(res.ARs)) {
+			t.Errorf("h=%d: funnel ARs = %d, Discover = %d", h, st.ARs, len(res.ARs))
+		}
+	}
+}
+
+// randomDataset builds a small random dataset with heavy value reuse so that
+// inclusions actually arise.
+func randomDataset(n int, card int) *rdf.Dataset {
+	rng := rand.New(rand.NewSource(42))
+	ds := rdf.NewDataset()
+	subjects := make([]string, card*3)
+	preds := make([]string, card)
+	objects := make([]string, card*2)
+	for i := range subjects {
+		subjects[i] = "s" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	for i := range preds {
+		preds[i] = "p" + string(rune('A'+i))
+	}
+	for i := range objects {
+		objects[i] = "o" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	seen := map[rdf.Triple]bool{}
+	for len(ds.Triples) < n {
+		s := subjects[rng.Intn(len(subjects))]
+		p := preds[rng.Intn(len(preds))]
+		o := objects[rng.Intn(len(objects))]
+		t := rdf.Triple{S: ds.Dict.Encode(s), P: ds.Dict.Encode(p), O: ds.Dict.Encode(o)}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		ds.AddTriple(t)
+	}
+	return ds
+}

@@ -1,0 +1,228 @@
+package naive
+
+import (
+	"repro/internal/cind"
+	"repro/internal/rdf"
+)
+
+// SpaceStats is the CIND search-space funnel of Fig. 2: how candidate and
+// result counts shrink from the full quadratic candidate space down to the
+// pertinent CINDs and association rules.
+type SpaceStats struct {
+	// AllCandidates counts ordered pairs of distinct captures over all
+	// conditions occurring in the dataset (the ">50 billion" box).
+	AllCandidates uint64
+	// FrequentCandidates counts candidate pairs over captures whose
+	// conditions are frequent (first phase of lazy pruning).
+	FrequentCandidates uint64
+	// BroadCandidates counts candidate pairs whose dependent capture has
+	// support ≥ h (second phase of lazy pruning).
+	BroadCandidates uint64
+	// AllCINDs counts all valid CINDs per Definition 2.3, any support.
+	AllCINDs uint64
+	// MinimalCINDs counts the valid CINDs that are minimal, any support.
+	MinimalCINDs uint64
+	// BroadCINDs counts valid CINDs with support ≥ h over the AR-pruned
+	// capture universe — what the extractor materializes before minimality.
+	BroadCINDs uint64
+	// Pertinent counts broad ∧ minimal CINDs, the final output.
+	Pertinent uint64
+	// ARs counts the (broad) exact association rules.
+	ARs uint64
+}
+
+// capturesOf returns the admissible captures of a condition (one per unused,
+// admissible projection attribute).
+func capturesOf(c cind.Condition, opts Options) []cind.Capture {
+	var out []cind.Capture
+	for _, a := range rdf.Attrs {
+		if opts.PredicatesOnlyInConditions && a == rdf.Predicate {
+			continue
+		}
+		if !c.Uses(a) {
+			out = append(out, cind.Capture{Proj: a, Cond: c})
+		}
+	}
+	return out
+}
+
+// SearchSpace computes the full funnel. It materializes every valid CIND's
+// referenced-capture set, so it must only run on small datasets (the Fig. 2
+// experiment sizes its input accordingly).
+func SearchSpace(ds *rdf.Dataset, h int, opts Options) SpaceStats {
+	var st SpaceStats
+	freq := conditionFrequencies(ds, opts)
+
+	// Candidate-space sizes are combinatorial: captures pair with every
+	// other capture.
+	var allCaps, freqCaps uint64
+	for c, n := range freq {
+		caps := uint64(len(capturesOf(c, opts)))
+		allCaps += caps
+		if n >= h {
+			freqCaps += caps
+		}
+	}
+	st.AllCandidates = allCaps * (allCaps - 1)
+	st.FrequentCandidates = freqCaps * (freqCaps - 1)
+
+	// Valid-CIND accounting over all conditions, via capture groups: the
+	// referenced captures of a dependent capture are the intersection of all
+	// groups containing it (Lemma 3).
+	groups := buildGroups(ds, opts)
+	refs := make(map[cind.Capture]map[cind.Capture]struct{})
+	supports := make(map[cind.Capture]int)
+	for _, g := range groups {
+		for _, dep := range g {
+			supports[dep]++
+			if cur, ok := refs[dep]; !ok {
+				set := make(map[cind.Capture]struct{}, len(g))
+				for _, r := range g {
+					set[r] = struct{}{}
+				}
+				refs[dep] = set
+			} else {
+				inGroup := make(map[cind.Capture]struct{}, len(g))
+				for _, r := range g {
+					inGroup[r] = struct{}{}
+				}
+				for r := range cur {
+					if _, ok := inGroup[r]; !ok {
+						delete(cur, r)
+					}
+				}
+			}
+		}
+	}
+
+	// Broad candidates: dependent captures over frequent conditions with
+	// support ≥ h, paired with every other frequent-conditioned capture.
+	var broadDeps uint64
+	for dep, supp := range supports {
+		if supp >= h && freq[dep.Cond] >= h {
+			broadDeps++
+		}
+	}
+	st.BroadCandidates = broadDeps * (freqCaps - 1)
+
+	ars := AssociationRules(ds, h, opts)
+	st.ARs = uint64(len(ars))
+	arSet := make(map[cind.Condition]struct{})
+	for c := range freq {
+		if embedsAR(c, ars) {
+			arSet[c] = struct{}{}
+		}
+	}
+
+	// Count valid, minimal, and broad CINDs from the materialized ref sets.
+	for dep, rs := range refs {
+		// Referenced-tightening index: unary referenced captures covered by
+		// a binary referenced capture of the same dependent capture.
+		// AR-embedded binaries are skipped: they are equivalent to their
+		// unary relaxation (equivalence pruning), so "tightening" to them is
+		// not a genuine tightening.
+		tightened := make(map[cind.Capture]struct{})
+		for r := range rs {
+			if _, arEq := arSet[r.Cond]; arEq {
+				continue
+			}
+			if r.Cond.IsBinary() {
+				for _, u := range r.Cond.UnaryParts() {
+					if !u.Uses(r.Proj) {
+						tightened[cind.Capture{Proj: r.Proj, Cond: u}] = struct{}{}
+					}
+				}
+			}
+		}
+		for r := range rs {
+			if r == dep {
+				continue // reflexive
+			}
+			st.AllCINDs++
+			inc := cind.Inclusion{Dep: dep, Ref: r}
+			minimal := !inc.Trivial()
+			// Dependent relaxation is only a genuine weakening when the
+			// binary dependent condition is not AR-equivalent to its unary
+			// part (same quotient reasoning as for tightening above).
+			_, depAREq := arSet[dep.Cond]
+			if minimal && dep.Cond.IsBinary() && !depAREq {
+				for _, u := range dep.Cond.UnaryParts() {
+					if u.Uses(dep.Proj) {
+						continue
+					}
+					relaxed := cind.Capture{Proj: dep.Proj, Cond: u}
+					if relaxed == r {
+						minimal = false // relaxes to a reflexive statement
+						break
+					}
+					if rr, ok := refs[relaxed]; ok {
+						if _, ok := rr[r]; ok {
+							minimal = false
+							break
+						}
+					}
+				}
+			}
+			if minimal && !r.Cond.IsBinary() {
+				if _, ok := tightened[r]; ok {
+					minimal = false
+				}
+			}
+			if minimal {
+				st.MinimalCINDs++
+			}
+			// Broad CINDs live in the AR-pruned, frequent-condition universe.
+			broad := supports[dep] >= h && freq[dep.Cond] >= h && freq[r.Cond] >= h
+			if _, arDep := arSet[dep.Cond]; arDep {
+				broad = false
+			}
+			if _, arRef := arSet[r.Cond]; arRef {
+				broad = false
+			}
+			if broad {
+				st.BroadCINDs++
+				if minimal {
+					st.Pertinent++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// buildGroups materializes the capture groups of the dataset directly from
+// the definition: the group of a value v contains every capture whose
+// interpretation includes v. No frequency pruning is applied; the result is
+// the ground truth Lemma 3 speaks about.
+func buildGroups(ds *rdf.Dataset, opts Options) map[rdf.Value][]cind.Capture {
+	members := make(map[rdf.Value]map[cind.Capture]struct{})
+	add := func(v rdf.Value, c cind.Capture) {
+		g, ok := members[v]
+		if !ok {
+			g = make(map[cind.Capture]struct{})
+			members[v] = g
+		}
+		g[c] = struct{}{}
+	}
+	for _, t := range ds.Triples {
+		for _, proj := range rdf.Attrs {
+			if opts.PredicatesOnlyInConditions && proj == rdf.Predicate {
+				continue
+			}
+			b, g := proj.Others()
+			v := t.Get(proj)
+			add(v, cind.Capture{Proj: proj, Cond: cind.Unary(b, t.Get(b))})
+			add(v, cind.Capture{Proj: proj, Cond: cind.Unary(g, t.Get(g))})
+			add(v, cind.Capture{Proj: proj, Cond: cind.Binary(b, t.Get(b), g, t.Get(g))})
+		}
+	}
+	out := make(map[rdf.Value][]cind.Capture, len(members))
+	for v, g := range members {
+		caps := make([]cind.Capture, 0, len(g))
+		for c := range g {
+			caps = append(caps, c)
+		}
+		out[v] = caps
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a reader and writer for the N-Triples serialization
+// (https://www.w3.org/TR/n-triples/), the input format of RDFind (App. C).
+// Terms are kept in their surface form — "<uri>", "_:blank", or a literal
+// with optional datatype/language tag — so that parsing and writing round-
+// trip. The paper treats blank nodes as URIs; we keep them as opaque terms,
+// which has the same effect.
+
+// ReadNTriples parses an N-Triples document into a dataset. Blank lines and
+// comment lines (starting with '#') are skipped. Malformed lines yield an
+// error naming the line number.
+func ReadNTriples(r io.Reader) (*Dataset, error) {
+	ds := NewDataset()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, p, o, err := parseNTriplesLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+		ds.Add(s, p, o)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: %w", err)
+	}
+	return ds, nil
+}
+
+// parseNTriplesLine splits one statement into its three terms.
+func parseNTriplesLine(line string) (s, p, o string, err error) {
+	rest := line
+	if s, rest, err = scanTerm(rest); err != nil {
+		return "", "", "", fmt.Errorf("subject: %w", err)
+	}
+	if p, rest, err = scanTerm(rest); err != nil {
+		return "", "", "", fmt.Errorf("predicate: %w", err)
+	}
+	if o, rest, err = scanTerm(rest); err != nil {
+		return "", "", "", fmt.Errorf("object: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." {
+		return "", "", "", fmt.Errorf("expected terminating '.', got %q", rest)
+	}
+	return s, p, o, nil
+}
+
+// scanTerm consumes one term (URI, blank node, or literal) from the front of
+// the input and returns it with the unconsumed remainder.
+func scanTerm(in string) (term, rest string, err error) {
+	in = strings.TrimLeft(in, " \t")
+	if in == "" {
+		return "", "", fmt.Errorf("unexpected end of line")
+	}
+	switch in[0] {
+	case '<':
+		end := strings.IndexByte(in, '>')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated URI")
+		}
+		return in[:end+1], in[end+1:], nil
+	case '_':
+		end := strings.IndexAny(in, " \t")
+		if end < 0 {
+			end = len(in)
+		}
+		return in[:end], in[end:], nil
+	case '"':
+		end := closingQuote(in)
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated literal")
+		}
+		// Absorb an optional datatype (^^<...>) or language tag (@xx).
+		rest = in[end+1:]
+		if strings.HasPrefix(rest, "^^<") {
+			gt := strings.IndexByte(rest, '>')
+			if gt < 0 {
+				return "", "", fmt.Errorf("unterminated datatype URI")
+			}
+			end += gt + 1
+			rest = rest[gt+1:]
+		} else if strings.HasPrefix(rest, "@") {
+			n := 1
+			for n < len(rest) && rest[n] != ' ' && rest[n] != '\t' {
+				n++
+			}
+			end += n
+			rest = rest[n:]
+		}
+		return in[:end+1], rest, nil
+	default:
+		return "", "", fmt.Errorf("unexpected character %q", in[0])
+	}
+}
+
+// closingQuote finds the index of the unescaped closing quote of a literal
+// that starts at in[0] == '"'.
+func closingQuote(in string) int {
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '\\':
+			i++ // skip the escaped character
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// WriteNTriples serializes a dataset as N-Triples. Terms that do not already
+// carry N-Triples syntax (no '<', '"', or "_:" prefix) are wrapped as URIs so
+// that programmatically built datasets serialize to valid documents.
+func WriteNTriples(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ds.Triples {
+		s := formatTerm(ds.Dict.Decode(t.S))
+		p := formatTerm(ds.Dict.Decode(t.P))
+		o := formatTerm(ds.Dict.Decode(t.O))
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", s, p, o); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func formatTerm(term string) string {
+	if term == "" {
+		return "<>"
+	}
+	switch term[0] {
+	case '<', '"', '_':
+		return term
+	}
+	return "<" + term + ">"
+}

@@ -1,0 +1,142 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrString(t *testing.T) {
+	cases := map[Attr]string{Subject: "s", Predicate: "p", Object: "o", AttrNone: "-"}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("Attr(%d).String() = %q, want %q", a, got, want)
+		}
+	}
+	if got := Attr(7).String(); got != "attr(7)" {
+		t.Errorf("unknown attr rendered as %q", got)
+	}
+}
+
+func TestAttrOthers(t *testing.T) {
+	for _, a := range Attrs {
+		b, c := a.Others()
+		if b == a || c == a || b == c {
+			t.Fatalf("Others(%v) = (%v, %v): not the two complements", a, b, c)
+		}
+		if b > c {
+			t.Errorf("Others(%v) = (%v, %v): not in canonical order", a, b, c)
+		}
+	}
+}
+
+func TestTripleGet(t *testing.T) {
+	tr := Triple{S: 1, P: 2, O: 3}
+	if tr.Get(Subject) != 1 || tr.Get(Predicate) != 2 || tr.Get(Object) != 3 {
+		t.Errorf("Get projections wrong: %v %v %v", tr.Get(Subject), tr.Get(Predicate), tr.Get(Object))
+	}
+}
+
+func TestDatasetAddEncodes(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("patrick", "rdf:type", "gradStudent")
+	ds.Add("mike", "rdf:type", "gradStudent")
+	if ds.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", ds.Size())
+	}
+	if ds.Triples[0].P != ds.Triples[1].P {
+		t.Errorf("same predicate got different IDs: %v vs %v", ds.Triples[0].P, ds.Triples[1].P)
+	}
+	if ds.Triples[0].O != ds.Triples[1].O {
+		t.Errorf("same object got different IDs")
+	}
+	if ds.Triples[0].S == ds.Triples[1].S {
+		t.Errorf("different subjects share an ID")
+	}
+}
+
+func TestTripleStringRendersSurfaceForms(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("a", "b", "c")
+	if got := ds.Triples[0].String(ds.Dict); got != "(a, b, c)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	words := []string{"alpha", "beta", "gamma", "alpha", ""}
+	ids := make([]Value, len(words))
+	for i, w := range words {
+		ids[i] = d.Encode(w)
+	}
+	if ids[0] != ids[3] {
+		t.Errorf("re-encoding the same term changed its ID: %v vs %v", ids[0], ids[3])
+	}
+	if d.Len() != 4 {
+		t.Errorf("Len = %d, want 4 distinct terms", d.Len())
+	}
+	for i, w := range words {
+		if got := d.Decode(ids[i]); got != w {
+			t.Errorf("Decode(Encode(%q)) = %q", w, got)
+		}
+	}
+}
+
+func TestDictionaryLookup(t *testing.T) {
+	d := NewDictionary()
+	id := d.Encode("present")
+	if got, ok := d.Lookup("present"); !ok || got != id {
+		t.Errorf("Lookup(present) = (%v, %v), want (%v, true)", got, ok, id)
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Errorf("Lookup(absent) reported present")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Lookup interned a term: Len = %d", d.Len())
+	}
+}
+
+func TestDictionaryDecodeUnknown(t *testing.T) {
+	d := NewDictionary()
+	if got := d.Decode(NoValue); got != "?" {
+		t.Errorf("Decode(NoValue) = %q, want \"?\"", got)
+	}
+	if got := d.Decode(42); got != "?" {
+		t.Errorf("Decode(unissued) = %q, want \"?\"", got)
+	}
+}
+
+// Property: Encode is injective on distinct strings and Decode inverts it.
+func TestDictionaryEncodeInjective(t *testing.T) {
+	f := func(words []string) bool {
+		d := NewDictionary()
+		seen := make(map[string]Value)
+		for _, w := range words {
+			id := d.Encode(w)
+			if prev, ok := seen[w]; ok && prev != id {
+				return false
+			}
+			seen[w] = id
+			if d.Decode(id) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDictionaryEncode(b *testing.B) {
+	words := make([]string, 1024)
+	for i := range words {
+		words[i] = fmt.Sprintf("http://example.org/resource/%d", i)
+	}
+	d := NewDictionary()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Encode(words[i%len(words)])
+	}
+}

@@ -1,0 +1,126 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func snapshotSample() *Dataset {
+	ds := NewDataset()
+	ds.Add("patrick", "rdf:type", "gradStudent")
+	ds.Add("mike", "rdf:type", "gradStudent")
+	ds.Add("patrick", "memberOf", "csd")
+	ds.Add("_:b", "label", `"a literal with \"escapes\""`)
+	return ds
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ds := snapshotSample()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != ds.Size() || back.Dict.Len() != ds.Dict.Len() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.Size(), back.Dict.Len(), ds.Size(), ds.Dict.Len())
+	}
+	for i, tr := range ds.Triples {
+		for _, a := range Attrs {
+			if ds.Dict.Decode(tr.Get(a)) != back.Dict.Decode(back.Triples[i].Get(a)) {
+				t.Errorf("triple %d attr %v differs", i, a)
+			}
+		}
+	}
+}
+
+func TestSnapshotEmptyDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, NewDataset()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil || back.Size() != 0 {
+		t.Errorf("empty round trip: size=%d err=%v", back.Size(), err)
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOPE\x01",
+		"truncated": "RDFS\x01\x05",
+	}
+	for name, in := range cases {
+		if _, err := ReadSnapshot(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	// Wrong version.
+	if _, err := ReadSnapshot(strings.NewReader("RDFS\x63")); err == nil {
+		t.Errorf("version check missing")
+	}
+	// A triple referencing an out-of-range term: terms=1 ("x"), triple (0,0,9).
+	bad := []byte("RDFS\x01")
+	bad = append(bad, 1)      // one term
+	bad = append(bad, 1, 'x') // term "x"
+	bad = append(bad, 1)      // one triple
+	bad = append(bad, 0, 0, 9)
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Errorf("out-of-range term reference accepted")
+	}
+	// A term claiming an absurd length must be rejected, not allocated.
+	huge := []byte("RDFS\x01")
+	huge = append(huge, 1)                            // one term
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // ~34 GB length
+	if _, err := ReadSnapshot(bytes.NewReader(huge)); err == nil {
+		t.Errorf("absurd term length accepted")
+	}
+	// An absurd triple count must not pre-allocate; truncated data errors out.
+	many := []byte("RDFS\x01")
+	many = append(many, 1, 1, 'x')                    // one term "x"
+	many = append(many, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge triple count
+	if _, err := ReadSnapshot(bytes.NewReader(many)); err == nil {
+		t.Errorf("truncated huge snapshot accepted")
+	}
+}
+
+func TestSnapshotSmallerThanNTriples(t *testing.T) {
+	ds := NewDataset()
+	for i := 0; i < 2000; i++ {
+		ds.Add("http://example.org/a-rather-long-subject-name",
+			"http://example.org/predicate",
+			"http://example.org/object")
+	}
+	// Duplicates collapse in the dictionary; add distinct ones too.
+	for i := 0; i < 2000; i++ {
+		ds.Add("s", "p", string(rune('a'+i%26))+string(rune('0'+i/26%10)))
+	}
+	var nt, snap bytes.Buffer
+	if err := WriteNTriples(&nt, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&snap, ds); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() >= nt.Len() {
+		t.Errorf("snapshot (%d bytes) not smaller than N-Triples (%d bytes)", snap.Len(), nt.Len())
+	}
+}
+
+func BenchmarkSnapshotRead(b *testing.B) {
+	ds := snapshotSample()
+	var buf bytes.Buffer
+	WriteSnapshot(&buf, ds)
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind classifies an RDF term.
+type TermKind int
+
+const (
+	// IRI is a resource identifier, serialized as <...>.
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) value.
+	Literal
+	// BlankNode is a local node identifier (_:label). The discovery
+	// algorithms treat blank nodes like IRIs, as the paper does (§2).
+	BlankNode
+)
+
+// Term is the structured view of one RDF term. The dictionary stores terms
+// in surface form; Term gives typed access when callers need to distinguish
+// literals from resources, inspect datatypes, or strip quoting.
+type Term struct {
+	Kind TermKind
+	// Value is the IRI (without angle brackets), the blank-node label
+	// (without "_:"), or the literal's lexical form (unescaped).
+	Value string
+	// Datatype is the literal's datatype IRI, empty otherwise.
+	Datatype string
+	// Lang is the literal's language tag, empty otherwise.
+	Lang string
+}
+
+// ParseTerm interprets an N-Triples surface form. Bare tokens without term
+// syntax (as produced by programmatically built datasets) parse as IRIs.
+func ParseTerm(s string) (Term, error) {
+	if s == "" {
+		return Term{}, fmt.Errorf("rdf: empty term")
+	}
+	switch {
+	case s[0] == '<':
+		if !strings.HasSuffix(s, ">") {
+			return Term{}, fmt.Errorf("rdf: unterminated IRI %q", s)
+		}
+		return Term{Kind: IRI, Value: s[1 : len(s)-1]}, nil
+	case strings.HasPrefix(s, "_:"):
+		if len(s) == 2 {
+			return Term{}, fmt.Errorf("rdf: blank node without label")
+		}
+		return Term{Kind: BlankNode, Value: s[2:]}, nil
+	case s[0] == '"':
+		end := closingQuote(s)
+		if end < 0 {
+			return Term{}, fmt.Errorf("rdf: unterminated literal %q", s)
+		}
+		t := Term{Kind: Literal, Value: unescapeLiteral(s[1:end])}
+		rest := s[end+1:]
+		switch {
+		case rest == "":
+		case strings.HasPrefix(rest, "^^<") && strings.HasSuffix(rest, ">"):
+			t.Datatype = rest[3 : len(rest)-1]
+		case strings.HasPrefix(rest, "@") && len(rest) > 1:
+			t.Lang = rest[1:]
+		default:
+			return Term{}, fmt.Errorf("rdf: malformed literal suffix %q", rest)
+		}
+		return t, nil
+	default:
+		// Bare token: treat as IRI, matching WriteNTriples' wrapping rule.
+		return Term{Kind: IRI, Value: s}, nil
+	}
+}
+
+// String renders the term in N-Triples surface form.
+func (t Term) String() string {
+	switch t.Kind {
+	case BlankNode:
+		return "_:" + t.Value
+	case Literal:
+		s := `"` + escapeLiteral(t.Value) + `"`
+		if t.Datatype != "" {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		return s
+	default:
+		return "<" + t.Value + ">"
+	}
+}
+
+// IsResource reports whether the term can appear in subject position.
+func (t Term) IsResource() bool { return t.Kind != Literal }
+
+// escapeLiteral applies the N-Triples string escapes.
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLiteral reverses escapeLiteral (and tolerates unknown escapes by
+// keeping them verbatim).
+func unescapeLiteral(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		case '"', '\\':
+			b.WriteByte(s[i])
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

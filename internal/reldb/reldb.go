@@ -1,0 +1,283 @@
+// Package reldb is a small in-memory relational engine that stands in for
+// the MySQL/PostgreSQL instances the Cinderella baseline ran on in the
+// paper's Fig. 7 experiment. It provides tables over dictionary-encoded
+// values, selection/projection, grouped aggregation, and — the operation
+// Cinderella is built on — left outer joins in two physical flavors: a hash
+// join (the PostgreSQL stand-in) and a sort-merge join (the MySQL stand-in).
+//
+// The engine enforces an optional row budget so that experiments can
+// reproduce the baseline's memory-exhaustion failures: when a materialized
+// result exceeds the budget, the operation fails with ErrOutOfMemory, the
+// analogue of the aborted Cinderella runs (hollow bars in Fig. 7).
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// ErrOutOfMemory reports that an operator exceeded the configured row
+// budget, emulating a database run that exhausts its memory grant.
+var ErrOutOfMemory = errors.New("reldb: row budget exhausted")
+
+// JoinAlgorithm selects the physical join operator.
+type JoinAlgorithm int
+
+const (
+	// HashJoin builds a hash table on the right input (PostgreSQL stand-in).
+	HashJoin JoinAlgorithm = iota
+	// SortMergeJoin sorts both inputs and merges (MySQL stand-in).
+	SortMergeJoin
+)
+
+// String names the algorithm after the DBMS it emulates.
+func (a JoinAlgorithm) String() string {
+	if a == SortMergeJoin {
+		return "my"
+	}
+	return "pg"
+}
+
+// Row is one tuple of dictionary-encoded values.
+type Row []rdf.Value
+
+// Table is a named relation with a fixed schema.
+type Table struct {
+	Name string
+	Cols []string
+	Rows []Row
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, cols ...string) *Table {
+	return &Table{Name: name, Cols: cols}
+}
+
+// ColIndex returns the position of a column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Insert appends a row; the arity must match the schema.
+func (t *Table) Insert(vals ...rdf.Value) {
+	if len(vals) != len(t.Cols) {
+		panic(fmt.Sprintf("reldb: inserting %d values into %d columns", len(vals), len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, Row(vals))
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Select returns the rows satisfying pred as a new table.
+func (t *Table) Select(pred func(Row) bool) *Table {
+	out := &Table{Name: t.Name, Cols: t.Cols}
+	for _, r := range t.Rows {
+		if pred(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// Project returns a table with only the named columns.
+func (t *Table) Project(cols ...string) *Table {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.ColIndex(c)
+		if idx[i] < 0 {
+			panic("reldb: unknown column " + c)
+		}
+	}
+	out := &Table{Name: t.Name, Cols: cols}
+	for _, r := range t.Rows {
+		nr := make(Row, len(idx))
+		for i, j := range idx {
+			nr[i] = r[j]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// DistinctValues returns the set of values in one column.
+func (t *Table) DistinctValues(col string) map[rdf.Value]struct{} {
+	i := t.ColIndex(col)
+	out := make(map[rdf.Value]struct{})
+	for _, r := range t.Rows {
+		out[r[i]] = struct{}{}
+	}
+	return out
+}
+
+// JoinedRow is one output tuple of a left outer join: the left row plus a
+// flag telling whether a right-side partner existed (false means the right
+// side was NULL-padded).
+type JoinedRow struct {
+	Left    Row
+	Matched bool
+}
+
+// LeftOuterJoin joins the left table's leftCol against the right table's
+// rightCol, returning one output row per left row and right match (and one
+// NULL-padded row for unmatched left rows). The budget caps the number of
+// materialized output rows; 0 means unlimited.
+func LeftOuterJoin(left, right *Table, leftCol, rightCol string, algo JoinAlgorithm, budget int) ([]JoinedRow, error) {
+	li := left.ColIndex(leftCol)
+	ri := right.ColIndex(rightCol)
+	if li < 0 || ri < 0 {
+		panic("reldb: unknown join column")
+	}
+	switch algo {
+	case SortMergeJoin:
+		return sortMergeLOJ(left, right, li, ri, budget)
+	default:
+		return hashLOJ(left, right, li, ri, budget)
+	}
+}
+
+func hashLOJ(left, right *Table, li, ri, budget int) ([]JoinedRow, error) {
+	matches := make(map[rdf.Value]int)
+	for _, r := range right.Rows {
+		matches[r[ri]]++
+	}
+	var out []JoinedRow
+	for _, l := range left.Rows {
+		n := matches[l[li]]
+		if n == 0 {
+			out = append(out, JoinedRow{Left: l, Matched: false})
+		} else {
+			for k := 0; k < n; k++ {
+				out = append(out, JoinedRow{Left: l, Matched: true})
+			}
+		}
+		if budget > 0 && len(out) > budget {
+			return nil, fmt.Errorf("%w: hash join produced more than %d rows", ErrOutOfMemory, budget)
+		}
+	}
+	return out, nil
+}
+
+func sortMergeLOJ(left, right *Table, li, ri, budget int) ([]JoinedRow, error) {
+	ls := make([]Row, len(left.Rows))
+	copy(ls, left.Rows)
+	sort.Slice(ls, func(i, j int) bool { return ls[i][li] < ls[j][li] })
+	rs := make([]rdf.Value, 0, len(right.Rows))
+	for _, r := range right.Rows {
+		rs = append(rs, r[ri])
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+
+	var out []JoinedRow
+	j := 0
+	for _, l := range ls {
+		v := l[li]
+		for j < len(rs) && rs[j] < v {
+			j++
+		}
+		k := j
+		matched := false
+		for k < len(rs) && rs[k] == v {
+			out = append(out, JoinedRow{Left: l, Matched: true})
+			matched = true
+			k++
+		}
+		if !matched {
+			out = append(out, JoinedRow{Left: l, Matched: false})
+		}
+		if budget > 0 && len(out) > budget {
+			return nil, fmt.Errorf("%w: sort-merge join produced more than %d rows", ErrOutOfMemory, budget)
+		}
+	}
+	return out, nil
+}
+
+// StreamFullLeftOuterJoin produces the same output rows as LeftOuterJoin —
+// one per (left row, right match) pair, multiplicities included — but feeds
+// them to a sink instead of materializing them, the way a DBMS pipelines or
+// spills a join. Time still scales with the true join size and with the
+// chosen physical operator.
+func StreamFullLeftOuterJoin(left, right *Table, leftCol, rightCol string, algo JoinAlgorithm, sink func(Row, bool)) {
+	li := left.ColIndex(leftCol)
+	ri := right.ColIndex(rightCol)
+	if li < 0 || ri < 0 {
+		panic("reldb: unknown join column")
+	}
+	if algo == SortMergeJoin {
+		ls := make([]Row, len(left.Rows))
+		copy(ls, left.Rows)
+		sort.Slice(ls, func(i, j int) bool { return ls[i][li] < ls[j][li] })
+		rs := make([]rdf.Value, 0, len(right.Rows))
+		for _, r := range right.Rows {
+			rs = append(rs, r[ri])
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		j := 0
+		for _, l := range ls {
+			v := l[li]
+			for j < len(rs) && rs[j] < v {
+				j++
+			}
+			matched := false
+			for k := j; k < len(rs) && rs[k] == v; k++ {
+				sink(l, true)
+				matched = true
+			}
+			if !matched {
+				sink(l, false)
+			}
+		}
+		return
+	}
+	matches := make(map[rdf.Value]int, len(right.Rows))
+	for _, r := range right.Rows {
+		matches[r[ri]]++
+	}
+	for _, l := range left.Rows {
+		n := matches[l[li]]
+		if n == 0 {
+			sink(l, false)
+			continue
+		}
+		for k := 0; k < n; k++ {
+			sink(l, true)
+		}
+	}
+}
+
+// StreamLeftOuterJoin performs the same join without materializing the
+// output: each (left row, matched) pair is passed to the sink. It backs the
+// memory-optimized Cinderella* variant.
+func StreamLeftOuterJoin(left, right *Table, leftCol, rightCol string, sink func(Row, bool)) {
+	li := left.ColIndex(leftCol)
+	ri := right.ColIndex(rightCol)
+	if li < 0 || ri < 0 {
+		panic("reldb: unknown join column")
+	}
+	exists := make(map[rdf.Value]struct{}, len(right.Rows))
+	for _, r := range right.Rows {
+		exists[r[ri]] = struct{}{}
+	}
+	for _, l := range left.Rows {
+		_, ok := exists[l[li]]
+		sink(l, ok)
+	}
+}
+
+// GroupCount aggregates rows by a key column, counting rows per key.
+func (t *Table) GroupCount(col string) map[rdf.Value]int {
+	i := t.ColIndex(col)
+	out := make(map[rdf.Value]int)
+	for _, r := range t.Rows {
+		out[r[i]]++
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package reldb
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func sample() (*Table, *Table) {
+	left := NewTable("l", "a", "b")
+	left.Insert(1, 10)
+	left.Insert(2, 20)
+	left.Insert(2, 21)
+	left.Insert(3, 30)
+	right := NewTable("r", "x")
+	right.Insert(2)
+	right.Insert(2)
+	right.Insert(3)
+	right.Insert(9)
+	return left, right
+}
+
+func TestColIndexAndInsert(t *testing.T) {
+	tb := NewTable("t", "s", "p", "o")
+	if tb.ColIndex("p") != 1 || tb.ColIndex("missing") != -1 {
+		t.Errorf("ColIndex wrong")
+	}
+	tb.Insert(1, 2, 3)
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic on arity mismatch")
+		}
+	}()
+	tb.Insert(1, 2)
+}
+
+func TestSelectProject(t *testing.T) {
+	left, _ := sample()
+	sel := left.Select(func(r Row) bool { return r[0] == 2 })
+	if sel.Len() != 2 {
+		t.Errorf("Select kept %d rows, want 2", sel.Len())
+	}
+	proj := left.Project("b")
+	if len(proj.Cols) != 1 || proj.Rows[0][0] != 10 {
+		t.Errorf("Project wrong: %+v", proj)
+	}
+}
+
+func TestDistinctValuesAndGroupCount(t *testing.T) {
+	left, _ := sample()
+	dv := left.DistinctValues("a")
+	if len(dv) != 3 {
+		t.Errorf("DistinctValues = %d, want 3", len(dv))
+	}
+	gc := left.GroupCount("a")
+	if gc[2] != 2 || gc[1] != 1 {
+		t.Errorf("GroupCount = %v", gc)
+	}
+}
+
+// bothJoins runs a join with each algorithm and checks they agree.
+func bothJoins(t *testing.T, left, right *Table, lc, rc string) []JoinedRow {
+	t.Helper()
+	h, err := LeftOuterJoin(left, right, lc, rc, HashJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := LeftOuterJoin(left, right, lc, rc, SortMergeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != len(s) {
+		t.Fatalf("hash join %d rows, sort-merge %d rows", len(h), len(s))
+	}
+	count := func(rows []JoinedRow) map[rdf.Value][2]int {
+		m := map[rdf.Value][2]int{}
+		for _, r := range rows {
+			c := m[r.Left[0]]
+			if r.Matched {
+				c[0]++
+			} else {
+				c[1]++
+			}
+			m[r.Left[0]] = c
+		}
+		return m
+	}
+	hm, sm := count(h), count(s)
+	for k, v := range hm {
+		if sm[k] != v {
+			t.Fatalf("join algorithms disagree for key %v: %v vs %v", k, v, sm[k])
+		}
+	}
+	return h
+}
+
+func TestLeftOuterJoinSemantics(t *testing.T) {
+	left, right := sample()
+	rows := bothJoins(t, left, right, "a", "x")
+	// a=1: no match (1 row, unmatched); a=2: two right matches each (2 left
+	// rows × 2 = 4 matched); a=3: 1 matched. Total 6.
+	if len(rows) != 6 {
+		t.Fatalf("join produced %d rows, want 6", len(rows))
+	}
+	matched, unmatched := 0, 0
+	for _, r := range rows {
+		if r.Matched {
+			matched++
+		} else {
+			unmatched++
+		}
+	}
+	if matched != 5 || unmatched != 1 {
+		t.Errorf("matched=%d unmatched=%d, want 5/1", matched, unmatched)
+	}
+}
+
+func TestJoinBudget(t *testing.T) {
+	left, right := sample()
+	for _, algo := range []JoinAlgorithm{HashJoin, SortMergeJoin} {
+		_, err := LeftOuterJoin(left, right, "a", "x", algo, 3)
+		if !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("%v: budget 3 not enforced, err=%v", algo, err)
+		}
+	}
+}
+
+func TestStreamLeftOuterJoin(t *testing.T) {
+	left, right := sample()
+	var matched, unmatched int
+	StreamLeftOuterJoin(left, right, "a", "x", func(r Row, ok bool) {
+		if ok {
+			matched++
+		} else {
+			unmatched++
+		}
+	})
+	// Streaming emits one row per left row (semi-join style).
+	if matched != 3 || unmatched != 1 {
+		t.Errorf("stream join matched=%d unmatched=%d, want 3/1", matched, unmatched)
+	}
+}
+
+func TestJoinAlgorithmString(t *testing.T) {
+	if HashJoin.String() != "pg" || SortMergeJoin.String() != "my" {
+		t.Errorf("algorithm names wrong: %s %s", HashJoin, SortMergeJoin)
+	}
+}
+
+// Property: both join algorithms produce identical matched/unmatched
+// multiplicity per key, for random inputs.
+func TestQuickJoinEquivalence(t *testing.T) {
+	f := func(ls, rs []uint8) bool {
+		left := NewTable("l", "a")
+		for _, v := range ls {
+			left.Insert(rdf.Value(v % 16))
+		}
+		right := NewTable("r", "x")
+		for _, v := range rs {
+			right.Insert(rdf.Value(v % 16))
+		}
+		h, err1 := LeftOuterJoin(left, right, "a", "x", HashJoin, 0)
+		s, err2 := LeftOuterJoin(left, right, "a", "x", SortMergeJoin, 0)
+		if err1 != nil || err2 != nil || len(h) != len(s) {
+			return err1 == nil && err2 == nil && len(h) == len(s)
+		}
+		hm := map[[2]interface{}]int{}
+		sm := map[[2]interface{}]int{}
+		for _, r := range h {
+			hm[[2]interface{}{r.Left[0], r.Matched}]++
+		}
+		for _, r := range s {
+			sm[[2]interface{}{r.Left[0], r.Matched}]++
+		}
+		if len(hm) != len(sm) {
+			return false
+		}
+		for k, v := range hm {
+			if sm[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

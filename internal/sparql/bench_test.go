@@ -1,0 +1,49 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/triplestore"
+)
+
+// BenchmarkQ2OriginalVsMinimized is the micro version of Fig. 14: executing
+// LUBM query Q2 before and after CIND-based minimization.
+func BenchmarkQ2OriginalVsMinimized(b *testing.B) {
+	ds := datagen.LUBM(0.3)
+	st := triplestore.New(ds)
+	res, _ := core.Discover(ds, core.Config{Support: 2, Workers: 2})
+	q, err := Parse(LUBMQ2ForBench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	min := Minimize(q, res, ds.Dict)
+	b.Run("original", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Execute(st, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("minimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Execute(st, min); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// LUBMQ2ForBench mirrors the Fig. 14 query.
+const LUBMQ2ForBench = "SELECT ?x ?y ?z WHERE { " +
+	"?x rdf:type GraduateStudent . ?y rdf:type University . ?z rdf:type Department . " +
+	"?x memberOf ?z . ?z subOrganizationOf ?y . ?x undergraduateDegreeFrom ?y }"
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(LUBMQ2ForBench); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/triplestore"
+)
+
+// Binding maps variable names to dictionary-encoded values.
+type Binding map[string]rdf.Value
+
+// Result holds query output rows, projected onto the query's variables.
+type Result struct {
+	Vars []string
+	Rows [][]rdf.Value
+}
+
+// Execute evaluates the query with index nested loops. Patterns are ordered
+// greedily: at each step the pattern with the lowest estimated cardinality
+// under the current bound-variable set runs next, which is the standard
+// selectivity-driven plan a store like RDF-3X would pick.
+//
+// A constant term that is not in the dictionary matches nothing, so such
+// queries return empty results rather than failing.
+func Execute(st *triplestore.Store, q *Query) (*Result, error) {
+	vars := q.Vars
+	if len(vars) == 0 {
+		seen := map[string]bool{}
+		for _, p := range q.Patterns {
+			for _, v := range p.Vars() {
+				if !seen[v] {
+					seen[v] = true
+					vars = append(vars, v)
+				}
+			}
+		}
+	}
+	res := &Result{Vars: vars}
+
+	// Resolve constants once; unknown constants make the query empty.
+	type resolved struct {
+		pat  Pattern
+		vals [3]rdf.Value // Wildcard where variable
+		ok   bool
+	}
+	rps := make([]resolved, len(q.Patterns))
+	for i, p := range q.Patterns {
+		rps[i].pat = p
+		rps[i].ok = true
+		for j, t := range p.Terms() {
+			if t.IsVar() {
+				rps[i].vals[j] = triplestore.Wildcard
+			} else if id, ok := st.Dict().Lookup(t.Const); ok {
+				rps[i].vals[j] = id
+			} else {
+				rps[i].ok = false
+			}
+		}
+		if !rps[i].ok {
+			return res, nil // a constant never occurs: no matches
+		}
+	}
+
+	// Recursive index-nested-loop evaluation with greedy ordering.
+	binding := Binding{}
+	remaining := make([]int, len(rps))
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	bound := func(i int) [3]rdf.Value {
+		vals := rps[i].vals
+		for j, t := range rps[i].pat.Terms() {
+			if t.IsVar() {
+				if v, ok := binding[t.Var]; ok {
+					vals[j] = v
+				}
+			}
+		}
+		return vals
+	}
+
+	// Resolve filter constants once; a constant absent from the dictionary
+	// can never equal anything.
+	type resolvedFilter struct {
+		f        Filter
+		lc, rc   rdf.Value // resolved constants (or Wildcard for variables)
+		lUnknown bool
+		rUnknown bool
+	}
+	filters := make([]resolvedFilter, len(q.Filters))
+	for i, f := range q.Filters {
+		rf := resolvedFilter{f: f, lc: triplestore.Wildcard, rc: triplestore.Wildcard}
+		if !f.Left.IsVar() {
+			if id, ok := st.Dict().Lookup(f.Left.Const); ok {
+				rf.lc = id
+			} else {
+				rf.lUnknown = true
+			}
+		}
+		if !f.Right.IsVar() {
+			if id, ok := st.Dict().Lookup(f.Right.Const); ok {
+				rf.rc = id
+			} else {
+				rf.rUnknown = true
+			}
+		}
+		filters[i] = rf
+	}
+	passesFilters := func() bool {
+		for _, rf := range filters {
+			lv, rv := rf.lc, rf.rc
+			if rf.f.Left.IsVar() {
+				lv = binding[rf.f.Left.Var]
+			}
+			if rf.f.Right.IsVar() {
+				rv = binding[rf.f.Right.Var]
+			}
+			equal := lv == rv && !rf.lUnknown && !rf.rUnknown
+			if rf.f.Op == OpEq && !equal || rf.f.Op == OpNe && equal {
+				return false
+			}
+		}
+		return true
+	}
+
+	var eval func(remaining []int) error
+	eval = func(remaining []int) error {
+		if len(remaining) == 0 {
+			if !passesFilters() {
+				return nil
+			}
+			row := make([]rdf.Value, len(vars))
+			for i, v := range vars {
+				val, ok := binding[v]
+				if !ok {
+					return fmt.Errorf("sparql: projected variable ?%s is unbound", v)
+				}
+				row[i] = val
+			}
+			res.Rows = append(res.Rows, row)
+			return nil
+		}
+		// Pick the most selective remaining pattern.
+		best, bestCard := -1, 0
+		for idx, i := range remaining {
+			vals := bound(i)
+			card := st.Cardinality(vals[0], vals[1], vals[2])
+			if best < 0 || card < bestCard {
+				best, bestCard = idx, card
+			}
+		}
+		i := remaining[best]
+		rest := make([]int, 0, len(remaining)-1)
+		rest = append(rest, remaining[:best]...)
+		rest = append(rest, remaining[best+1:]...)
+
+		vals := bound(i)
+		terms := rps[i].pat.Terms()
+		var scanErr error
+		st.Scan(vals[0], vals[1], vals[2], func(t rdf.Triple) bool {
+			got := [3]rdf.Value{t.S, t.P, t.O}
+			var assigned []string
+			consistent := true
+			for j, term := range terms {
+				if !term.IsVar() {
+					continue
+				}
+				if v, ok := binding[term.Var]; ok {
+					if v != got[j] {
+						consistent = false
+						break
+					}
+				} else {
+					binding[term.Var] = got[j]
+					assigned = append(assigned, term.Var)
+				}
+			}
+			if consistent {
+				if err := eval(rest); err != nil {
+					scanErr = err
+				}
+			}
+			for _, v := range assigned {
+				delete(binding, v)
+			}
+			return scanErr == nil
+		})
+		return scanErr
+	}
+	if err := eval(remaining); err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		seen := make(map[string]bool, len(res.Rows))
+		kept := res.Rows[:0]
+		for _, row := range res.Rows {
+			k := fmt.Sprint(row)
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, row)
+			}
+		}
+		res.Rows = kept
+	}
+	sortRows(res)
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// sortRows gives deterministic output order.
+func sortRows(res *Result) {
+	sort.Slice(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// Render decodes result rows into surface forms.
+func (r *Result) Render(dict *rdf.Dictionary) [][]string {
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		sr := make([]string, len(row))
+		for j, v := range row {
+			sr[j] = dict.Decode(v)
+		}
+		out[i] = sr
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/triplestore"
+)
+
+func TestParseDistinctLimitFilter(t *testing.T) {
+	q, err := Parse("SELECT DISTINCT ?s WHERE { ?s ?p ?o . FILTER(?s != patrick) } LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct || q.Limit != 2 || len(q.Filters) != 1 {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.Filters[0].Op != OpNe || q.Filters[0].Left.Var != "s" || q.Filters[0].Right.Const != "patrick" {
+		t.Errorf("filter = %+v", q.Filters[0])
+	}
+	// Round trip through String.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Errorf("round trip changed query: %q vs %q", q.String(), q2.String())
+	}
+}
+
+func TestParseExtensionErrors(t *testing.T) {
+	bad := []string{
+		"SELECT ?s WHERE { ?s ?p ?o } LIMIT x",
+		"SELECT ?s WHERE { ?s ?p ?o } LIMIT -1",
+		"SELECT ?s WHERE { ?s ?p ?o } TRAILING",
+		"SELECT ?s WHERE { ?s ?p ?o . FILTER ?s != ?o }",
+		"SELECT ?s WHERE { ?s ?p ?o . FILTER(?s ?o) }",
+		"SELECT ?s WHERE { ?s ?p ?o . FILTER(a = b) }",
+		"SELECT ?s WHERE { ?s ?p ?o . FILTER(?s = ?nope) }",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestExecuteDistinct(t *testing.T) {
+	ds := fixtures.University()
+	st := triplestore.New(ds)
+	// Subjects of undergradFrom triples: patrick, tim, mike (each once) —
+	// but without DISTINCT, projecting ?s over all triples repeats subjects.
+	q, _ := Parse("SELECT ?s WHERE { ?s ?p ?o }")
+	plain, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, _ := Parse("SELECT DISTINCT ?s WHERE { ?s ?p ?o }")
+	distinct, err := Execute(st, qd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Rows) != 8 {
+		t.Errorf("plain projection has %d rows, want 8", len(plain.Rows))
+	}
+	if len(distinct.Rows) != 4 { // patrick, mike, john, tim
+		t.Errorf("distinct projection has %d rows, want 4", len(distinct.Rows))
+	}
+}
+
+func TestExecuteLimit(t *testing.T) {
+	ds := fixtures.University()
+	st := triplestore.New(ds)
+	q, _ := Parse("SELECT ?s WHERE { ?s ?p ?o } LIMIT 3")
+	res, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("LIMIT 3 returned %d rows", len(res.Rows))
+	}
+}
+
+func TestExecuteFilterNe(t *testing.T) {
+	ds := fixtures.University()
+	st := triplestore.New(ds)
+	// Pairs of students from the same undergrad institution, excluding
+	// self-pairs: patrick/tim and tim/patrick share hpi.
+	q, err := Parse("SELECT ?a ?b WHERE { ?a undergradFrom ?u . ?b undergradFrom ?u . FILTER(?a != ?b) }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %v", len(res.Rows), res.Render(ds.Dict))
+	}
+	for _, row := range res.Render(ds.Dict) {
+		if row[0] == row[1] {
+			t.Errorf("self pair %v survived the filter", row)
+		}
+	}
+}
+
+func TestExecuteFilterEqConstant(t *testing.T) {
+	ds := fixtures.University()
+	st := triplestore.New(ds)
+	q, err := Parse("SELECT ?o WHERE { ?s undergradFrom ?o . FILTER(?o = hpi) }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("got %d rows, want 2 (patrick and tim)", len(res.Rows))
+	}
+	// A constant absent from the data: equality can never hold.
+	q2, _ := Parse("SELECT ?o WHERE { ?s undergradFrom ?o . FILTER(?o = nowhere) }")
+	res2, err := Execute(st, q2)
+	if err != nil || len(res2.Rows) != 0 {
+		t.Errorf("unknown-constant equality returned %d rows, err=%v", len(res2.Rows), err)
+	}
+	// ... and inequality always holds.
+	q3, _ := Parse("SELECT ?o WHERE { ?s undergradFrom ?o . FILTER(?o != nowhere) }")
+	res3, err := Execute(st, q3)
+	if err != nil || len(res3.Rows) != 3 {
+		t.Errorf("unknown-constant inequality returned %d rows, err=%v", len(res3.Rows), err)
+	}
+}
+
+func TestMinimizePreservesFiltersAndLimit(t *testing.T) {
+	ds := fixtures.University()
+	q, err := Parse("SELECT DISTINCT ?d WHERE { ?s rdf:type gradStudent . ?s memberOf ?d . FILTER(?d != csd) } LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := Minimize(q, nil, ds.Dict)
+	if !min.Distinct || min.Limit != 5 || len(min.Filters) != 1 {
+		t.Errorf("minimization dropped query modifiers: %s", min)
+	}
+	if !strings.Contains(min.String(), "FILTER") {
+		t.Errorf("rendering lost the filter: %s", min)
+	}
+}

@@ -1,0 +1,210 @@
+package sparql
+
+import (
+	"repro/internal/cind"
+	"repro/internal/rdf"
+)
+
+// Minimize removes query triple patterns that discovered CINDs prove
+// redundant (§1, App. B): if pattern B guarantees, through a CIND, that
+// every binding of a shared variable also has a match for pattern A, then A
+// can be dropped without changing the result.
+//
+// A pattern A is removable when
+//
+//   - A has exactly one variable (at position α; its other positions are
+//     constants, forming a unary or binary condition φA), and that variable
+//     occurs in another kept pattern B at position β whose other positions
+//     include at least one constant (forming φB), and
+//   - the CIND (β, φB) ⊆ (α, φA) follows from the discovery result: it is
+//     listed, implied by a listed CIND (dependent/referenced implication),
+//     implied by an association rule, or trivially true —
+//
+// because then every value the variable takes in B's matches is contained in
+// the interpretation of (α, φA), i.e. pattern A matches it.
+//
+// Patterns are examined in order; a pattern already removed cannot justify
+// removing another one (the justifying pattern must survive).
+func Minimize(q *Query, res *cind.Result, dict *rdf.Dictionary) *Query {
+	kb := newKnowledge(res, dict)
+	kept := append([]Pattern(nil), q.Patterns...)
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(kept); i++ {
+			if len(kept) == 1 {
+				break // never empty the graph pattern
+			}
+			a := kept[i]
+			varName, alpha, condA, ok := soleVariable(a, dict)
+			if !ok {
+				continue
+			}
+			removable := false
+			for j, b := range kept {
+				if j == i {
+					continue
+				}
+				if impliesPattern(kb, b, varName, alpha, condA, dict) {
+					removable = true
+					break
+				}
+			}
+			if removable {
+				kept = append(kept[:i], kept[i+1:]...)
+				changed = true
+				i--
+			}
+		}
+	}
+	out := *q
+	out.Patterns = kept
+	return &out
+}
+
+// soleVariable checks that the pattern has exactly one variable and returns
+// it with its position and the condition over the constant positions.
+func soleVariable(p Pattern, dict *rdf.Dictionary) (string, rdf.Attr, cind.Condition, bool) {
+	terms := p.Terms()
+	varAt := -1
+	for i, t := range terms {
+		if t.IsVar() {
+			if varAt >= 0 {
+				return "", 0, cind.Condition{}, false // two variables
+			}
+			varAt = i
+		}
+	}
+	if varAt < 0 {
+		return "", 0, cind.Condition{}, false // no variable
+	}
+	cond, ok := conditionOf(terms, varAt, dict)
+	if !ok {
+		return "", 0, cind.Condition{}, false
+	}
+	return terms[varAt].Var, rdf.Attr(varAt), cond, true
+}
+
+// conditionOf builds the condition over the constant positions of a pattern,
+// excluding position exclude. It fails when a constant is not in the
+// dictionary (the pattern can then never match, and dropping it would change
+// semantics) or no constant remains.
+func conditionOf(terms [3]Term, exclude int, dict *rdf.Dictionary) (cind.Condition, bool) {
+	var conds []cind.Condition
+	for i, t := range terms {
+		if i == exclude || t.IsVar() {
+			continue
+		}
+		id, ok := dict.Lookup(t.Const)
+		if !ok {
+			return cind.Condition{}, false
+		}
+		conds = append(conds, cind.Unary(rdf.Attr(i), id))
+	}
+	switch len(conds) {
+	case 1:
+		return conds[0], true
+	case 2:
+		return cind.Binary(conds[0].A1, conds[0].V1, conds[1].A1, conds[1].V1), true
+	}
+	return cind.Condition{}, false
+}
+
+// impliesPattern checks whether pattern b justifies dropping a pattern whose
+// sole variable varName sits at position alpha under condition condA: b must
+// use the variable at some position beta, contribute a condition φB over its
+// constant positions, and the CIND (β, φB) ⊆ (α, φA) must follow from the
+// knowledge base.
+func impliesPattern(kb *knowledge, b Pattern, varName string, alpha rdf.Attr, condA cind.Condition, dict *rdf.Dictionary) bool {
+	terms := b.Terms()
+	for i, t := range terms {
+		if !t.IsVar() || t.Var != varName {
+			continue
+		}
+		condB, ok := conditionOf(terms, i, dict)
+		if !ok {
+			continue
+		}
+		if condB.Uses(alpha) {
+			// Guard against positions colliding; conditions are over the
+			// other pattern's own attributes, this cannot collide — the
+			// projection attributes differ per pattern.
+			_ = condB
+		}
+		inc := cind.Inclusion{
+			Dep: cind.Capture{Proj: rdf.Attr(i), Cond: condB},
+			Ref: cind.Capture{Proj: alpha, Cond: condA},
+		}
+		if kb.entails(inc) {
+			return true
+		}
+	}
+	return false
+}
+
+// knowledge indexes a discovery result for entailment checks.
+type knowledge struct {
+	cinds map[cind.Inclusion]struct{}
+	ars   map[[2]cind.Condition]struct{}
+}
+
+func newKnowledge(res *cind.Result, dict *rdf.Dictionary) *knowledge {
+	kb := &knowledge{
+		cinds: make(map[cind.Inclusion]struct{}),
+		ars:   make(map[[2]cind.Condition]struct{}),
+	}
+	if res == nil {
+		return kb
+	}
+	for _, c := range res.CINDs {
+		kb.cinds[c.Inclusion] = struct{}{}
+	}
+	for _, r := range res.ARs {
+		kb.ars[[2]cind.Condition{r.If, r.Then}] = struct{}{}
+		// The AR's implied CIND and its equivalence are materialized on
+		// demand in normalize/entails.
+	}
+	return kb
+}
+
+// normalize maps a condition to its AR-quotient representative: a binary
+// condition embedding a rule collapses to the rule's If side (the two
+// captures have identical interpretations, §5.1 equivalence pruning).
+func (kb *knowledge) normalize(c cind.Condition) cind.Condition {
+	if !c.IsBinary() {
+		return c
+	}
+	parts := c.UnaryParts()
+	if _, ok := kb.ars[[2]cind.Condition{parts[0], parts[1]}]; ok {
+		return parts[0]
+	}
+	if _, ok := kb.ars[[2]cind.Condition{parts[1], parts[0]}]; ok {
+		return parts[1]
+	}
+	return c
+}
+
+// entails reports whether the inclusion follows from the result set: after
+// AR-normalizing both conditions it must be trivial, listed, or implied by a
+// listed CIND through dependent/referenced implication.
+func (kb *knowledge) entails(inc cind.Inclusion) bool {
+	dep := cind.Capture{Proj: inc.Dep.Proj, Cond: kb.normalize(inc.Dep.Cond)}
+	ref := cind.Capture{Proj: inc.Ref.Proj, Cond: kb.normalize(inc.Ref.Cond)}
+	if dep.Cond.Uses(dep.Proj) || ref.Cond.Uses(ref.Proj) {
+		return false // normalization collapsed onto the projection attribute
+	}
+	norm := cind.Inclusion{Dep: dep, Ref: ref}
+	if norm.Trivial() {
+		return true
+	}
+	if _, ok := kb.cinds[norm]; ok {
+		return true
+	}
+	for listed := range kb.cinds {
+		if listed.Implies(norm) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+// Package sparql implements the SPARQL subset the query-minimization use
+// case needs (Fig. 14, App. B): SELECT queries over basic graph patterns,
+// evaluated with index nested loops against a triplestore.Store, plus the
+// CIND-based query minimizer that removes triple patterns implied by
+// discovered CINDs and association rules.
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Term is one position of a triple pattern: either a variable ("?x") or a
+// constant in the dataset's surface form.
+type Term struct {
+	Var   string // non-empty for variables, without the leading '?'
+	Const string // surface form for constants
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term in query syntax.
+func (t Term) String() string {
+	if t.IsVar() {
+		return "?" + t.Var
+	}
+	return t.Const
+}
+
+// Variable builds a variable term.
+func Variable(name string) Term { return Term{Var: name} }
+
+// Constant builds a constant term.
+func Constant(value string) Term { return Term{Const: value} }
+
+// Pattern is a triple pattern.
+type Pattern struct {
+	S, P, O Term
+}
+
+// String renders the pattern in query syntax.
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s %s %s", p.S, p.P, p.O)
+}
+
+// Terms returns the pattern's terms in s, p, o order.
+func (p Pattern) Terms() [3]Term { return [3]Term{p.S, p.P, p.O} }
+
+// Vars returns the distinct variable names used in the pattern.
+func (p Pattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range p.Terms() {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// FilterOp is a comparison operator in a FILTER clause.
+type FilterOp string
+
+const (
+	OpEq FilterOp = "="
+	OpNe FilterOp = "!="
+)
+
+// Filter is a simple comparison constraint between two terms, at least one
+// of which is a variable.
+type Filter struct {
+	Left  Term
+	Op    FilterOp
+	Right Term
+}
+
+// String renders the filter in query syntax.
+func (f Filter) String() string {
+	return fmt.Sprintf("FILTER(%s %s %s)", f.Left, f.Op, f.Right)
+}
+
+// Query is a SELECT query over a basic graph pattern with optional FILTER
+// constraints, DISTINCT, and LIMIT.
+type Query struct {
+	// Vars lists the projected variables, in order. Empty means SELECT *.
+	Vars []string
+	// Distinct deduplicates result rows.
+	Distinct bool
+	// Patterns is the basic graph pattern.
+	Patterns []Pattern
+	// Filters constrain bindings.
+	Filters []Filter
+	// Limit caps the number of result rows; 0 means unlimited.
+	Limit int
+}
+
+// String renders the query in SPARQL syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT")
+	if q.Distinct {
+		b.WriteString(" DISTINCT")
+	}
+	if len(q.Vars) == 0 {
+		b.WriteString(" *")
+	}
+	for _, v := range q.Vars {
+		b.WriteString(" ?" + v)
+	}
+	b.WriteString(" WHERE { ")
+	for i, p := range q.Patterns {
+		if i > 0 {
+			b.WriteString(" . ")
+		}
+		b.WriteString(p.String())
+	}
+	for _, f := range q.Filters {
+		b.WriteString(" . " + f.String())
+	}
+	b.WriteString(" }")
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+// Parse reads the SPARQL subset: SELECT [DISTINCT] ?v ... WHERE { t1 . t2 .
+// FILTER(?x != ?y) ... } [LIMIT n], with variables (?name) and
+// whitespace-free constants. Literals with spaces must be written with their
+// quotes and no internal " . " sequence.
+func Parse(input string) (*Query, error) {
+	rest := strings.TrimSpace(input)
+	upper := strings.ToUpper(rest)
+	if !strings.HasPrefix(upper, "SELECT") {
+		return nil, fmt.Errorf("sparql: query must start with SELECT")
+	}
+	rest = strings.TrimSpace(rest[len("SELECT"):])
+	whereAt := strings.Index(strings.ToUpper(rest), "WHERE")
+	if whereAt < 0 {
+		return nil, fmt.Errorf("sparql: missing WHERE")
+	}
+	head, body := rest[:whereAt], strings.TrimSpace(rest[whereAt+len("WHERE"):])
+
+	q := &Query{}
+	for _, tok := range strings.Fields(head) {
+		switch {
+		case tok == "*":
+		case strings.EqualFold(tok, "DISTINCT"):
+			q.Distinct = true
+		case strings.HasPrefix(tok, "?"):
+			q.Vars = append(q.Vars, tok[1:])
+		default:
+			return nil, fmt.Errorf("sparql: bad projection %q", tok)
+		}
+	}
+
+	// A LIMIT clause may follow the closing brace.
+	if brace := strings.LastIndexByte(body, '}'); brace >= 0 && brace < len(body)-1 {
+		tail := strings.TrimSpace(body[brace+1:])
+		body = body[:brace+1]
+		toks := strings.Fields(tail)
+		if len(toks) != 2 || !strings.EqualFold(toks[0], "LIMIT") {
+			return nil, fmt.Errorf("sparql: unexpected trailer %q", tail)
+		}
+		n, err := strconv.Atoi(toks[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sparql: bad LIMIT %q", toks[1])
+		}
+		q.Limit = n
+	}
+
+	if !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return nil, fmt.Errorf("sparql: WHERE clause must be braced")
+	}
+	body = strings.TrimSpace(body[1 : len(body)-1])
+	if body == "" {
+		return nil, fmt.Errorf("sparql: empty graph pattern")
+	}
+	for _, stmt := range strings.Split(body, " . ") {
+		stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), "."))
+		if stmt == "" {
+			continue
+		}
+		if hasPrefixFold(stmt, "FILTER") {
+			f, err := parseFilter(stmt)
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, f)
+			continue
+		}
+		toks := strings.Fields(stmt)
+		if len(toks) != 3 {
+			return nil, fmt.Errorf("sparql: pattern %q does not have three terms", stmt)
+		}
+		var terms [3]Term
+		for i, tok := range toks {
+			var err error
+			if terms[i], err = parseTermToken(tok); err != nil {
+				return nil, fmt.Errorf("sparql: %w in %q", err, stmt)
+			}
+		}
+		q.Patterns = append(q.Patterns, Pattern{S: terms[0], P: terms[1], O: terms[2]})
+	}
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("sparql: empty graph pattern")
+	}
+	// Filters may only mention variables the pattern binds.
+	bound := map[string]bool{}
+	for _, p := range q.Patterns {
+		for _, v := range p.Vars() {
+			bound[v] = true
+		}
+	}
+	for _, f := range q.Filters {
+		for _, t := range []Term{f.Left, f.Right} {
+			if t.IsVar() && !bound[t.Var] {
+				return nil, fmt.Errorf("sparql: filter uses unbound variable ?%s", t.Var)
+			}
+		}
+	}
+	return q, nil
+}
+
+func parseTermToken(tok string) (Term, error) {
+	if strings.HasPrefix(tok, "?") {
+		if len(tok) == 1 {
+			return Term{}, fmt.Errorf("empty variable name")
+		}
+		return Variable(tok[1:]), nil
+	}
+	return Constant(tok), nil
+}
+
+// parseFilter reads "FILTER(<term> <op> <term>)".
+func parseFilter(stmt string) (Filter, error) {
+	inner := strings.TrimSpace(stmt[len("FILTER"):])
+	if !strings.HasPrefix(inner, "(") || !strings.HasSuffix(inner, ")") {
+		return Filter{}, fmt.Errorf("sparql: filter %q must be parenthesized", stmt)
+	}
+	inner = strings.TrimSpace(inner[1 : len(inner)-1])
+	var op FilterOp
+	var opAt int
+	if i := strings.Index(inner, "!="); i >= 0 {
+		op, opAt = OpNe, i
+	} else if i := strings.IndexByte(inner, '='); i >= 0 {
+		op, opAt = OpEq, i
+	} else {
+		return Filter{}, fmt.Errorf("sparql: filter %q lacks a comparison", stmt)
+	}
+	left, err := parseTermToken(strings.TrimSpace(inner[:opAt]))
+	if err != nil {
+		return Filter{}, fmt.Errorf("sparql: filter: %w", err)
+	}
+	right, err := parseTermToken(strings.TrimSpace(inner[opAt+len(op):]))
+	if err != nil {
+		return Filter{}, fmt.Errorf("sparql: filter: %w", err)
+	}
+	if !left.IsVar() && !right.IsVar() {
+		return Filter{}, fmt.Errorf("sparql: filter %q compares two constants", stmt)
+	}
+	return Filter{Left: left, Op: op, Right: right}, nil
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}

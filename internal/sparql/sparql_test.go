@@ -1,0 +1,204 @@
+package sparql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fixtures"
+	"repro/internal/rdf"
+	"repro/internal/triplestore"
+)
+
+func TestParseBasics(t *testing.T) {
+	q, err := Parse("SELECT ?d ?u WHERE {?s rdf:type gradStudent . ?s memberOf ?d . ?s undergradFrom ?u .}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Vars, []string{"d", "u"}) {
+		t.Errorf("Vars = %v", q.Vars)
+	}
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(q.Patterns))
+	}
+	if q.Patterns[0].S.Var != "s" || q.Patterns[0].P.Const != "rdf:type" || q.Patterns[0].O.Const != "gradStudent" {
+		t.Errorf("pattern 0 = %+v", q.Patterns[0])
+	}
+	// Round trip through String and Parse again.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q failed: %v", q.String(), err)
+	}
+	if !reflect.DeepEqual(q, q2) {
+		t.Errorf("round trip changed query: %v vs %v", q, q2)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q, err := Parse("SELECT * WHERE { ?s ?p ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars) != 0 || len(q.Patterns) != 1 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"ASK WHERE { ?s ?p ?o }",
+		"SELECT ?x { ?s ?p ?o }",
+		"SELECT ?x WHERE ?s ?p ?o",
+		"SELECT ?x WHERE { }",
+		"SELECT ?x WHERE { ?s ?p }",
+		"SELECT bogus WHERE { ?s ?p ?o }",
+		"SELECT ?x WHERE { ?s ? ?o }",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestExecuteTable1(t *testing.T) {
+	ds := fixtures.University()
+	st := triplestore.New(ds)
+
+	// The 2-join query from §1: departments and undergrad institutions of
+	// graduate students.
+	q, err := Parse("SELECT ?d ?u WHERE {?s rdf:type gradStudent . ?s memberOf ?d . ?s undergradFrom ?u .}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Render(ds.Dict)
+	want := map[[2]string]bool{{"csd", "hpi"}: true, {"biod", "cmu"}: true}
+	if len(got) != 2 {
+		t.Fatalf("rows = %v, want 2 rows", got)
+	}
+	for _, row := range got {
+		if !want[[2]string{row[0], row[1]}] {
+			t.Errorf("unexpected row %v", row)
+		}
+	}
+}
+
+func TestExecuteUnknownConstant(t *testing.T) {
+	ds := fixtures.University()
+	st := triplestore.New(ds)
+	q, _ := Parse("SELECT ?s WHERE { ?s rdf:type unicorn }")
+	res, err := Execute(st, q)
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("unknown constant: rows=%d err=%v", len(res.Rows), err)
+	}
+}
+
+func TestExecuteRepeatedVariable(t *testing.T) {
+	ds := rdf.NewDataset()
+	ds.Add("a", "knows", "a")
+	ds.Add("a", "knows", "b")
+	st := triplestore.New(ds)
+	q, _ := Parse("SELECT ?x WHERE { ?x knows ?x }")
+	res, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || ds.Dict.Decode(res.Rows[0][0]) != "a" {
+		t.Errorf("self-loop query returned %v", res.Render(ds.Dict))
+	}
+}
+
+// TestMinimizeSection1Example reproduces the §1 example: knowing
+// (s, p=memberOf) ⊆ (s, p=rdf:type ∧ o=gradStudent), the first query triple
+// of the 2-join query can be removed without changing results.
+func TestMinimizeSection1Example(t *testing.T) {
+	ds := fixtures.University()
+	st := triplestore.New(ds)
+	res, _ := core.Discover(ds, core.Config{Support: 2, Workers: 2})
+
+	q, _ := Parse("SELECT ?d ?u WHERE {?s rdf:type gradStudent . ?s memberOf ?d . ?s undergradFrom ?u .}")
+	min := Minimize(q, res, ds.Dict)
+	if len(min.Patterns) >= len(q.Patterns) {
+		t.Fatalf("minimization removed nothing: %s", min)
+	}
+	// The rdf:type pattern must be gone.
+	for _, p := range min.Patterns {
+		if !p.P.IsVar() && p.P.Const == "rdf:type" {
+			t.Errorf("rdf:type pattern survived: %s", min)
+		}
+	}
+	// Results must be identical.
+	orig, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Execute(st, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Rows, opt.Rows) {
+		t.Errorf("minimized query changed results:\norig %v\nmin  %v",
+			orig.Render(ds.Dict), opt.Render(ds.Dict))
+	}
+}
+
+// LUBMQ2 is the Fig. 14 query: graduate students whose department belongs to
+// the university they got their undergraduate degree from.
+const LUBMQ2 = `SELECT ?x ?y ?z WHERE {
+?x rdf:type GraduateStudent . ?y rdf:type University . ?z rdf:type Department . ?x memberOf ?z . ?z subOrganizationOf ?y . ?x undergraduateDegreeFrom ?y }`
+
+// TestMinimizeLUBMQ2 is the Fig. 14 reproduction at test scale: CINDs
+// discovered on LUBM reduce Q2 from six query triples to three, with
+// identical results.
+func TestMinimizeLUBMQ2(t *testing.T) {
+	// The support threshold must not exceed the number of universities: the
+	// CIND that eliminates "?y rdf:type University" projects universities and
+	// has support equal to their count.
+	ds := datagen.LUBM(0.2)
+	st := triplestore.New(ds)
+	res, _ := core.Discover(ds, core.Config{Support: 2, Workers: 2})
+
+	q, err := Parse(strings.ReplaceAll(LUBMQ2, "\n", " "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 6 {
+		t.Fatalf("Q2 has %d patterns, want 6", len(q.Patterns))
+	}
+	min := Minimize(q, res, ds.Dict)
+	if len(min.Patterns) != 3 {
+		t.Errorf("minimized Q2 has %d patterns, the paper reaches 3: %s", len(min.Patterns), min)
+	}
+	orig, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Execute(st, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Rows) == 0 {
+		t.Fatalf("Q2 has no results on generated LUBM; generator broken")
+	}
+	if !reflect.DeepEqual(orig.Rows, opt.Rows) {
+		t.Errorf("minimized Q2 changed results: %d vs %d rows", len(orig.Rows), len(opt.Rows))
+	}
+}
+
+// TestMinimizeKeepsUnjustifiedPatterns: without discovery knowledge nothing
+// may be removed, and the last pattern never disappears.
+func TestMinimizeKeepsUnjustifiedPatterns(t *testing.T) {
+	ds := fixtures.University()
+	q, _ := Parse("SELECT ?d WHERE {?s rdf:type gradStudent . ?s memberOf ?d }")
+	min := Minimize(q, nil, ds.Dict)
+	if len(min.Patterns) != 2 {
+		t.Errorf("minimization without knowledge removed patterns: %s", min)
+	}
+}

@@ -1,0 +1,36 @@
+package triplestore
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+)
+
+func BenchmarkNewIndexes(b *testing.B) {
+	ds := datagen.LUBM(0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(ds)
+	}
+}
+
+func BenchmarkScanBoundPredicate(b *testing.B) {
+	ds := datagen.LUBM(0.3)
+	st := New(ds)
+	p, ok := ds.Dict.Lookup("memberOf")
+	if !ok {
+		b.Fatal("memberOf missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		st.Scan(Wildcard, p, Wildcard, func(rdf.Triple) bool {
+			n++
+			return true
+		})
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

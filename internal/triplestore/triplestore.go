@@ -1,0 +1,165 @@
+// Package triplestore is a dictionary-encoded, index-backed in-memory triple
+// store — the stand-in for RDF-3X in the query-minimization experiment
+// (Fig. 14, App. B). It maintains the three classic permutation indexes
+// (SPO, POS, OSP) so that every triple-pattern shape resolves through an
+// index, and exposes a lookup interface the SPARQL-subset engine drives with
+// index nested loops.
+package triplestore
+
+import (
+	"repro/internal/rdf"
+)
+
+// Wildcard marks an unbound pattern position.
+const Wildcard = rdf.NoValue
+
+// Store is an immutable indexed triple set.
+type Store struct {
+	dict *rdf.Dictionary
+	size int
+	spo  map[rdf.Value]map[rdf.Value][]rdf.Value
+	pos  map[rdf.Value]map[rdf.Value][]rdf.Value
+	osp  map[rdf.Value]map[rdf.Value][]rdf.Value
+}
+
+// New indexes a dataset. The store shares the dataset's dictionary.
+func New(ds *rdf.Dataset) *Store {
+	st := &Store{
+		dict: ds.Dict,
+		size: ds.Size(),
+		spo:  make(map[rdf.Value]map[rdf.Value][]rdf.Value),
+		pos:  make(map[rdf.Value]map[rdf.Value][]rdf.Value),
+		osp:  make(map[rdf.Value]map[rdf.Value][]rdf.Value),
+	}
+	insert := func(idx map[rdf.Value]map[rdf.Value][]rdf.Value, a, b, c rdf.Value) {
+		m, ok := idx[a]
+		if !ok {
+			m = make(map[rdf.Value][]rdf.Value)
+			idx[a] = m
+		}
+		m[b] = append(m[b], c)
+	}
+	for _, t := range ds.Triples {
+		insert(st.spo, t.S, t.P, t.O)
+		insert(st.pos, t.P, t.O, t.S)
+		insert(st.osp, t.O, t.S, t.P)
+	}
+	return st
+}
+
+// Dict returns the term dictionary.
+func (st *Store) Dict() *rdf.Dictionary { return st.dict }
+
+// Len returns the number of indexed triples.
+func (st *Store) Len() int { return st.size }
+
+// Scan invokes fn for every triple matching the pattern, where Wildcard
+// positions match anything. It picks the index whose bound prefix is
+// longest, so fully- and doubly-bound patterns never scan. Returning false
+// from fn stops the scan.
+func (st *Store) Scan(s, p, o rdf.Value, fn func(rdf.Triple) bool) {
+	switch {
+	case s != Wildcard && p != Wildcard:
+		for _, ov := range st.spo[s][p] {
+			if o != Wildcard && ov != o {
+				continue
+			}
+			if !fn(rdf.Triple{S: s, P: p, O: ov}) {
+				return
+			}
+		}
+	case p != Wildcard && o != Wildcard:
+		for _, sv := range st.pos[p][o] {
+			if !fn(rdf.Triple{S: sv, P: p, O: o}) {
+				return
+			}
+		}
+	case s != Wildcard && o != Wildcard:
+		for _, pv := range st.osp[o][s] {
+			if !fn(rdf.Triple{S: s, P: pv, O: o}) {
+				return
+			}
+		}
+	case s != Wildcard:
+		for pv, os := range st.spo[s] {
+			for _, ov := range os {
+				if !fn(rdf.Triple{S: s, P: pv, O: ov}) {
+					return
+				}
+			}
+		}
+	case p != Wildcard:
+		for ov, ss := range st.pos[p] {
+			for _, sv := range ss {
+				if !fn(rdf.Triple{S: sv, P: p, O: ov}) {
+					return
+				}
+			}
+		}
+	case o != Wildcard:
+		for sv, ps := range st.osp[o] {
+			for _, pv := range ps {
+				if !fn(rdf.Triple{S: sv, P: pv, O: o}) {
+					return
+				}
+			}
+		}
+	default:
+		for sv, po := range st.spo {
+			for pv, os := range po {
+				for _, ov := range os {
+					if !fn(rdf.Triple{S: sv, P: pv, O: ov}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Cardinality estimates how many triples match the pattern, used by the
+// query planner to order joins. Doubly-bound estimates are exact; singly-
+// bound estimates count the index bucket.
+func (st *Store) Cardinality(s, p, o rdf.Value) int {
+	switch {
+	case s != Wildcard && p != Wildcard && o != Wildcard:
+		n := 0
+		for _, ov := range st.spo[s][p] {
+			if ov == o {
+				n++
+			}
+		}
+		return n
+	case s != Wildcard && p != Wildcard:
+		return len(st.spo[s][p])
+	case p != Wildcard && o != Wildcard:
+		return len(st.pos[p][o])
+	case s != Wildcard && o != Wildcard:
+		return len(st.osp[o][s])
+	case s != Wildcard:
+		return bucketSize(st.spo[s])
+	case p != Wildcard:
+		return bucketSize(st.pos[p])
+	case o != Wildcard:
+		return bucketSize(st.osp[o])
+	}
+	return st.size
+}
+
+func bucketSize(m map[rdf.Value][]rdf.Value) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	return n
+}
+
+// Contains reports whether the fully bound triple is in the store.
+func (st *Store) Contains(s, p, o rdf.Value) bool {
+	for _, ov := range st.spo[s][p] {
+		if ov == o {
+			return true
+		}
+	}
+	return false
+}

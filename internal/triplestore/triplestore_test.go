@@ -1,0 +1,90 @@
+package triplestore
+
+import (
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/rdf"
+)
+
+func store(t *testing.T) (*Store, *rdf.Dataset, func(string) rdf.Value) {
+	t.Helper()
+	ds := fixtures.University()
+	return New(ds), ds, func(s string) rdf.Value { return fixtures.MustID(ds, s) }
+}
+
+func collect(st *Store, s, p, o rdf.Value) []rdf.Triple {
+	var out []rdf.Triple
+	st.Scan(s, p, o, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+func TestScanAllPatternShapes(t *testing.T) {
+	st, ds, id := store(t)
+	w := Wildcard
+
+	cases := []struct {
+		name    string
+		s, p, o rdf.Value
+		want    int
+	}{
+		{"(?,?,?)", w, w, w, ds.Size()},
+		{"(s,?,?)", id("patrick"), w, w, 3},
+		{"(?,p,?)", w, id("undergradFrom"), w, 3},
+		{"(?,?,o)", w, w, id("hpi"), 2},
+		{"(s,p,?)", id("patrick"), id("rdf:type"), w, 1},
+		{"(?,p,o)", w, id("rdf:type"), id("gradStudent"), 2},
+		{"(s,?,o)", id("patrick"), w, id("csd"), 1},
+		{"(s,p,o)", id("mike"), id("undergradFrom"), id("cmu"), 1},
+		{"(s,p,o) miss", id("mike"), id("undergradFrom"), id("hpi"), 0},
+	}
+	for _, c := range cases {
+		got := collect(st, c.s, c.p, c.o)
+		if len(got) != c.want {
+			t.Errorf("%s: %d matches, want %d", c.name, len(got), c.want)
+		}
+		for _, tr := range got {
+			if c.s != w && tr.S != c.s || c.p != w && tr.P != c.p || c.o != w && tr.O != c.o {
+				t.Errorf("%s: wrong triple %s", c.name, tr.String(ds.Dict))
+			}
+		}
+		if card := st.Cardinality(c.s, c.p, c.o); card != c.want {
+			t.Errorf("%s: Cardinality = %d, want %d", c.name, card, c.want)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	st, _, _ := store(t)
+	n := 0
+	st.Scan(Wildcard, Wildcard, Wildcard, func(rdf.Triple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("scan visited %d triples after early stop, want 3", n)
+	}
+}
+
+func TestContains(t *testing.T) {
+	st, _, id := store(t)
+	if !st.Contains(id("patrick"), id("memberOf"), id("csd")) {
+		t.Errorf("Contains misses an existing triple")
+	}
+	if st.Contains(id("patrick"), id("memberOf"), id("biod")) {
+		t.Errorf("Contains reports a non-existing triple")
+	}
+}
+
+func TestLenAndDict(t *testing.T) {
+	st, ds, _ := store(t)
+	if st.Len() != ds.Size() {
+		t.Errorf("Len = %d, want %d", st.Len(), ds.Size())
+	}
+	if st.Dict() != ds.Dict {
+		t.Errorf("store does not share the dataset dictionary")
+	}
+}

@@ -1,0 +1,151 @@
+// Package rdfind discovers pertinent conditional inclusion dependencies
+// (CINDs) and exact association rules in RDF datasets. It is a from-scratch
+// Go reproduction of "RDFind: Scalable Conditional Inclusion Dependency
+// Discovery in RDF Datasets" (Kruse et al., SIGMOD 2016).
+//
+// A CIND is a statement (α, φ) ⊆ (β, φ′): the values that triple element α
+// takes over the triples satisfying condition φ are contained in the values
+// that element β takes over the triples satisfying φ′. RDFind returns the
+// pertinent CINDs — those that are broad (their support, the number of
+// distinct included values, reaches a user threshold) and minimal (not
+// implied by another valid CIND) — and reports exact association rules in
+// place of the CINDs they subsume.
+//
+// Quickstart:
+//
+//	ds, err := rdfind.ReadNTriplesFile("data.nt")
+//	if err != nil { ... }
+//	result, stats := rdfind.Discover(ds, rdfind.Config{Support: 100, Workers: 4})
+//	fmt.Print(result.Format(ds.Dict))
+//	fmt.Printf("%d CINDs, %d ARs in %v\n", stats.Pertinent, stats.ARs, stats.Duration)
+//
+// The heavy lifting lives in internal packages mirroring the paper's
+// architecture: internal/fcdetect (frequent conditions and association
+// rules), internal/capture (capture groups), internal/extract (CIND
+// extraction and minimality), all running on internal/dataflow, a small
+// multi-worker dataflow engine standing in for Apache Flink.
+package rdfind
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/cind"
+	"repro/internal/core"
+	"repro/internal/rdf"
+)
+
+// Re-exported model types. See package repro/internal/cind for details.
+type (
+	// Condition is a unary (β=v) or binary (β=v1 ∧ γ=v2) predicate over a
+	// triple's elements.
+	Condition = cind.Condition
+	// Capture pairs a projection attribute with a condition.
+	Capture = cind.Capture
+	// Inclusion is a CIND statement: dependent capture ⊆ referenced capture.
+	Inclusion = cind.Inclusion
+	// CIND is an inclusion with its support.
+	CIND = cind.CIND
+	// AR is an exact association rule with its support.
+	AR = cind.AR
+	// Result is a discovery result: pertinent CINDs plus association rules.
+	Result = cind.Result
+
+	// Dataset is a dictionary-encoded set of RDF triples.
+	Dataset = rdf.Dataset
+	// Triple is one dictionary-encoded RDF statement.
+	Triple = rdf.Triple
+	// Attr identifies a triple element (Subject, Predicate, Object).
+	Attr = rdf.Attr
+	// Value is a dictionary-encoded RDF term.
+	Value = rdf.Value
+
+	// Config parameterizes a discovery run.
+	Config = core.Config
+	// Stats reports what a run did.
+	Stats = core.RunStats
+	// Variant selects a pipeline strategy (the default is full RDFind).
+	Variant = core.Variant
+)
+
+// Triple element constants.
+const (
+	Subject   = rdf.Subject
+	Predicate = rdf.Predicate
+	Object    = rdf.Object
+)
+
+// Pipeline variants (§8.5, §8.6 of the paper).
+const (
+	// Standard is the full RDFind pipeline.
+	Standard = core.Standard
+	// DirectExtraction is RDFind-DE: no capture-support pruning, no load
+	// balancing, exact candidate sets only.
+	DirectExtraction = core.DirectExtraction
+	// NoFrequentConditions is RDFind-NF: no frequent-condition pruning and
+	// no association rules.
+	NoFrequentConditions = core.NoFrequentConditions
+	// MinimalFirst extracts minimal CINDs per arity class in multiple
+	// passes instead of minimizing the broad set afterwards.
+	MinimalFirst = core.MinimalFirst
+)
+
+// Discover runs CIND discovery over a dataset and returns the pertinent
+// CINDs and association rules together with run statistics.
+func Discover(ds *Dataset, cfg Config) (*Result, *Stats) {
+	return core.Discover(ds, cfg)
+}
+
+// NewDataset returns an empty dataset for programmatic construction.
+func NewDataset() *Dataset { return rdf.NewDataset() }
+
+// ReadNTriples parses an N-Triples document.
+func ReadNTriples(r io.Reader) (*Dataset, error) { return rdf.ReadNTriples(r) }
+
+// ReadNTriplesFile parses an N-Triples file from disk.
+func ReadNTriplesFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rdf.ReadNTriples(f)
+}
+
+// WriteNTriples serializes a dataset as N-Triples.
+func WriteNTriples(w io.Writer, ds *Dataset) error { return rdf.WriteNTriples(w, ds) }
+
+// Unary builds the condition a = v over dictionary-encoded values.
+func Unary(a Attr, v rdf.Value) Condition { return cind.Unary(a, v) }
+
+// Binary builds the condition a1 = v1 ∧ a2 = v2.
+func Binary(a1 Attr, v1 rdf.Value, a2 Attr, v2 rdf.Value) Condition {
+	return cind.Binary(a1, v1, a2, v2)
+}
+
+// MarshalResultJSON serializes a result with surface-form terms, so the file
+// is self-contained and machine-readable.
+func MarshalResultJSON(res *Result, dict *rdf.Dictionary) ([]byte, error) {
+	return cind.MarshalJSON(res, dict)
+}
+
+// UnmarshalResultJSON reads a result serialized by MarshalResultJSON,
+// interning its terms into the given dictionary.
+func UnmarshalResultJSON(data []byte, dict *rdf.Dictionary) (*Result, error) {
+	return cind.UnmarshalJSON(data, dict)
+}
+
+// ParseInclusion reads a CIND statement in the textual form produced by
+// Inclusion.Format, e.g. "(s, p=memberOf) ⊆ (s, p=rdf:type)" ("<=" and "&&"
+// are accepted for "⊆" and "∧").
+func ParseInclusion(s string, dict *rdf.Dictionary) (Inclusion, error) {
+	return cind.ParseInclusion(s, dict)
+}
+
+// Holds checks an inclusion directly against a dataset by materializing both
+// capture interpretations — useful for spot-checking results.
+func Holds(ds *Dataset, inc Inclusion) bool { return cind.Holds(ds, inc) }
+
+// Support computes |I(T, c)|, the support a CIND with dependent capture c
+// would have on the dataset.
+func Support(ds *Dataset, c Capture) int { return cind.SupportOf(ds, c) }

@@ -1,0 +1,84 @@
+package rdfind
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// table1NT is the paper's Table 1 instance as an N-Triples document.
+const table1NT = `<patrick> <rdf:type> <gradStudent> .
+<mike> <rdf:type> <gradStudent> .
+<john> <rdf:type> <professor> .
+<patrick> <memberOf> <csd> .
+<mike> <memberOf> <biod> .
+<patrick> <undergradFrom> <hpi> .
+<tim> <undergradFrom> <hpi> .
+<mike> <undergradFrom> <cmu> .
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := ReadNTriples(strings.NewReader(table1NT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats := Discover(ds, Config{Support: 2, Workers: 2})
+	if stats.Triples != 8 {
+		t.Errorf("stats.Triples = %d", stats.Triples)
+	}
+	if len(res.CINDs) == 0 || len(res.ARs) == 0 {
+		t.Fatalf("no results: %d CINDs, %d ARs", len(res.CINDs), len(res.ARs))
+	}
+	for _, c := range res.CINDs {
+		if !Holds(ds, c.Inclusion) {
+			t.Errorf("invalid CIND: %s", c.Format(ds.Dict))
+		}
+		if Support(ds, c.Dep) != c.Support {
+			t.Errorf("support mismatch for %s", c.Format(ds.Dict))
+		}
+	}
+	// Example 3's CIND in its AR-quotient form must be present.
+	grad, _ := ds.Dict.Lookup("<gradStudent>")
+	under, _ := ds.Dict.Lookup("<undergradFrom>")
+	want := Inclusion{
+		Dep: Capture{Proj: Subject, Cond: Unary(Object, grad)},
+		Ref: Capture{Proj: Subject, Cond: Unary(Predicate, under)},
+	}
+	found := false
+	for _, c := range res.CINDs {
+		if c.Inclusion == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Example 3 CIND missing from:\n%s", res.Format(ds.Dict))
+	}
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("<a>", "<b>", "<c>")
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNTriples(&buf)
+	if err != nil || back.Size() != 1 {
+		t.Errorf("round trip failed: %v, %d triples", err, back.Size())
+	}
+}
+
+func TestPublicAPIBinaryCondition(t *testing.T) {
+	c := Binary(Object, 5, Subject, 3)
+	if !c.IsBinary() || c.A1 != Subject {
+		t.Errorf("Binary not normalized: %+v", c)
+	}
+}
+
+func TestVariantsExposed(t *testing.T) {
+	for _, v := range []Variant{Standard, DirectExtraction, NoFrequentConditions, MinimalFirst} {
+		if v.String() == "unknown" {
+			t.Errorf("variant %d unnamed", v)
+		}
+	}
+}
