@@ -25,8 +25,18 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1 = DESIGN.md default sizes)")
 	workers := flag.Int("workers", 4, "dataflow workers where the experiment does not vary them")
+	timeout := flag.Duration("timeout", 0, "abort the whole suite after this duration (0 = no limit), exit code 4")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	// Watchdog: experiments run many pipelines back to back with no single
+	// context to cancel, so a wall-clock deadline simply ends the process.
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "benchsuite: timeout after %v\n", *timeout)
+			os.Exit(4)
+		})
+	}
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), ", "), "(or: all)")

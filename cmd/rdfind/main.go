@@ -4,20 +4,39 @@
 // Usage:
 //
 //	rdfind [-support N] [-workers N] [-variant rdfind|de|nf|mf]
-//	       [-pred-only-conditions] [-stats] file.nt
+//	       [-pred-only-conditions] [-lenient] [-timeout D] [-stats] file.nt
 //
 // The result is printed one statement per line, CINDs and ARs sorted by
 // descending support. With -stats, run statistics (frequent conditions,
 // capture groups, durations, per-stage work accounting) go to stderr.
+//
+// Exit codes distinguish failure classes for scripting:
+//
+//	0  success
+//	1  discovery failure (worker fault, load limit, -check not holding)
+//	2  usage error (bad flags, unknown variant or format)
+//	3  input parse failure (malformed N-Triples, unreadable file)
+//	4  timeout (-timeout exceeded before discovery finished)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro"
 	"repro/internal/core"
+)
+
+// Exit codes (documented above).
+const (
+	exitOK        = 0
+	exitDiscovery = 1
+	exitUsage     = 2
+	exitParse     = 3
+	exitTimeout   = 4
 )
 
 func main() {
@@ -28,12 +47,14 @@ func main() {
 	format := flag.String("format", "text", "output format: text or json")
 	check := flag.String("check", "", "instead of discovering, validate one CIND statement, e.g. '(s, p=a) <= (s, p=b)'")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	lenient := flag.Bool("lenient", false, "skip malformed N-Triples lines (reported to stderr) instead of aborting")
+	timeout := flag.Duration("timeout", 0, "abort discovery after this duration (0 = no limit), exit code 4")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rdfind [flags] file.nt")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	variant, ok := map[string]rdfind.Variant{
@@ -44,42 +65,54 @@ func main() {
 	}[*variantName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rdfind: unknown variant %q\n", *variantName)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
-	ds, err := rdfind.ReadNTriplesFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdfind:", err)
-		os.Exit(1)
-	}
+	ds := readInput(flag.Arg(0), *lenient)
 
 	// -check mode: validate one statement and exit with its truth value.
 	if *check != "" {
 		inc, err := rdfind.ParseInclusion(*check, ds.Dict)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rdfind:", err)
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		holds := rdfind.Holds(ds, inc)
 		fmt.Printf("%s  holds=%v support=%d\n", inc.Format(ds.Dict), holds, rdfind.Support(ds, inc.Dep))
 		if !holds {
-			os.Exit(1)
+			os.Exit(exitDiscovery)
 		}
 		return
 	}
 
-	res, runStats := rdfind.Discover(ds, rdfind.Config{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, runStats, err := rdfind.DiscoverContext(ctx, ds, rdfind.Config{
 		Support:                    *support,
 		Workers:                    *workers,
 		Variant:                    variant,
 		PredicatesOnlyInConditions: *predOnly,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfind:", err)
+		if *stats && runStats != nil {
+			printStats(os.Stderr, runStats)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(exitTimeout)
+		}
+		os.Exit(exitDiscovery)
+	}
 	switch *format {
 	case "json":
 		data, err := rdfind.MarshalResultJSON(res, ds.Dict)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rdfind:", err)
-			os.Exit(1)
+			os.Exit(exitDiscovery)
 		}
 		os.Stdout.Write(data)
 		fmt.Println()
@@ -87,12 +120,38 @@ func main() {
 		fmt.Print(res.Format(ds.Dict))
 	default:
 		fmt.Fprintf(os.Stderr, "rdfind: unknown format %q\n", *format)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	if *stats {
 		printStats(os.Stderr, runStats)
 	}
+}
+
+// readInput parses the N-Triples file, strictly or leniently; parse problems
+// exit with the dedicated parse-failure code so callers can tell bad input
+// apart from a failed discovery.
+func readInput(path string, lenient bool) *rdfind.Dataset {
+	if !lenient {
+		ds, err := rdfind.ReadNTriplesFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfind:", err)
+			os.Exit(exitParse)
+		}
+		return ds
+	}
+	ds, malformed, err := rdfind.ReadNTriplesFileLenient(path, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfind:", err)
+		os.Exit(exitParse)
+	}
+	for _, se := range malformed {
+		fmt.Fprintln(os.Stderr, "rdfind: skipped", se)
+	}
+	if len(malformed) > 0 {
+		fmt.Fprintf(os.Stderr, "rdfind: skipped %d malformed lines\n", len(malformed))
+	}
+	return ds
 }
 
 func printStats(w *os.File, s *core.RunStats) {
@@ -102,5 +161,11 @@ func printStats(w *os.File, s *core.RunStats) {
 	fmt.Fprintf(w, "broad CINDs:         %d\n", s.BroadCINDs)
 	fmt.Fprintf(w, "pertinent CINDs:     %d (+%d ARs)\n", s.Pertinent, s.ARs)
 	fmt.Fprintf(w, "duration:            %v\n", s.Duration)
+	if s.StageRetries > 0 {
+		fmt.Fprintf(w, "stage retries:       %d\n", s.StageRetries)
+	}
+	if s.Degraded {
+		fmt.Fprintf(w, "degraded:            extraction re-planned with Bloom work units (load %d)\n", s.ExtractionLoad)
+	}
 	fmt.Fprintf(w, "work-balance speedup: %.2f\n", s.Dataflow.Speedup())
 }

@@ -36,6 +36,11 @@ type evidence struct {
 // value. The frequent-condition Bloom filters and the AR set from the
 // FCDetector are broadcast into the per-worker closures.
 func BuildGroups(triples *dataflow.Dataset[rdf.Triple], fc *fcdetect.Output, opts fcdetect.Options) *dataflow.Dataset[Group] {
+	// On an already-failed engine (worker fault, cancellation) schedule
+	// nothing: the caller observes the failure via Context.Err.
+	if triples.Context().Err() != nil {
+		return dataflow.Parallelize(triples.Context(), "cgc/aborted", []Group(nil))
+	}
 	bu := fc.UnaryBloom
 	bb := fc.BinaryBloom
 	ars := fc.ARSet()

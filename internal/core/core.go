@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/capture"
@@ -72,10 +73,24 @@ type Config struct {
 	// 64 bytes.
 	BloomBytes int
 	// LoadLimit caps the estimated extraction load (candidate-set entries);
-	// 0 means unlimited. A bounded run that would exceed it fails with
-	// extract.ErrLoadLimit instead of exhausting memory — use TryDiscover
-	// to observe the error.
+	// 0 means unlimited. A bounded run that would exceed it first degrades
+	// to Bloom work-unit candidate sets (linear instead of quadratic load,
+	// reported in RunStats.Degraded) and only fails with extract.ErrLoadLimit
+	// if even the degraded load exceeds the limit — use TryDiscover or
+	// DiscoverContext to observe the error. RDFind-DE and RDFind-NF never
+	// degrade: the paper defines direct extraction as exact-only, and its
+	// memory failures are the point of Fig. 13.
 	LoadLimit int64
+	// MaxStageAttempts bounds how often a dataflow stage is executed when
+	// workers fail with transient faults (1 disables retries); 0 selects 3.
+	MaxStageAttempts int
+	// RetryBackoff is the base of the exponential backoff between stage
+	// attempts; 0 selects 1ms.
+	RetryBackoff time.Duration
+	// FaultPlan injects deterministic faults into the dataflow engine, for
+	// robustness testing; nil injects nothing. An empty plan traces stage
+	// executions without injecting.
+	FaultPlan *dataflow.FaultPlan
 }
 
 func (c Config) normalized() Config {
@@ -85,10 +100,18 @@ func (c Config) normalized() Config {
 	if c.Workers < 1 {
 		c.Workers = 1
 	}
+	if c.MaxStageAttempts < 1 {
+		c.MaxStageAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
 	return c
 }
 
-// RunStats reports what a run did, for the experiment harness.
+// RunStats reports what a run did, for the experiment harness. On a failed
+// or cancelled run the fields filled in before the abort are still valid, so
+// callers get a partial-progress report next to the error.
 type RunStats struct {
 	Triples        int
 	FrequentUnary  int
@@ -99,29 +122,62 @@ type RunStats struct {
 	ARs            int
 	Duration       time.Duration
 	Dataflow       *dataflow.Stats
+	// ExtractionLoad is the estimated candidate-set entries of the executed
+	// extraction strategy (summed over the minimal-first passes).
+	ExtractionLoad int64
+	// Degraded reports that a LoadLimit breach was absorbed by re-planning
+	// extraction with Bloom work-unit candidate sets instead of failing.
+	Degraded bool
+	// StageRetries is the total number of worker re-executions after
+	// transient faults, summed over all stages (see dataflow.Stats.Retries).
+	StageRetries int
 }
 
 // Discover runs the selected pipeline over the dataset and returns the
-// pertinent CINDs and association rules, plus run statistics. It panics if
-// a configured LoadLimit is exceeded; set one only through TryDiscover.
+// pertinent CINDs and association rules, plus run statistics. It panics on
+// any error (an exceeded LoadLimit, an exhausted stage-retry budget); use
+// TryDiscover or DiscoverContext to observe errors instead.
 func Discover(ds *rdf.Dataset, cfg Config) (*cind.Result, *RunStats) {
 	res, stats, err := TryDiscover(ds, cfg)
 	if err != nil {
-		panic("core: " + err.Error() + " (use TryDiscover with Config.LoadLimit)")
+		panic("core: " + err.Error() + " (use TryDiscover to observe errors)")
 	}
 	return res, stats
 }
 
-// TryDiscover is Discover with the load-limit error surfaced: when
-// Config.LoadLimit is set and the extraction would exceed it, the run stops
-// with extract.ErrLoadLimit and partial statistics.
+// TryDiscover is Discover with errors surfaced: an exceeded LoadLimit ends
+// the run with extract.ErrLoadLimit (after the degradation attempt) and
+// partial statistics, and a terminal stage failure surfaces as a
+// *dataflow.StageError.
 func TryDiscover(ds *rdf.Dataset, cfg Config) (*cind.Result, *RunStats, error) {
-	cfg = cfg.normalized()
-	start := time.Now()
-	ctx := dataflow.NewContext(cfg.Workers)
-	stats := &RunStats{Triples: ds.Size(), Dataflow: ctx.Stats()}
+	return DiscoverContext(context.Background(), ds, cfg)
+}
 
-	triples := dataflow.Parallelize(ctx, "input", ds.Triples)
+// DiscoverContext is TryDiscover under a cancellation context: the pipeline
+// checks ctx between stage attempts and aborts promptly when it is cancelled
+// or times out, returning partial statistics and an error wrapping ctx.Err().
+// Transient worker faults (injected or signalled via dataflow.Transient
+// panics) are retried per Config.MaxStageAttempts before they become errors.
+func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Result, *RunStats, error) {
+	cfg = cfg.normalized()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	dfctx := dataflow.NewContext(cfg.Workers,
+		dataflow.WithCancel(ctx),
+		dataflow.WithRetries(cfg.MaxStageAttempts-1),
+		dataflow.WithBackoff(cfg.RetryBackoff),
+		dataflow.WithFaultPlan(cfg.FaultPlan),
+	)
+	stats := &RunStats{Triples: ds.Size(), Dataflow: dfctx.Stats()}
+	finish := func(err error) (*cind.Result, *RunStats, error) {
+		stats.StageRetries = dfctx.Stats().TotalRetries()
+		stats.Duration = time.Since(start)
+		return nil, stats, err
+	}
+
+	triples := dataflow.Parallelize(dfctx, "input", ds.Triples)
 	fcOpts := fcdetect.Options{PredicatesOnlyInConditions: cfg.PredicatesOnlyInConditions}
 
 	// Phase 1 of lazy pruning: frequent conditions and association rules
@@ -134,41 +190,55 @@ func TryDiscover(ds *rdf.Dataset, cfg Config) (*cind.Result, *RunStats, error) {
 		stats.FrequentUnary = fc.Unary.Len()
 		stats.FrequentBinary = fc.Binary.Len()
 	}
+	if err := dfctx.Err(); err != nil {
+		return finish(err)
+	}
 
 	// Capture groups (§6).
 	groups := capture.BuildGroups(triples, fc, fcOpts)
 	stats.CaptureGroups = groups.Len()
+	if err := dfctx.Err(); err != nil {
+		return finish(err)
+	}
 
-	// CIND extraction (§7).
+	// CIND extraction (§7). A LoadLimit breach degrades to Bloom work-unit
+	// candidate sets unless the variant is defined as exact-only.
 	ecfg := extract.Config{
-		Support:          cfg.Support,
-		DirectExtraction: cfg.Variant == DirectExtraction || cfg.Variant == NoFrequentConditions,
-		BloomBytes:       cfg.BloomBytes,
-		LoadLimit:        cfg.LoadLimit,
+		Support:            cfg.Support,
+		DirectExtraction:   cfg.Variant == DirectExtraction || cfg.Variant == NoFrequentConditions,
+		BloomBytes:         cfg.BloomBytes,
+		LoadLimit:          cfg.LoadLimit,
+		DegradeOnLoadLimit: true,
 	}
 	var pertinent []cind.CIND
 	if cfg.Variant == MinimalFirst {
-		mf, err := minimalFirst(groups, ecfg)
+		mf, outcome, err := minimalFirst(groups, ecfg)
+		stats.ExtractionLoad = outcome.EstimatedLoad
+		stats.Degraded = outcome.Degraded
 		if err != nil {
-			stats.Duration = time.Since(start)
-			return nil, stats, err
+			return finish(err)
 		}
 		pertinent = mf
 		stats.BroadCINDs = len(pertinent) // broad set never materialized
 	} else {
-		broad, err := extract.BroadCINDs(groups, ecfg)
+		broad, outcome, err := extract.BroadCINDsOutcome(groups, ecfg)
+		stats.ExtractionLoad = outcome.EstimatedLoad
+		stats.Degraded = outcome.Degraded
 		if err != nil {
-			stats.Duration = time.Since(start)
-			return nil, stats, err
+			return finish(err)
 		}
 		stats.BroadCINDs = len(broad)
 		pertinent = extract.Minimize(broad)
+	}
+	if err := dfctx.Err(); err != nil {
+		return finish(err)
 	}
 
 	res := &cind.Result{CINDs: pertinent, ARs: fc.ARs}
 	res.Sort(ds.Dict)
 	stats.Pertinent = len(res.CINDs)
 	stats.ARs = len(res.ARs)
+	stats.StageRetries = dfctx.Stats().TotalRetries()
 	stats.Duration = time.Since(start)
 	return res, stats, nil
 }

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/extract"
+	"repro/internal/fixtures"
+	"repro/internal/rdf"
+)
+
+// discoverFormatted runs discovery and canonicalizes the result to its sorted
+// textual form, so runs are compared byte for byte.
+func discoverFormatted(t *testing.T, ds *rdf.Dataset, cfg Config) string {
+	t.Helper()
+	res, _, err := TryDiscover(ds, cfg)
+	if err != nil {
+		t.Fatalf("discovery failed (%v w=%d): %v", cfg.Variant, cfg.Workers, err)
+	}
+	return res.Format(ds.Dict)
+}
+
+// TestFaultEverySingleFaultSchedule is the exhaustive differential test of
+// the recovery machinery: a fault-free run is traced, and then every single
+// traced site — every stage, worker, and occurrence of the whole pipeline —
+// is faulted in turn (alternating transient errors and panics). Each faulted
+// run must retry back to a byte-identical result, for every pipeline variant.
+func TestFaultEverySingleFaultSchedule(t *testing.T) {
+	ds := fixtures.University()
+	variants := []Variant{Standard, DirectExtraction, NoFrequentConditions, MinimalFirst}
+	if testing.Short() {
+		variants = []Variant{Standard, MinimalFirst}
+	}
+	for _, v := range variants {
+		t.Run(v.String(), func(t *testing.T) {
+			base := Config{Support: 2, Workers: 2, Variant: v, RetryBackoff: time.Nanosecond}
+
+			tracer := dataflow.NewFaultPlan()
+			cfg := base
+			cfg.FaultPlan = tracer
+			res, _, err := TryDiscover(ds, cfg)
+			if err != nil {
+				t.Fatalf("fault-free traced run failed: %v", err)
+			}
+			want := res.Format(ds.Dict)
+			sites := tracer.Trace()
+			if len(sites) < 20 {
+				t.Fatalf("suspiciously small trace (%d sites) — tracer broken?", len(sites))
+			}
+
+			for i, s := range sites {
+				kind := dataflow.FaultTransient
+				if i%2 == 1 {
+					kind = dataflow.FaultPanic
+				}
+				cfg := base
+				cfg.FaultPlan = dataflow.NewFaultPlan(dataflow.Fault{
+					Stage: s.Stage, Worker: s.Worker, Occurrence: s.Occurrence, Kind: kind,
+				})
+				res, stats, err := TryDiscover(ds, cfg)
+				if err != nil {
+					t.Fatalf("site %+v (%v): recoverable fault killed the run: %v", s, kind, err)
+				}
+				if got := res.Format(ds.Dict); got != want {
+					t.Errorf("site %+v (%v): output diverged from fault-free run\ngot:\n%s\nwant:\n%s", s, kind, got, want)
+				}
+				if fired := cfg.FaultPlan.Fired(); len(fired) != 1 {
+					t.Errorf("site %+v: fired %d faults, want exactly 1", s, len(fired))
+				}
+				if stats.StageRetries < 1 {
+					t.Errorf("site %+v: StageRetries = %d, want ≥ 1", s, stats.StageRetries)
+				}
+			}
+			t.Logf("%v: %d single-fault schedules, all byte-identical", v, len(sites))
+		})
+	}
+}
+
+// TestFaultQuickRandomSchedules drives randomized multi-fault schedules
+// through every variant under testing/quick: any recoverable schedule must
+// reproduce the fault-free output byte for byte.
+func TestFaultQuickRandomSchedules(t *testing.T) {
+	ds := randomDataset(150, 4, 11)
+	type combo struct {
+		v Variant
+		w int
+	}
+	combos := []combo{
+		{Standard, 3},
+		{DirectExtraction, 2},
+		{NoFrequentConditions, 2},
+		{MinimalFirst, 3},
+	}
+	const faults = 4
+	want := make(map[combo]string, len(combos))
+	sites := make(map[combo][]dataflow.Site, len(combos))
+	for _, cb := range combos {
+		tracer := dataflow.NewFaultPlan()
+		cfg := Config{Support: 2, Workers: cb.w, Variant: cb.v,
+			RetryBackoff: time.Nanosecond, FaultPlan: tracer}
+		want[cb] = discoverFormatted(t, ds, cfg)
+		sites[cb] = tracer.Trace()
+	}
+
+	prop := func(seed int64) bool {
+		ok := true
+		for _, cb := range combos {
+			plan := dataflow.RandomFaultPlan(seed, sites[cb], faults)
+			cfg := Config{Support: 2, Workers: cb.w, Variant: cb.v,
+				// Cascading same-site faults consume one attempt each, so the
+				// budget must exceed the fault count for guaranteed recovery.
+				MaxStageAttempts: faults + 2,
+				RetryBackoff:     time.Nanosecond,
+				FaultPlan:        plan,
+			}
+			res, _, err := TryDiscover(ds, cfg)
+			if err != nil {
+				t.Logf("seed %d %v w=%d: %v", seed, cb.v, cb.w, err)
+				ok = false
+				continue
+			}
+			if got := res.Format(ds.Dict); got != want[cb] {
+				t.Logf("seed %d %v w=%d: output diverged (faults fired: %+v)", seed, cb.v, cb.w, plan.Fired())
+				ok = false
+			}
+		}
+		return ok
+	}
+	max := 12
+	if testing.Short() {
+		max = 4
+	}
+	cfg := &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(2016))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFaultWorkerCountInvarianceUnderFaults: a faulted run must agree with
+// the single-worker fault-free run at every parallelism.
+func TestFaultWorkerCountInvarianceUnderFaults(t *testing.T) {
+	ds := skewedDataset(300, 23)
+	want := discoverFormatted(t, ds, Config{Support: 2, Workers: 1})
+	for _, w := range []int{1, 3, 5} {
+		tracer := dataflow.NewFaultPlan()
+		discoverFormatted(t, ds, Config{Support: 2, Workers: w,
+			RetryBackoff: time.Nanosecond, FaultPlan: tracer})
+		plan := dataflow.RandomFaultPlan(int64(100+w), tracer.Trace(), 3)
+		cfg := Config{Support: 2, Workers: w, MaxStageAttempts: 6,
+			RetryBackoff: time.Nanosecond, FaultPlan: plan}
+		if got := discoverFormatted(t, ds, cfg); got != want {
+			t.Errorf("w=%d under faults %+v diverged from fault-free w=1", w, plan.Fired())
+		}
+	}
+}
+
+// TestFaultCancelledContextAborts: a cancelled context must abort discovery
+// with an error wrapping context.Canceled and a partial-stats report.
+func TestFaultCancelledContextAborts(t *testing.T) {
+	ds := skewedDataset(300, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, stats, err := DiscoverContext(ctx, ds, Config{Support: 2, Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled context did not abort discovery")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want to wrap context.Canceled", err)
+	}
+	var se *dataflow.StageError
+	if !errors.As(err, &se) {
+		t.Errorf("err = %T, want a *dataflow.StageError naming the aborted stage", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled run returned a result: %v", res)
+	}
+	if stats == nil || stats.Triples != ds.Size() {
+		t.Errorf("cancelled run must report partial stats (got %+v)", stats)
+	}
+}
+
+// TestFaultDeadlineExceededSurfaces: an expired deadline surfaces as
+// context.DeadlineExceeded, the signal the CLI maps to its timeout exit code.
+func TestFaultDeadlineExceededSurfaces(t *testing.T) {
+	ds := skewedDataset(300, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // deadline certainly expired
+	_, _, err := DiscoverContext(ctx, ds, Config{Support: 2, Workers: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want to wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestFaultLoadLimitDegradation: a LoadLimit between the degraded and the
+// exact load must downgrade extraction to Bloom work units — reported in
+// stats, with a byte-identical result — instead of failing the run.
+func TestFaultLoadLimitDegradation(t *testing.T) {
+	ds := skewedDataset(400, 7)
+	res, stats, err := TryDiscover(ds, Config{Support: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded {
+		t.Fatal("unlimited run reported degradation")
+	}
+	exact := stats.ExtractionLoad
+	if exact < 2 {
+		t.Fatalf("implausible exact load %d", exact)
+	}
+	want := res.Format(ds.Dict)
+
+	res2, stats2, err := TryDiscover(ds, Config{Support: 2, Workers: 2, LoadLimit: exact - 1})
+	if err != nil {
+		t.Fatalf("limit below exact load failed instead of degrading: %v", err)
+	}
+	if !stats2.Degraded {
+		t.Error("run under exact-load limit did not report degradation")
+	}
+	if stats2.ExtractionLoad >= exact {
+		t.Errorf("degraded load %d not below exact load %d", stats2.ExtractionLoad, exact)
+	}
+	if got := res2.Format(ds.Dict); got != want {
+		t.Errorf("degraded run diverged from exact run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The minimal-first variant degrades too.
+	_, mfStats, err := TryDiscover(ds, Config{Support: 2, Workers: 2, Variant: MinimalFirst, LoadLimit: exact - 1})
+	if err != nil {
+		t.Fatalf("minimal-first failed instead of degrading: %v", err)
+	}
+	if !mfStats.Degraded {
+		t.Error("minimal-first under a tight limit did not report degradation")
+	}
+
+	// Direct extraction is defined exact-only: it must fail, never degrade
+	// (the paper's Fig. 13 out-of-memory behavior).
+	_, deStats, err := TryDiscover(ds, Config{Support: 2, Workers: 2, Variant: DirectExtraction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = TryDiscover(ds, Config{Support: 2, Workers: 2, Variant: DirectExtraction,
+		LoadLimit: deStats.ExtractionLoad - 1})
+	if !errors.Is(err, extract.ErrLoadLimit) {
+		t.Errorf("RDFind-DE with a tight limit: err = %v, want ErrLoadLimit", err)
+	}
+}
+
+// TestFaultRetryBudgetExhaustionSurfacesStageError: more same-site faults
+// than attempts must end the run with a structured StageError, while the
+// partial stats keep what completed before the failure.
+func TestFaultRetryBudgetExhaustionSurfacesStageError(t *testing.T) {
+	ds := fixtures.University()
+	mk := func(occurrences int) *dataflow.FaultPlan {
+		fs := make([]dataflow.Fault, occurrences)
+		for i := range fs {
+			fs[i] = dataflow.Fault{Stage: "cgc/evidences", Worker: 0, Occurrence: i + 1, Kind: dataflow.FaultTransient}
+		}
+		return dataflow.NewFaultPlan(fs...)
+	}
+	// Two faults, three attempts: recovers.
+	cfg := Config{Support: 2, Workers: 2, MaxStageAttempts: 3,
+		RetryBackoff: time.Nanosecond, FaultPlan: mk(2)}
+	if _, _, err := TryDiscover(ds, cfg); err != nil {
+		t.Fatalf("two faults within a three-attempt budget failed: %v", err)
+	}
+	// Three faults, three attempts: exhausted.
+	cfg.FaultPlan = mk(3)
+	res, stats, err := TryDiscover(ds, cfg)
+	if err == nil {
+		t.Fatal("exhausted retry budget did not surface an error")
+	}
+	var se *dataflow.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T (%v), want *dataflow.StageError", err, err)
+	}
+	if se.Stage != "cgc/evidences" || se.Worker != 0 || se.Attempt != 3 {
+		t.Errorf("unexpected failure site: %+v", se)
+	}
+	if res != nil {
+		t.Error("failed run returned a result")
+	}
+	if stats == nil || stats.FrequentUnary == 0 {
+		t.Errorf("partial stats must keep the completed FC phase, got %+v", stats)
+	}
+	// Attempts 1 and 2 each retried worker 0 once; attempt 3 was terminal.
+	if stats.StageRetries != 2 {
+		t.Errorf("StageRetries = %d, want 2", stats.StageRetries)
+	}
+}
+
+// TestFaultDiscoverPanicsOnFailure pins Discover's contract: hard failures
+// panic (so silent garbage can never be mistaken for a result) while
+// TryDiscover reports the same condition as an error.
+func TestFaultDiscoverPanicsOnFailure(t *testing.T) {
+	ds := fixtures.University()
+	plan := dataflow.NewFaultPlan(dataflow.Fault{Stage: "cgc/evidences", Worker: 0, Occurrence: 1, Kind: dataflow.FaultTransient})
+	cfg := Config{Support: 2, Workers: 2, MaxStageAttempts: 1, FaultPlan: plan}
+	defer func() {
+		if recover() == nil {
+			t.Error("Discover did not panic on a terminal stage failure")
+		}
+	}()
+	Discover(ds, cfg)
+}

@@ -22,18 +22,22 @@ import (
 // extra passes over the groups cost more than they save — and the experiment
 // suite reproduces that comparison. The result set is identical to
 // Minimize(BroadCINDs(...)).
-func minimalFirst(groups *dataflow.Dataset[capture.Group], ecfg extract.Config) ([]cind.CIND, error) {
+func minimalFirst(groups *dataflow.Dataset[capture.Group], ecfg extract.Config) ([]cind.CIND, extract.Outcome, error) {
+	var total extract.Outcome
 	pass := func(dep, ref extract.Arity) ([]cind.CIND, error) {
 		cfg := ecfg
 		cfg.DepArity, cfg.RefArity = dep, ref
-		return extract.BroadCINDs(groups, cfg)
+		res, outcome, err := extract.BroadCINDsOutcome(groups, cfg)
+		total.EstimatedLoad += outcome.EstimatedLoad
+		total.Degraded = total.Degraded || outcome.Degraded
+		return res, err
 	}
 
 	// Pass 1: Ψ1:2 — all minimal (a unary dependent condition cannot be
 	// relaxed; a binary referenced condition cannot be tightened).
 	c12, err := pass(extract.UnaryOnly, extract.BinaryOnly)
 	if err != nil {
-		return nil, err
+		return nil, total, err
 	}
 
 	// The kill indexes derived from Ψ1:2.
@@ -51,12 +55,12 @@ func minimalFirst(groups *dataflow.Dataset[capture.Group], ecfg extract.Config) 
 	// Pass 2a: Ψ1:1, killed by referenced implication from Ψ1:2.
 	c11, err := pass(extract.UnaryOnly, extract.UnaryOnly)
 	if err != nil {
-		return nil, err
+		return nil, total, err
 	}
 	// Pass 2b: Ψ2:2, killed by dependent implication from Ψ1:2.
 	c22, err := pass(extract.BinaryOnly, extract.BinaryOnly)
 	if err != nil {
-		return nil, err
+		return nil, total, err
 	}
 
 	out := c12
@@ -87,7 +91,7 @@ func minimalFirst(groups *dataflow.Dataset[capture.Group], ecfg extract.Config) 
 	// themselves non-minimal but valid).
 	c21, err := pass(extract.BinaryOnly, extract.UnaryOnly)
 	if err != nil {
-		return nil, err
+		return nil, total, err
 	}
 	for _, c := range c21 {
 		if c.Trivial() {
@@ -101,7 +105,7 @@ func minimalFirst(groups *dataflow.Dataset[capture.Group], ecfg extract.Config) 
 		}
 		out = append(out, c)
 	}
-	return out, nil
+	return out, total, nil
 }
 
 // depRelaxedIn reports whether relaxing inc's binary dependent condition to

@@ -12,6 +12,16 @@
 // combiner-style pre-aggregation before data crosses partitions, mirroring
 // the "early aggregation" the paper uses to cut network traffic (§5.2, §6.1).
 //
+// The engine is fault-tolerant in the way Flink's task recovery made RDFind
+// fault-tolerant (see fault.go): worker panics become StageErrors, stages
+// failing with transient faults are re-executed from their retained input
+// partitions with bounded exponential backoff, a context.Context attached
+// with WithCancel aborts the pipeline between stages, and a FaultPlan injects
+// deterministic faults for testing. Once a stage fails terminally, every
+// subsequent operator on the same Context short-circuits to an empty dataset,
+// so a broken pipeline drains in O(1) per operator and the first error is
+// reported by Context.Err.
+//
 // Because the reproduction runs on a single machine, the engine additionally
 // keeps per-worker work accounting (records processed per worker per stage).
 // From it, Stats derives the critical-path cost and the work-balance speedup
@@ -21,31 +31,91 @@
 package dataflow
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
+	"sort"
 	"sync"
+	"time"
 )
 
 // Context carries the worker count, the hash seed that fixes the
-// key-to-partition mapping for the lifetime of a job, and the work
-// accounting shared by all stages.
+// key-to-partition mapping for the lifetime of a job, the work accounting
+// shared by all stages, and the fault-tolerance configuration.
+//
+// A Context is owned by a single job: the driver calls operators one after
+// another, and the recorded stage order, the fault-injection occurrence
+// counting, and the fail-fast error latch all assume that sequential
+// ownership. Concurrent jobs must use separate Contexts (all engine state is
+// internally synchronized, so even misuse cannot corrupt memory — but the
+// interleaved stage accounting of two jobs would be meaningless).
 type Context struct {
-	workers int
-	seed    maphash.Seed
-	stats   *Stats
+	workers     int
+	seed        maphash.Seed
+	stats       *Stats
+	job         context.Context // nil: not cancellable
+	maxAttempts int             // per-stage executions, ≥ 1
+	backoff     time.Duration   // base of the exponential inter-attempt backoff
+	faults      *FaultPlan      // nil: no injection, no tracing
+
+	mu  sync.Mutex
+	err error // first terminal failure; latches the whole pipeline
+}
+
+// Option configures a Context beyond its worker count.
+type Option func(*Context)
+
+// WithCancel attaches a cancellation context: every stage checks it before
+// each attempt, so a cancelled job aborts promptly between operators with
+// Context.Err wrapping the context's error.
+func WithCancel(ctx context.Context) Option {
+	return func(c *Context) { c.job = ctx }
+}
+
+// WithRetries allows each stage up to n re-executions after a transient
+// failure (n+1 attempts in total). Negative values are clamped to 0.
+func WithRetries(n int) Option {
+	return func(c *Context) {
+		if n < 0 {
+			n = 0
+		}
+		c.maxAttempts = n + 1
+	}
+}
+
+// WithBackoff sets the base of the exponential backoff between stage
+// attempts (base, 2·base, 4·base, …). Non-positive values disable waiting.
+func WithBackoff(base time.Duration) Option {
+	return func(c *Context) { c.backoff = base }
+}
+
+// WithFaultPlan attaches a deterministic fault-injection schedule. An empty
+// plan injects nothing but traces every worker execution.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *Context) { c.faults = p }
 }
 
 // NewContext returns a context with the given number of logical workers.
-// Worker counts below 1 are clamped to 1.
-func NewContext(workers int) *Context {
+// Worker counts below 1 are clamped to 1. Without options the context is not
+// cancellable, does not retry (one attempt per stage), and injects no faults.
+func NewContext(workers int, opts ...Option) *Context {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Context{
-		workers: workers,
-		seed:    maphash.MakeSeed(),
-		stats:   &Stats{},
+	c := &Context{
+		workers:     workers,
+		seed:        maphash.MakeSeed(),
+		stats:       &Stats{},
+		maxAttempts: 1,
+		backoff:     time.Millisecond,
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.maxAttempts < 1 {
+		c.maxAttempts = 1
+	}
+	return c
 }
 
 // Workers returns the number of logical workers.
@@ -53,6 +123,54 @@ func (c *Context) Workers() int { return c.workers }
 
 // Stats returns the accumulated work accounting.
 func (c *Context) Stats() *Stats { return c.stats }
+
+// Err returns the first terminal stage failure (a *StageError, possibly
+// wrapping a cancellation), or nil while the pipeline is healthy. Once
+// non-nil, every subsequent operator short-circuits to an empty dataset.
+func (c *Context) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// fail latches the first terminal failure.
+func (c *Context) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *Context) failed() bool { return c.Err() != nil }
+
+// cancelErr returns the attached context's error, if any.
+func (c *Context) cancelErr() error {
+	if c.job == nil {
+		return nil
+	}
+	return c.job.Err()
+}
+
+// sleep waits for the given duration unless the job is cancelled first; it
+// reports whether the wait completed.
+func (c *Context) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return c.cancelErr() == nil
+	}
+	if c.job == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.job.Done():
+		return false
+	}
+}
 
 // Dataset is a horizontally partitioned collection: one slice of records per
 // logical worker.
@@ -65,6 +183,7 @@ type Dataset[T any] struct {
 func (d *Dataset[T]) Context() *Context { return d.ctx }
 
 // Partitions exposes the raw partitions, mainly for tests and diagnostics.
+// The slice always has exactly Context().Workers() entries.
 func (d *Dataset[T]) Partitions() [][]T { return d.parts }
 
 // Len returns the total number of records across all partitions.
@@ -76,28 +195,122 @@ func (d *Dataset[T]) Len() int {
 	return n
 }
 
-// runParallel executes f(worker) once per worker, concurrently.
-func (c *Context) runParallel(f func(worker int)) {
-	var wg sync.WaitGroup
-	wg.Add(c.workers)
-	for w := 0; w < c.workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			f(w)
-		}(w)
+// empty returns a dataset with w empty partitions, the value every operator
+// yields once the pipeline has failed.
+func empty[T any](c *Context) *Dataset[T] {
+	return &Dataset[T]{ctx: c, parts: make([][]T, c.workers)}
+}
+
+// workerFailure pairs a worker index with its recovered error.
+type workerFailure struct {
+	worker int
+	err    error
+}
+
+// runStage executes f(worker) once per worker, concurrently, with panic
+// isolation, fault injection, and bounded retries for transient failures.
+// Each retry re-executes only the failed workers; because operator inputs are
+// immutable retained partitions and outputs are written per worker, a re-run
+// worker deterministically reproduces its slot. runStage reports whether the
+// stage completed; on terminal failure the error is latched on the Context.
+func (c *Context) runStage(name string, f func(worker int) error) bool {
+	if c.failed() {
+		return false
 	}
-	wg.Wait()
+	pending := make([]int, c.workers)
+	for w := range pending {
+		pending[w] = w
+	}
+	for attempt := 1; ; attempt++ {
+		if err := c.cancelErr(); err != nil {
+			c.fail(&StageError{Stage: name, Worker: -1, Attempt: attempt,
+				Cause: fmt.Errorf("cancelled: %w", err)})
+			return false
+		}
+		var (
+			mu       sync.Mutex
+			failures []workerFailure
+			wg       sync.WaitGroup
+		)
+		wg.Add(len(pending))
+		for _, w := range pending {
+			go func(w int) {
+				defer wg.Done()
+				if err := c.runWorker(name, w, f); err != nil {
+					mu.Lock()
+					failures = append(failures, workerFailure{worker: w, err: err})
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		if len(failures) == 0 {
+			return true
+		}
+		sort.Slice(failures, func(i, j int) bool { return failures[i].worker < failures[j].worker })
+		first := failures[0]
+		retryable := attempt < c.maxAttempts
+		for _, wf := range failures {
+			if !IsTransient(wf.err) {
+				retryable = false
+				first = wf
+				break
+			}
+		}
+		if !retryable {
+			c.fail(&StageError{Stage: name, Worker: first.worker, Attempt: attempt, Cause: first.err})
+			return false
+		}
+		c.stats.recordRetries(name, len(failures))
+		if !c.sleep(c.backoff << (attempt - 1)) {
+			c.fail(&StageError{Stage: name, Worker: first.worker, Attempt: attempt,
+				Cause: fmt.Errorf("cancelled during retry backoff: %w", c.cancelErr())})
+			return false
+		}
+		pending = pending[:0]
+		for _, wf := range failures {
+			pending = append(pending, wf.worker)
+		}
+	}
+}
+
+// runWorker runs f(w) with panic recovery and fault injection. Injected
+// faults fire before any user code, so a retried worker observes no partial
+// state from the faulted execution.
+func (c *Context) runWorker(name string, w int, f func(int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoverWorker(r)
+		}
+	}()
+	if c.faults != nil {
+		if ferr := c.faults.visit(name, w); ferr != nil {
+			return ferr
+		}
+	}
+	return f(w)
 }
 
 // hashPartition maps a key to a worker index.
 func hashPartition[K comparable](c *Context, k K) int {
+	if c.workers <= 1 {
+		return 0
+	}
 	return int(maphash.Comparable(c.seed, k) % uint64(c.workers))
 }
 
 // Parallelize splits items across the context's workers in contiguous
-// chunks, mimicking reading an unpartitioned input file split-wise.
+// chunks, mimicking reading an unpartitioned input file split-wise. Empty
+// (or nil) input yields a dataset with w empty partitions.
 func Parallelize[T any](c *Context, name string, items []T) *Dataset[T] {
+	if c.failed() {
+		return empty[T](c)
+	}
 	parts := make([][]T, c.workers)
+	if len(items) == 0 {
+		c.stats.record(name, make([]int64, c.workers))
+		return &Dataset[T]{ctx: c, parts: parts}
+	}
 	chunk := (len(items) + c.workers - 1) / c.workers
 	counts := make([]int64, c.workers)
 	for w := 0; w < c.workers; w++ {
@@ -121,7 +334,7 @@ func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 	c := d.ctx
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name, func(w int) error {
 		in := d.parts[w]
 		res := make([]U, len(in))
 		for i, t := range in {
@@ -129,7 +342,10 @@ func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 		}
 		out[w] = res
 		counts[w] = int64(len(in))
-	})
+		return nil
+	}) {
+		return empty[U](c)
+	}
 	c.stats.record(name, counts)
 	return &Dataset[U]{ctx: c, parts: out}
 }
@@ -139,7 +355,7 @@ func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[
 	c := d.ctx
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name, func(w int) error {
 		var res []U
 		emit := func(u U) { res = append(res, u) }
 		for _, t := range d.parts[w] {
@@ -147,7 +363,10 @@ func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[
 		}
 		out[w] = res
 		counts[w] = int64(len(d.parts[w]))
-	})
+		return nil
+	}) {
+		return empty[U](c)
+	}
 	c.stats.record(name, counts)
 	return &Dataset[U]{ctx: c, parts: out}
 }
@@ -168,12 +387,15 @@ func MapPartitions[T, U any](d *Dataset[T], name string, f func(worker int, item
 	c := d.ctx
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name, func(w int) error {
 		var res []U
 		f(w, d.parts[w], func(u U) { res = append(res, u) })
 		out[w] = res
 		counts[w] = int64(len(d.parts[w]))
-	})
+		return nil
+	}) {
+		return empty[U](c)
+	}
 	c.stats.record(name, counts)
 	return &Dataset[U]{ctx: c, parts: out}
 }
@@ -185,29 +407,36 @@ type Pair[K comparable, V any] struct {
 }
 
 // shuffleByKey hash-partitions keyed records so that all records with equal
-// keys land in the same output partition.
-func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]]) [][]Pair[K, V] {
+// keys land in the same output partition. It runs as two named phases
+// (name/scatter and name/gather); the boolean is false when either failed.
+func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][]Pair[K, V], bool) {
 	c := d.ctx
 	// Each input partition fills one bucket per target worker; buckets are
 	// then concatenated per target, keeping source order deterministic.
 	buckets := make([][][]Pair[K, V], c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name+"/scatter", func(w int) error {
 		local := make([][]Pair[K, V], c.workers)
 		for _, kv := range d.parts[w] {
 			t := hashPartition(c, kv.Key)
 			local[t] = append(local[t], kv)
 		}
 		buckets[w] = local
-	})
+		return nil
+	}) {
+		return nil, false
+	}
 	out := make([][]Pair[K, V], c.workers)
-	c.runParallel(func(t int) {
+	if !c.runStage(name+"/gather", func(t int) error {
 		var part []Pair[K, V]
 		for w := 0; w < c.workers; w++ {
 			part = append(part, buckets[w][t]...)
 		}
 		out[t] = part
-	})
-	return out
+		return nil
+	}) {
+		return nil, false
+	}
+	return out, true
 }
 
 // ReduceByKey combines values of equal keys with the associative,
@@ -220,7 +449,7 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 	// Combiner pass: partition-local aggregation.
 	pre := make([][]Pair[K, V], c.workers)
 	counts := make([]int64, c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name+"/combine", func(w int) error {
 		agg := make(map[K]V)
 		for _, kv := range d.parts[w] {
 			if cur, ok := agg[kv.Key]; ok {
@@ -235,11 +464,17 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 		}
 		pre[w] = local
 		counts[w] = int64(len(d.parts[w]))
-	})
-	shuffled := shuffleByKey(&Dataset[Pair[K, V]]{ctx: c, parts: pre})
+		return nil
+	}) {
+		return empty[Pair[K, V]](c)
+	}
+	shuffled, ok := shuffleByKey(&Dataset[Pair[K, V]]{ctx: c, parts: pre}, name)
+	if !ok {
+		return empty[Pair[K, V]](c)
+	}
 	// Final reduce at the target partitions.
 	out := make([][]Pair[K, V], c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name+"/reduce", func(w int) error {
 		agg := make(map[K]V)
 		for _, kv := range shuffled[w] {
 			if cur, ok := agg[kv.Key]; ok {
@@ -253,7 +488,10 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 			local = append(local, Pair[K, V]{k, v})
 		}
 		out[w] = local
-	})
+		return nil
+	}) {
+		return empty[Pair[K, V]](c)
+	}
 	c.stats.record(name, counts)
 	return &Dataset[Pair[K, V]]{ctx: c, parts: out}
 }
@@ -265,9 +503,12 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Datas
 	for w, p := range d.parts {
 		counts[w] = int64(len(p))
 	}
-	shuffled := shuffleByKey(d)
+	shuffled, ok := shuffleByKey(d, name)
+	if !ok {
+		return empty[Pair[K, []V]](c)
+	}
 	out := make([][]Pair[K, []V], c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name+"/group", func(w int) error {
 		agg := make(map[K][]V)
 		for _, kv := range shuffled[w] {
 			agg[kv.Key] = append(agg[kv.Key], kv.Val)
@@ -277,7 +518,10 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Datas
 			local = append(local, Pair[K, []V]{k, vs})
 		}
 		out[w] = local
-	})
+		return nil
+	}) {
+		return empty[Pair[K, []V]](c)
+	}
 	c.stats.record(name, counts)
 	return &Dataset[Pair[K, []V]]{ctx: c, parts: out}
 }
@@ -297,11 +541,17 @@ func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, 
 	if b.ctx != c {
 		panic("dataflow: cogroup of datasets from different contexts")
 	}
-	sa := shuffleByKey(a)
-	sb := shuffleByKey(b)
+	sa, okA := shuffleByKey(a, name+"/left")
+	if !okA {
+		return empty[CoGrouped[K, V, W]](c)
+	}
+	sb, okB := shuffleByKey(b, name+"/right")
+	if !okB {
+		return empty[CoGrouped[K, V, W]](c)
+	}
 	out := make([][]CoGrouped[K, V, W], c.workers)
 	counts := make([]int64, c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name+"/join", func(w int) error {
 		left := make(map[K][]V)
 		for _, kv := range sa[w] {
 			left[kv.Key] = append(left[kv.Key], kv.Val)
@@ -321,7 +571,10 @@ func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, 
 		}
 		out[w] = local
 		counts[w] = int64(len(sa[w]) + len(sb[w]))
-	})
+		return nil
+	}) {
+		return empty[CoGrouped[K, V, W]](c)
+	}
 	c.stats.record(name, counts)
 	return &Dataset[CoGrouped[K, V, W]]{ctx: c, parts: out}
 }
@@ -335,13 +588,16 @@ func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
 	}
 	out := make([][]T, c.workers)
 	counts := make([]int64, c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name, func(w int) error {
 		part := make([]T, 0, len(a.parts[w])+len(b.parts[w]))
 		part = append(part, a.parts[w]...)
 		part = append(part, b.parts[w]...)
 		out[w] = part
 		counts[w] = int64(len(part))
-	})
+		return nil
+	}) {
+		return empty[T](c)
+	}
 	c.stats.record(name, counts)
 	return &Dataset[T]{ctx: c, parts: out}
 }
@@ -364,7 +620,7 @@ func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T
 	c := d.ctx
 	buckets := make([][][]T, c.workers)
 	counts := make([]int64, c.workers)
-	c.runParallel(func(w int) {
+	if !c.runStage(name+"/scatter", func(w int) error {
 		local := make([][]T, c.workers)
 		for _, t := range d.parts[w] {
 			p := part(t) % c.workers
@@ -375,22 +631,32 @@ func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T
 		}
 		buckets[w] = local
 		counts[w] = int64(len(d.parts[w]))
-	})
+		return nil
+	}) {
+		return empty[T](c)
+	}
 	out := make([][]T, c.workers)
-	c.runParallel(func(t int) {
+	if !c.runStage(name+"/gather", func(t int) error {
 		var part []T
 		for w := 0; w < c.workers; w++ {
 			part = append(part, buckets[w][t]...)
 		}
 		out[t] = part
-	})
+		return nil
+	}) {
+		return empty[T](c)
+	}
 	c.stats.record(name, counts)
 	return &Dataset[T]{ctx: c, parts: out}
 }
 
 // Collect gathers all records on the driver, Flink's collect/broadcast
-// boundary. The returned slice concatenates partitions in worker order.
+// boundary. The returned slice concatenates partitions in worker order. On a
+// failed pipeline it returns nil; check Context.Err.
 func Collect[T any](d *Dataset[T]) []T {
+	if d.ctx.failed() {
+		return nil
+	}
 	var all []T
 	for _, p := range d.parts {
 		all = append(all, p...)
@@ -400,15 +666,18 @@ func Collect[T any](d *Dataset[T]) []T {
 
 // GlobalReduce folds all records into one value on a single worker, used to
 // union per-worker partial Bloom filters (Fig. 5, step 4). The boolean is
-// false when the dataset is empty.
+// false when the dataset is empty or the pipeline has failed.
 func GlobalReduce[T any](d *Dataset[T], name string, f func(T, T) T) (T, bool) {
 	c := d.ctx
+	var acc T
+	if c.failed() {
+		return acc, false
+	}
 	counts := make([]int64, c.workers)
 	for w, p := range d.parts {
 		counts[w] = int64(len(p))
 	}
 	c.stats.record(name, counts)
-	var acc T
 	have := false
 	for _, p := range d.parts {
 		for _, t := range p {

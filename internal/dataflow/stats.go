@@ -15,8 +15,9 @@ import (
 // time, because on the single-core reproduction machine goroutine
 // parallelism cannot manifest as elapsed-time speedup.
 type Stats struct {
-	mu     sync.Mutex
-	stages []StageStat
+	mu      sync.Mutex
+	stages  []StageStat
+	retries map[string]int
 }
 
 // StageStat is the per-worker record count of one named operator instance.
@@ -32,6 +33,41 @@ func (s *Stats) record(name string, perWorker []int64) {
 	cp := make([]int64, len(perWorker))
 	copy(cp, perWorker)
 	s.stages = append(s.stages, StageStat{Name: name, PerWorker: cp})
+}
+
+// recordRetries accounts n worker re-executions of one stage after a
+// transient failure (see runStage).
+func (s *Stats) recordRetries(name string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retries == nil {
+		s.retries = make(map[string]int)
+	}
+	s.retries[name] += n
+}
+
+// Retries returns the per-stage count of worker re-executions caused by
+// transient faults. Stage names carry the engine's phase suffixes (e.g.
+// "ext/merge-candidates/reduce").
+func (s *Stats) Retries() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.retries))
+	for k, v := range s.retries {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalRetries is the total number of worker re-executions across all stages.
+func (s *Stats) TotalRetries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, v := range s.retries {
+		total += v
+	}
+	return total
 }
 
 // Stages returns a copy of the recorded stages.
@@ -98,6 +134,9 @@ func (s *Stats) String() string {
 			}
 		}
 		fmt.Fprintf(&b, "%-40s total=%-10d max=%d\n", st.Name, total, max)
+	}
+	for name, n := range s.retries {
+		fmt.Fprintf(&b, "%-40s retried workers=%d\n", name, n)
 	}
 	return b.String()
 }

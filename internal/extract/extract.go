@@ -66,6 +66,30 @@ type Config struct {
 	// group, |G| per Bloom-encoded work unit); 0 means unlimited. Exceeding
 	// it aborts extraction with ErrLoadLimit, emulating a memory-bound run.
 	LoadLimit int64
+	// ForceBloomUnits routes every capture group through the Bloom-encoded
+	// work-unit path, never materializing exact |G|² candidate sets. This is
+	// the degraded, memory-frugal strategy: O(|G|) load per group at the cost
+	// of an extra validation pass. Results are identical to the exact
+	// strategy (Bloom false positives cannot survive validation).
+	ForceBloomUnits bool
+	// DegradeOnLoadLimit turns a LoadLimit breach into a degradation point:
+	// instead of failing with ErrLoadLimit, extraction is re-planned with
+	// ForceBloomUnits and only fails if even the degraded load exceeds the
+	// limit. Ignored under DirectExtraction, which the paper defines as
+	// exact-only (its memory failures are the point of Fig. 13).
+	DegradeOnLoadLimit bool
+}
+
+// Outcome reports how an extraction ran: the estimated load of the executed
+// strategy and whether the exact strategy was abandoned for Bloom work units
+// after a LoadLimit breach.
+type Outcome struct {
+	// EstimatedLoad is the candidate-set entries of the strategy that
+	// actually ran (or was attempted last).
+	EstimatedLoad int64
+	// Degraded reports that DegradeOnLoadLimit re-planned the extraction
+	// with Bloom work-unit candidate sets.
+	Degraded bool
 }
 
 func (c Config) bloomBytes() int {
@@ -98,10 +122,18 @@ type workUnit struct {
 // BroadCINDs extracts all valid CINDs with support ≥ cfg.Support from the
 // capture groups. The result includes logically trivial inclusions (they are
 // valid CINDs); Minimize removes them. Reflexive statements are excluded.
-// The only possible error is ErrLoadLimit, and only when cfg.LoadLimit is
-// set.
+// Possible errors are ErrLoadLimit (only when cfg.LoadLimit is set) and an
+// engine failure surfaced from the dataset's Context.
 func BroadCINDs(groups *dataflow.Dataset[capture.Group], cfg Config) ([]cind.CIND, error) {
+	res, _, err := BroadCINDsOutcome(groups, cfg)
+	return res, err
+}
+
+// BroadCINDsOutcome is BroadCINDs with an execution report: the estimated
+// candidate-set load and whether the run degraded to Bloom work units.
+func BroadCINDsOutcome(groups *dataflow.Dataset[capture.Group], cfg Config) ([]cind.CIND, Outcome, error) {
 	h := cfg.Support
+	outcome := Outcome{Degraded: false}
 
 	// Expand every group to its implication closure so that Lemma 3's
 	// membership test sees subsumed unary captures (see DESIGN.md).
@@ -115,22 +147,27 @@ func BroadCINDs(groups *dataflow.Dataset[capture.Group], cfg Config) ([]cind.CIN
 		closed = pruneBySupport(closed, h)
 	}
 
-	var normal *dataflow.Dataset[capture.Group]
-	var units *dataflow.Dataset[workUnit]
-	if cfg.DirectExtraction {
-		normal = closed
-		units = emptyUnits(closed)
-	} else {
-		normal, units = splitDominant(closed)
-	}
+	forced := cfg.ForceBloomUnits && !cfg.DirectExtraction
+	normal, units := planStrategy(closed, cfg, forced)
 
 	// Memory guard: candidate generation materializes |G|² entries per
 	// exact group and O(|G|) per Bloom-encoded work unit. The load is known
-	// exactly before any allocation, so a bounded run can abort cleanly.
-	if cfg.LoadLimit > 0 {
-		load := estimateLoad(normal, units)
-		if load > cfg.LoadLimit {
-			return nil, fmt.Errorf("%w: %d candidate entries > limit %d", ErrLoadLimit, load, cfg.LoadLimit)
+	// exactly before any allocation, so a bounded run can abort cleanly —
+	// or, with DegradeOnLoadLimit, fall back to the all-Bloom strategy whose
+	// load is linear rather than quadratic in the group sizes.
+	outcome.EstimatedLoad = estimateLoad(normal, units)
+	if cfg.LoadLimit > 0 && outcome.EstimatedLoad > cfg.LoadLimit {
+		if !cfg.DegradeOnLoadLimit || cfg.DirectExtraction || forced {
+			return nil, outcome, fmt.Errorf("%w: %d candidate entries > limit %d",
+				ErrLoadLimit, outcome.EstimatedLoad, cfg.LoadLimit)
+		}
+		forced = true
+		outcome.Degraded = true
+		normal, units = planStrategy(closed, cfg, forced)
+		outcome.EstimatedLoad = estimateLoad(normal, units)
+		if outcome.EstimatedLoad > cfg.LoadLimit {
+			return nil, outcome, fmt.Errorf("%w: degraded run still needs %d candidate entries > limit %d",
+				ErrLoadLimit, outcome.EstimatedLoad, cfg.LoadLimit)
 		}
 	}
 
@@ -199,7 +236,27 @@ func BroadCINDs(groups *dataflow.Dataset[capture.Group], cfg Config) ([]cind.CIN
 		uncertain[dep] = cs
 	}
 	out = append(out, validate(units, uncertain, cfg.RefArity)...)
-	return out, nil
+	// A failed engine (worker fault, cancellation) drains every stage above
+	// into empty datasets; surface the failure instead of an empty result.
+	if err := groups.Context().Err(); err != nil {
+		return nil, outcome, err
+	}
+	return out, outcome, nil
+}
+
+// planStrategy selects how groups become candidate sets: exact sets for every
+// group (direct extraction), the paper's hybrid of exact normal groups plus
+// Bloom work units for dominant ones (standard), or Bloom work units for all
+// groups (the degraded strategy).
+func planStrategy(closed *dataflow.Dataset[capture.Group], cfg Config, forced bool) (*dataflow.Dataset[capture.Group], *dataflow.Dataset[workUnit]) {
+	switch {
+	case cfg.DirectExtraction:
+		return closed, emptyUnits(closed)
+	case forced:
+		return emptyGroups(closed), splitAll(closed)
+	default:
+		return splitDominant(closed)
+	}
 }
 
 // estimateLoad sums the candidate-set entries generation will allocate.
@@ -285,9 +342,19 @@ func splitDominant(closed *dataflow.Dataset[capture.Group]) (*dataflow.Dataset[c
 	normal := dataflow.Filter(closed, "ext/normal-groups",
 		func(g capture.Group) bool { return !isDominant(g) })
 	dominant := dataflow.Filter(closed, "ext/dominant-groups", isDominant)
+	return normal, splitUnits(dominant, w)
+}
 
-	// Split each dominant group into w work units and spread them evenly.
-	units := dataflow.FlatMap(dominant, "ext/split-units",
+// splitAll turns every group into Bloom-encoded work units — the degraded,
+// linear-load strategy selected by ForceBloomUnits or a LoadLimit breach.
+func splitAll(closed *dataflow.Dataset[capture.Group]) *dataflow.Dataset[workUnit] {
+	return splitUnits(closed, closed.Context().Workers())
+}
+
+// splitUnits splits each group into up to w work units and spreads them
+// evenly across the workers.
+func splitUnits(groups *dataflow.Dataset[capture.Group], w int) *dataflow.Dataset[workUnit] {
+	units := dataflow.FlatMap(groups, "ext/split-units",
 		func(g capture.Group, emit func(dataflow.Pair[int, workUnit])) {
 			n := len(g.Captures)
 			per := (n + w - 1) / w
@@ -305,14 +372,18 @@ func splitDominant(closed *dataflow.Dataset[capture.Group]) (*dataflow.Dataset[c
 		})
 	placed := dataflow.PartitionBy(units, "ext/place-units",
 		func(p dataflow.Pair[int, workUnit]) int { return p.Key })
-	unwrapped := dataflow.Map(placed, "ext/unwrap-units",
+	return dataflow.Map(placed, "ext/unwrap-units",
 		func(p dataflow.Pair[int, workUnit]) workUnit { return p.Val })
-	return normal, unwrapped
 }
 
 // emptyUnits returns an empty work-unit dataset in the same context.
 func emptyUnits(d *dataflow.Dataset[capture.Group]) *dataflow.Dataset[workUnit] {
 	return dataflow.Parallelize(d.Context(), "ext/no-units", []workUnit(nil))
+}
+
+// emptyGroups returns an empty group dataset in the same context.
+func emptyGroups(d *dataflow.Dataset[capture.Group]) *dataflow.Dataset[capture.Group] {
+	return dataflow.Parallelize(d.Context(), "ext/no-normal", []capture.Group(nil))
 }
 
 // mergeCandSets is Algorithm 3: intersect two candidate sets, distinguishing

@@ -1,0 +1,111 @@
+package extract
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/dataflow"
+)
+
+// runBroad extracts over ground-truth groups of a random dataset and returns
+// the result as a set, plus the reported outcome.
+func runBroad(t *testing.T, cfg Config) (map[cind.CIND]bool, Outcome) {
+	t.Helper()
+	ds := randomDataset(300, 5)
+	ctx := dataflow.NewContext(3)
+	res, outcome, err := BroadCINDsOutcome(groupsFromDataset(ctx, ds), cfg)
+	if err != nil {
+		t.Fatalf("extraction failed (%+v): %v", cfg, err)
+	}
+	set := make(map[cind.CIND]bool, len(res))
+	for _, c := range res {
+		set[c] = true
+	}
+	return set, outcome
+}
+
+// TestFaultForceBloomUnitsEquivalence: the degraded all-Bloom strategy must
+// produce exactly the broad CINDs of the exact strategy, at a load no larger
+// than the exact one (linear instead of quadratic in the group sizes).
+func TestFaultForceBloomUnitsEquivalence(t *testing.T) {
+	for _, h := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("h=%d", h), func(t *testing.T) {
+			exact, outExact := runBroad(t, Config{Support: h})
+			forced, outForced := runBroad(t, Config{Support: h, ForceBloomUnits: true})
+			if outExact.Degraded || outForced.Degraded {
+				t.Error("no LoadLimit was set, nothing should report degradation")
+			}
+			if outForced.EstimatedLoad > outExact.EstimatedLoad {
+				t.Errorf("forced load %d exceeds exact load %d", outForced.EstimatedLoad, outExact.EstimatedLoad)
+			}
+			for c := range exact {
+				if !forced[c] {
+					t.Errorf("forced-Bloom run lost CIND %+v", c)
+				}
+			}
+			for c := range forced {
+				if !exact[c] {
+					t.Errorf("forced-Bloom run fabricated CIND %+v", c)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultDegradeOnLoadLimit: a limit between the Bloom and the exact load
+// degrades; a limit below even the Bloom load still fails; without the
+// degradation switch the breach fails immediately.
+func TestFaultDegradeOnLoadLimit(t *testing.T) {
+	_, outExact := runBroad(t, Config{Support: 2})
+	_, outForced := runBroad(t, Config{Support: 2, ForceBloomUnits: true})
+	if outForced.EstimatedLoad >= outExact.EstimatedLoad {
+		t.Skipf("degenerate dataset: forced load %d not below exact load %d",
+			outForced.EstimatedLoad, outExact.EstimatedLoad)
+	}
+	limit := outExact.EstimatedLoad - 1
+
+	degraded, outDegraded := runBroad(t, Config{Support: 2, LoadLimit: limit, DegradeOnLoadLimit: true})
+	if !outDegraded.Degraded {
+		t.Error("breach with DegradeOnLoadLimit did not degrade")
+	}
+	if outDegraded.EstimatedLoad != outForced.EstimatedLoad {
+		t.Errorf("degraded load %d, want the forced-Bloom load %d", outDegraded.EstimatedLoad, outForced.EstimatedLoad)
+	}
+	exactRes, _ := runBroad(t, Config{Support: 2})
+	if len(degraded) != len(exactRes) {
+		t.Errorf("degraded run found %d CINDs, exact %d", len(degraded), len(exactRes))
+	}
+
+	ds := randomDataset(300, 5)
+	ctx := dataflow.NewContext(3)
+	_, _, err := BroadCINDsOutcome(groupsFromDataset(ctx, ds), Config{Support: 2, LoadLimit: limit})
+	if !errors.Is(err, ErrLoadLimit) {
+		t.Errorf("breach without DegradeOnLoadLimit: err = %v, want ErrLoadLimit", err)
+	}
+	ctx2 := dataflow.NewContext(3)
+	_, out, err := BroadCINDsOutcome(groupsFromDataset(ctx2, ds),
+		Config{Support: 2, LoadLimit: 1, DegradeOnLoadLimit: true})
+	if !errors.Is(err, ErrLoadLimit) {
+		t.Errorf("limit below the degraded load: err = %v, want ErrLoadLimit", err)
+	}
+	if !out.Degraded {
+		t.Error("the failed run should still report that degradation was attempted")
+	}
+}
+
+// TestFaultDirectExtractionNeverDegrades: RDFind-DE is exact-only; the
+// degradation switch must not change its failure behavior.
+func TestFaultDirectExtractionNeverDegrades(t *testing.T) {
+	ds := randomDataset(300, 5)
+	ctx := dataflow.NewContext(3)
+	_, outcome, err := BroadCINDsOutcome(groupsFromDataset(ctx, ds),
+		Config{Support: 2, DirectExtraction: true, LoadLimit: 1, DegradeOnLoadLimit: true})
+	if !errors.Is(err, ErrLoadLimit) {
+		t.Fatalf("err = %v, want ErrLoadLimit", err)
+	}
+	if outcome.Degraded {
+		t.Error("direct extraction must never degrade")
+	}
+}

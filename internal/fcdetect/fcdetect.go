@@ -61,8 +61,14 @@ func unaryConditionsOf(t rdf.Triple, emit func(cind.Condition)) {
 	emit(cind.Unary(rdf.Object, t.O))
 }
 
-// Detect runs the full detector over the partitioned triples.
+// Detect runs the full detector over the partitioned triples. When the
+// engine has already failed (worker fault, cancellation) the detector
+// schedules nothing and returns a well-formed empty output; the caller
+// observes the failure via the dataset's Context.Err.
 func Detect(triples *dataflow.Dataset[rdf.Triple], h int, opts Options) *Output {
+	if triples.Context().Err() != nil {
+		return abortedOutput(triples.Context())
+	}
 	out := &Output{}
 
 	// Frequent unary conditions: per-triple counters, early-aggregated and
@@ -80,6 +86,13 @@ func Detect(triples *dataflow.Dataset[rdf.Triple], h int, opts Options) *Output 
 	// Compact into a Bloom filter: per-worker partial filters, unioned by a
 	// bit-wise OR on a single worker (steps 3–4).
 	out.UnaryBloom = buildConditionBloom(out.Unary, "fcd/unary-bloom")
+
+	// Abort promptly between the two counting passes when the engine failed
+	// during the unary phase — the binary pass and the AR join would only
+	// schedule no-op stages over drained datasets.
+	if triples.Context().Err() != nil {
+		return abortedOutput(triples.Context())
+	}
 
 	// Frequent binary conditions: Algorithm 1 — candidates are generated on
 	// demand per triple by probing the unary filter, never materialized
@@ -114,6 +127,19 @@ func Detect(triples *dataflow.Dataset[rdf.Triple], h int, opts Options) *Output 
 }
 
 func addInts(a, b int) int { return a + b }
+
+// abortedOutput is a well-formed, empty detector output for a failed engine:
+// empty counter datasets and empty (never-matching) Bloom filters, so
+// downstream stages — which all short-circuit anyway — see no nils.
+func abortedOutput(c *dataflow.Context) *Output {
+	empty := dataflow.Parallelize(c, "fcd/aborted", []dataflow.Pair[cind.Condition, int](nil))
+	return &Output{
+		Unary:       empty,
+		Binary:      empty,
+		UnaryBloom:  bloom.New(1024, 0.001),
+		BinaryBloom: bloom.New(1024, 0.001),
+	}
+}
 
 // buildConditionBloom encodes the conditions of a counter dataset in a Bloom
 // filter, built distributedly: one partial filter per worker, unioned on the

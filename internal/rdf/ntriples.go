@@ -14,14 +14,50 @@ import (
 // trip. The paper treats blank nodes as URIs; we keep them as opaque terms,
 // which has the same effect.
 
+// SyntaxError describes one malformed N-Triples line, with its 1-based line
+// number. It wraps the underlying parse error for errors.Is/As.
+type SyntaxError struct {
+	Line int
+	Err  error
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("ntriples: line %d: %v", e.Line, e.Err) }
+
+// Unwrap exposes the underlying parse error.
+func (e *SyntaxError) Unwrap() error { return e.Err }
+
+// DefaultMaxParseErrors is the malformed-line cap of the lenient reader when
+// the caller does not set one.
+const DefaultMaxParseErrors = 1000
+
 // ReadNTriples parses an N-Triples document into a dataset. Blank lines and
-// comment lines (starting with '#') are skipped. Malformed lines yield an
-// error naming the line number.
+// comment lines (starting with '#') are skipped. Malformed lines yield a
+// *SyntaxError naming the line number.
 func ReadNTriples(r io.Reader) (*Dataset, error) {
+	ds, _, err := readNTriples(r, 0, false)
+	return ds, err
+}
+
+// ReadNTriplesLenient parses an N-Triples document, skipping malformed lines
+// instead of aborting on the first: large dirty inputs degrade gracefully.
+// The skipped lines are reported as *SyntaxErrors, capped at maxErrors
+// (non-positive selects DefaultMaxParseErrors); when the document exceeds
+// the cap, parsing stops with a non-nil error so a fundamentally broken file
+// cannot masquerade as a dirty one. I/O errors always abort.
+func ReadNTriplesLenient(r io.Reader, maxErrors int) (*Dataset, []*SyntaxError, error) {
+	if maxErrors <= 0 {
+		maxErrors = DefaultMaxParseErrors
+	}
+	return readNTriples(r, maxErrors, true)
+}
+
+// readNTriples is the shared scanning loop of the strict and lenient modes.
+func readNTriples(r io.Reader, maxErrors int, lenient bool) (*Dataset, []*SyntaxError, error) {
 	ds := NewDataset()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
+	var malformed []*SyntaxError
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -30,14 +66,24 @@ func ReadNTriples(r io.Reader) (*Dataset, error) {
 		}
 		s, p, o, err := parseNTriplesLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+			serr := &SyntaxError{Line: lineNo, Err: err}
+			if !lenient {
+				return nil, nil, serr
+			}
+			malformed = append(malformed, serr)
+			if len(malformed) > maxErrors {
+				return nil, malformed[:maxErrors], fmt.Errorf(
+					"ntriples: more than %d malformed lines, giving up (line %d: %v)",
+					maxErrors, lineNo, err)
+			}
+			continue
 		}
 		ds.Add(s, p, o)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ntriples: %w", err)
+		return nil, malformed, fmt.Errorf("ntriples: %w", err)
 	}
-	return ds, nil
+	return ds, malformed, nil
 }
 
 // parseNTriplesLine splits one statement into its three terms.

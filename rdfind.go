@@ -27,11 +27,13 @@
 package rdfind
 
 import (
+	"context"
 	"io"
 	"os"
 
 	"repro/internal/cind"
 	"repro/internal/core"
+	"repro/internal/dataflow"
 	"repro/internal/rdf"
 )
 
@@ -66,6 +68,30 @@ type (
 	Stats = core.RunStats
 	// Variant selects a pipeline strategy (the default is full RDFind).
 	Variant = core.Variant
+
+	// StageError reports the terminal failure of one dataflow stage: which
+	// stage, which worker, on which attempt, and the recovered cause.
+	StageError = dataflow.StageError
+	// PanicError is a panic recovered from a worker goroutine.
+	PanicError = dataflow.PanicError
+	// FaultPlan is a deterministic fault-injection schedule for robustness
+	// testing; attach one via Config.FaultPlan.
+	FaultPlan = dataflow.FaultPlan
+	// Fault schedules one injected fault at a stage/worker/occurrence site.
+	Fault = dataflow.Fault
+	// FaultSite identifies one worker execution of one stage.
+	FaultSite = dataflow.Site
+
+	// SyntaxError describes one malformed N-Triples line (with line number).
+	SyntaxError = rdf.SyntaxError
+)
+
+// Injected fault kinds.
+const (
+	// FaultTransient makes a worker fail with a retryable error.
+	FaultTransient = dataflow.FaultTransient
+	// FaultPanic makes a worker goroutine panic (recovered and retried).
+	FaultPanic = dataflow.FaultPanic
 )
 
 // Triple element constants.
@@ -91,16 +117,55 @@ const (
 )
 
 // Discover runs CIND discovery over a dataset and returns the pertinent
-// CINDs and association rules together with run statistics.
+// CINDs and association rules together with run statistics. It panics on any
+// error (an exceeded Config.LoadLimit, an exhausted retry budget); use
+// TryDiscover or DiscoverContext to observe errors instead.
 func Discover(ds *Dataset, cfg Config) (*Result, *Stats) {
 	return core.Discover(ds, cfg)
 }
 
+// TryDiscover is Discover with errors surfaced instead of panicking, along
+// with partial statistics for the completed part of the run.
+func TryDiscover(ds *Dataset, cfg Config) (*Result, *Stats, error) {
+	return core.TryDiscover(ds, cfg)
+}
+
+// DiscoverContext runs discovery under a cancellation context: cancelling
+// (or timing out) ctx aborts the pipeline promptly between stages with an
+// error wrapping ctx.Err() and a partial-stats report. Worker panics are
+// recovered into StageErrors, and transient faults are retried per
+// Config.MaxStageAttempts before surfacing.
+func DiscoverContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, *Stats, error) {
+	return core.DiscoverContext(ctx, ds, cfg)
+}
+
+// NewFaultPlan builds a deterministic fault-injection schedule for
+// Config.FaultPlan; an empty plan injects nothing but traces execution.
+func NewFaultPlan(faults ...Fault) *FaultPlan { return dataflow.NewFaultPlan(faults...) }
+
+// RandomFaultPlan samples n faults from a traced fault-free run, seeded for
+// reproducibility. See dataflow.RandomFaultPlan.
+func RandomFaultPlan(seed int64, sites []FaultSite, n int) *FaultPlan {
+	return dataflow.RandomFaultPlan(seed, sites, n)
+}
+
+// IsTransient reports whether an error (anywhere in its chain) is marked as
+// a transient, retryable fault.
+func IsTransient(err error) bool { return dataflow.IsTransient(err) }
+
 // NewDataset returns an empty dataset for programmatic construction.
 func NewDataset() *Dataset { return rdf.NewDataset() }
 
-// ReadNTriples parses an N-Triples document.
+// ReadNTriples parses an N-Triples document. Malformed lines abort parsing
+// with a *SyntaxError naming the line.
 func ReadNTriples(r io.Reader) (*Dataset, error) { return rdf.ReadNTriples(r) }
+
+// ReadNTriplesLenient parses an N-Triples document, skipping malformed lines
+// (reported as *SyntaxErrors, capped at maxErrors; non-positive selects
+// rdf.DefaultMaxParseErrors) instead of aborting on the first.
+func ReadNTriplesLenient(r io.Reader, maxErrors int) (*Dataset, []*SyntaxError, error) {
+	return rdf.ReadNTriplesLenient(r, maxErrors)
+}
 
 // ReadNTriplesFile parses an N-Triples file from disk.
 func ReadNTriplesFile(path string) (*Dataset, error) {
@@ -110,6 +175,17 @@ func ReadNTriplesFile(path string) (*Dataset, error) {
 	}
 	defer f.Close()
 	return rdf.ReadNTriples(f)
+}
+
+// ReadNTriplesFileLenient parses an N-Triples file from disk in lenient
+// mode, skipping up to maxErrors malformed lines.
+func ReadNTriplesFileLenient(path string, maxErrors int) (*Dataset, []*SyntaxError, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return rdf.ReadNTriplesLenient(f, maxErrors)
 }
 
 // WriteNTriples serializes a dataset as N-Triples.
