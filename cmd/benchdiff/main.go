@@ -1,0 +1,140 @@
+// Command benchdiff compares two machine-readable benchmark records written
+// by benchsuite -out and flags performance regressions.
+//
+// Usage:
+//
+//	benchdiff [-threshold F] OLD.json NEW.json
+//
+// Wall times (the whole experiment's and each pipeline run's) may regress by
+// up to the threshold fraction (default 0.2 = 20%) before the comparison
+// fails; total work is deterministic for a given configuration, so any
+// work-count change at all is flagged. Exit codes: 0 = within threshold,
+// 1 = regression detected, 2 = usage or unreadable/incomparable records.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.2, "tolerated wall-time regression as a fraction (0.2 = 20%)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 || *threshold < 0 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold F] OLD.json NEW.json")
+		fs.PrintDefaults()
+		return 2
+	}
+	oldRec, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newRec, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if oldRec.Schema != newRec.Schema {
+		fmt.Fprintf(stderr, "benchdiff: schema mismatch: %q vs %q\n", oldRec.Schema, newRec.Schema)
+		return 2
+	}
+	if oldRec.Experiment != newRec.Experiment {
+		fmt.Fprintf(stderr, "benchdiff: different experiments: %q vs %q\n", oldRec.Experiment, newRec.Experiment)
+		return 2
+	}
+
+	regressions := diff(oldRec, newRec, *threshold, stdout)
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		return 1
+	}
+	fmt.Fprintln(stdout, "OK: within threshold")
+	return 0
+}
+
+func load(path string) (*experiments.BenchRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec experiments.BenchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Schema == "" {
+		return nil, fmt.Errorf("%s: not a benchmark record (no schema)", path)
+	}
+	return &rec, nil
+}
+
+// diff writes the comparison table and returns the number of regressions:
+// wall times or work counts that grew beyond the threshold fraction. (Work
+// counts are nearly — not exactly — deterministic: combiner output sizes
+// depend on the run's random hash seed, so they get the same tolerance
+// instead of an exact comparison.)
+func diff(oldRec, newRec *experiments.BenchRecord, threshold float64, w io.Writer) int {
+	fmt.Fprintf(w, "== %s: old vs new ==\n", oldRec.Experiment)
+	regressions := 0
+	check := func(label, unit string, oldV, newV float64) {
+		delta := 0.0
+		if oldV > 0 {
+			delta = newV/oldV - 1
+		}
+		mark := ""
+		if delta > threshold {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-40s %12.1f%s %12.1f%s %+7.1f%%%s\n", label, oldV, unit, newV, unit, delta*100, mark)
+	}
+	check("wall", "ms", oldRec.WallMS, newRec.WallMS)
+	check("total work", "", float64(oldRec.TotalWork), float64(newRec.TotalWork))
+
+	newRuns := indexRuns(newRec.Runs)
+	for _, or := range oldRec.Runs {
+		k := runKey(or)
+		queue := newRuns[k]
+		if len(queue) == 0 {
+			fmt.Fprintf(w, "%-40s only in old record\n", k)
+			continue
+		}
+		nr := queue[0]
+		newRuns[k] = queue[1:]
+		check("run "+k, "ms", or.WallMS, nr.WallMS)
+		check("work "+k, "", float64(or.TotalWork), float64(nr.TotalWork))
+	}
+	for k, queue := range newRuns {
+		for range queue {
+			fmt.Fprintf(w, "%-40s only in new record\n", k)
+		}
+	}
+	return regressions
+}
+
+// runKey identifies a pipeline run by its configuration; repeated identical
+// configurations are matched in order.
+func runKey(r experiments.PipelineRun) string {
+	return fmt.Sprintf("%s/%s/w%d/h%d", r.Label, r.Variant, r.Workers, r.Support)
+}
+
+func indexRuns(runs []experiments.PipelineRun) map[string][]experiments.PipelineRun {
+	idx := make(map[string][]experiments.PipelineRun, len(runs))
+	for _, r := range runs {
+		idx[runKey(r)] = append(idx[runKey(r)], r)
+	}
+	return idx
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func record(wallMS float64, runs ...experiments.PipelineRun) *experiments.BenchRecord {
+	rec := &experiments.BenchRecord{
+		Schema:     experiments.BenchSchema,
+		Experiment: "fig9",
+		Title:      "test",
+		Scale:      0.1,
+		Workers:    2,
+		WallMS:     wallMS,
+		Runs:       runs,
+	}
+	for _, r := range runs {
+		rec.TotalWork += r.TotalWork
+		rec.CriticalPath += r.CriticalPath
+	}
+	return rec
+}
+
+func write(t *testing.T, dir, name string, rec *experiments.BenchRecord) string {
+	t.Helper()
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testRun(r experiments.PipelineRun) experiments.PipelineRun {
+	if r.Variant == "" {
+		r.Variant = "RDFind"
+	}
+	if r.Workers == 0 {
+		r.Workers = 2
+	}
+	if r.Support == 0 {
+		r.Support = 10
+	}
+	return r
+}
+
+func TestIdenticalRecordsPass(t *testing.T) {
+	dir := t.TempDir()
+	rec := record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000}))
+	oldPath := write(t, dir, "old.json", rec)
+	newPath := write(t, dir, "new.json", rec)
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("identical records exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("no OK verdict:\n%s", out.String())
+	}
+}
+
+func TestWallRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json",
+		record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000})))
+	// 30% slower overall and per run: beyond the default 20% threshold.
+	newPath := write(t, dir, "new.json",
+		record(130, testRun(experiments.PipelineRun{Label: "a", WallMS: 65, TotalWork: 1000})))
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("regressed record exit %d, want 1: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regression not marked:\n%s", out.String())
+	}
+	// A looser threshold tolerates the same 30%.
+	var out2 bytes.Buffer
+	if code := run([]string{"-threshold", "0.5", oldPath, newPath}, &out2, &errOut); code != 0 {
+		t.Fatalf("loose threshold exit %d, want 0", code)
+	}
+}
+
+func TestWorkRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json",
+		record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000})))
+	newPath := write(t, dir, "new.json",
+		record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 2000})))
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("doubled work exit %d, want 1: %s", code, out.String())
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json",
+		record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000})))
+	newPath := write(t, dir, "new.json",
+		record(40, testRun(experiments.PipelineRun{Label: "a", WallMS: 20, TotalWork: 900})))
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("improvement exit %d, want 0: %s", code, out.String())
+	}
+}
+
+func TestUsageAndBadInputs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exit %d, want 2", code)
+	}
+	if code := run([]string{"nope1.json", "nope2.json"}, &out, &errOut); code != 2 {
+		t.Errorf("missing files exit %d, want 2", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{}"), 0o644)
+	good := write(t, dir, "good.json", record(1))
+	if code := run([]string{bad, good}, &out, &errOut); code != 2 {
+		t.Errorf("schemaless record exit %d, want 2", code)
+	}
+	other := record(1)
+	other.Experiment = "fig8"
+	otherPath := write(t, dir, "other.json", other)
+	if code := run([]string{good, otherPath}, &out, &errOut); code != 2 {
+		t.Errorf("cross-experiment diff exit %d, want 2", code)
+	}
+}

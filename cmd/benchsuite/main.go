@@ -3,18 +3,26 @@
 // Usage:
 //
 //	benchsuite -list
-//	benchsuite [-scale F] [-workers N] -exp <id>|all
+//	benchsuite [-scale F] [-workers N] [-out DIR] -exp <id>|all
 //
 // Experiment IDs follow DESIGN.md: table2, fig2, fig4, fig7, fig8, fig9,
 // fig10, fig11, fig12, fig13, sec86, fig14, appB. Reports are printed as
 // aligned text tables with the paper's published observations attached as
 // notes for comparison; EXPERIMENTS.md records a full run.
+//
+// With -out, every experiment additionally writes a machine-readable
+// BENCH_<id>.json record (schema rdfind-bench/v1): the report rows plus
+// wall time, work accounting, and per-stage trace spans for each pipeline
+// run. benchdiff compares two such records.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -22,36 +30,85 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
-	scale := flag.Float64("scale", 1.0, "dataset scale factor (1 = DESIGN.md default sizes)")
-	workers := flag.Int("workers", 4, "dataflow workers where the experiment does not vary them")
-	timeout := flag.Duration("timeout", 0, "abort the whole suite after this duration (0 = no limit), exit code 4")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment id (see -list) or 'all'")
+	scale := fs.Float64("scale", 1.0, "dataset scale factor (1 = DESIGN.md default sizes)")
+	workers := fs.Int("workers", 4, "dataflow workers where the experiment does not vary them")
+	out := fs.String("out", "", "directory for machine-readable BENCH_<id>.json records (empty = none)")
+	timeout := fs.Duration("timeout", 0, "abort the whole suite after this duration (0 = no limit), exit code 4")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// Watchdog: experiments run many pipelines back to back with no single
 	// context to cancel, so a wall-clock deadline simply ends the process.
 	if *timeout > 0 {
 		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "benchsuite: timeout after %v\n", *timeout)
+			fmt.Fprintf(stderr, "benchsuite: timeout after %v\n", *timeout)
 			os.Exit(4)
 		})
 	}
 
 	if *list {
-		fmt.Println("experiments:", strings.Join(experiments.IDs(), ", "), "(or: all)")
-		return
+		fmt.Fprintln(stdout, "experiments:", strings.Join(experiments.IDs(), ", "), "(or: all)")
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchsuite -exp <id>|all [-scale F] [-workers N]")
-		flag.PrintDefaults()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: benchsuite -exp <id>|all [-scale F] [-workers N] [-out DIR]")
+		fs.PrintDefaults()
+		return 2
 	}
+
+	ids := []string{*exp}
+	if strings.EqualFold(*exp, "all") {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Options{Scale: *scale, Workers: *workers}
 	start := time.Now()
-	err := experiments.Run(*exp, experiments.Options{Scale: *scale, Workers: *workers}, os.Stdout)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsuite:", err)
-		os.Exit(1)
+	for _, id := range ids {
+		if *out == "" {
+			if err := experiments.Run(id, opts, stdout); err != nil {
+				fmt.Fprintln(stderr, "benchsuite:", err)
+				return 1
+			}
+			continue
+		}
+		// Benched mode: collect the machine-readable record and render its
+		// report rows, so -out changes the artifacts but not the output.
+		rec, err := experiments.RunBench(id, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsuite:", err)
+			return 1
+		}
+		rep := &experiments.Report{ID: rec.Experiment, Title: rec.Title,
+			Header: rec.Header, Rows: rec.Rows, Notes: rec.Notes}
+		if _, err := rep.WriteTo(stdout); err != nil {
+			fmt.Fprintln(stderr, "benchsuite:", err)
+			return 1
+		}
+		if err := writeRecord(*out, rec); err != nil {
+			fmt.Fprintln(stderr, "benchsuite:", err)
+			return 1
+		}
 	}
-	fmt.Printf("total: %v (scale %g, %d workers)\n", time.Since(start).Round(time.Millisecond), *scale, *workers)
+	fmt.Fprintf(stdout, "total: %v (scale %g, %d workers)\n", time.Since(start).Round(time.Millisecond), *scale, *workers)
+	return 0
+}
+
+func writeRecord(dir string, rec *experiments.BenchRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+rec.Experiment+".json")
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }

@@ -4,11 +4,14 @@
 // Usage:
 //
 //	rdfind [-support N] [-workers N] [-variant rdfind|de|nf|mf]
-//	       [-pred-only-conditions] [-lenient] [-timeout D] [-stats] file.nt
+//	       [-pred-only-conditions] [-lenient] [-timeout D] [-stats] [-json] file.nt
 //
 // The result is printed one statement per line, CINDs and ARs sorted by
 // descending support. With -stats, run statistics (frequent conditions,
-// capture groups, durations, per-stage work accounting) go to stderr.
+// capture groups, durations, per-stage work accounting and the operator
+// trace) go to stderr. With -json, stdout instead carries one JSON document
+// holding the result plus the run's metrics snapshot — trace spans, registry
+// counters, work accounting (see internal/core.RunSnapshot).
 //
 // Exit codes distinguish failure classes for scripting:
 //
@@ -21,9 +24,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -40,21 +45,30 @@ const (
 )
 
 func main() {
-	support := flag.Int("support", 100, "support threshold h (minimum distinct included values)")
-	workers := flag.Int("workers", 4, "logical dataflow workers")
-	variantName := flag.String("variant", "rdfind", "pipeline variant: rdfind, de, nf, mf")
-	predOnly := flag.Bool("pred-only-conditions", false, "use predicates only in conditions (no predicate projections)")
-	format := flag.String("format", "text", "output format: text or json")
-	check := flag.String("check", "", "instead of discovering, validate one CIND statement, e.g. '(s, p=a) <= (s, p=b)'")
-	stats := flag.Bool("stats", false, "print run statistics to stderr")
-	lenient := flag.Bool("lenient", false, "skip malformed N-Triples lines (reported to stderr) instead of aborting")
-	timeout := flag.Duration("timeout", 0, "abort discovery after this duration (0 = no limit), exit code 4")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rdfind [flags] file.nt")
-		flag.PrintDefaults()
-		os.Exit(exitUsage)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdfind", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	support := fs.Int("support", 100, "support threshold h (minimum distinct included values)")
+	workers := fs.Int("workers", 4, "logical dataflow workers")
+	variantName := fs.String("variant", "rdfind", "pipeline variant: rdfind, de, nf, mf")
+	predOnly := fs.Bool("pred-only-conditions", false, "use predicates only in conditions (no predicate projections)")
+	format := fs.String("format", "text", "output format: text or json")
+	jsonDump := fs.Bool("json", false, "emit one JSON document with the result and the run's metrics snapshot")
+	check := fs.String("check", "", "instead of discovering, validate one CIND statement, e.g. '(s, p=a) <= (s, p=b)'")
+	stats := fs.Bool("stats", false, "print run statistics and the operator trace to stderr")
+	lenient := fs.Bool("lenient", false, "skip malformed N-Triples lines (reported to stderr) instead of aborting")
+	timeout := fs.Duration("timeout", 0, "abort discovery after this duration (0 = no limit), exit code 4")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: rdfind [flags] file.nt")
+		fs.PrintDefaults()
+		return exitUsage
 	}
 
 	variant, ok := map[string]rdfind.Variant{
@@ -64,25 +78,32 @@ func main() {
 		"mf":     rdfind.MinimalFirst,
 	}[*variantName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "rdfind: unknown variant %q\n", *variantName)
-		os.Exit(exitUsage)
+		fmt.Fprintf(stderr, "rdfind: unknown variant %q\n", *variantName)
+		return exitUsage
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "rdfind: unknown format %q\n", *format)
+		return exitUsage
 	}
 
-	ds := readInput(flag.Arg(0), *lenient)
+	ds, code := readInput(fs.Arg(0), *lenient, stderr)
+	if code != exitOK {
+		return code
+	}
 
 	// -check mode: validate one statement and exit with its truth value.
 	if *check != "" {
 		inc, err := rdfind.ParseInclusion(*check, ds.Dict)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdfind:", err)
-			os.Exit(exitUsage)
+			fmt.Fprintln(stderr, "rdfind:", err)
+			return exitUsage
 		}
 		holds := rdfind.Holds(ds, inc)
-		fmt.Printf("%s  holds=%v support=%d\n", inc.Format(ds.Dict), holds, rdfind.Support(ds, inc.Dep))
+		fmt.Fprintf(stdout, "%s  holds=%v support=%d\n", inc.Format(ds.Dict), holds, rdfind.Support(ds, inc.Dep))
 		if !holds {
-			os.Exit(exitDiscovery)
+			return exitDiscovery
 		}
-		return
+		return exitOK
 	}
 
 	ctx := context.Background()
@@ -98,63 +119,79 @@ func main() {
 		PredicatesOnlyInConditions: *predOnly,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdfind:", err)
+		fmt.Fprintln(stderr, "rdfind:", err)
 		if *stats && runStats != nil {
-			printStats(os.Stderr, runStats)
+			printStats(stderr, runStats)
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
-			os.Exit(exitTimeout)
+			return exitTimeout
 		}
-		os.Exit(exitDiscovery)
+		return exitDiscovery
 	}
-	switch *format {
-	case "json":
+
+	switch {
+	case *jsonDump:
+		resJSON, err := rdfind.MarshalResultJSON(res, ds.Dict)
+		if err != nil {
+			fmt.Fprintln(stderr, "rdfind:", err)
+			return exitDiscovery
+		}
+		doc := struct {
+			Result json.RawMessage   `json:"result"`
+			Stats  *core.RunSnapshot `json:"stats"`
+		}{Result: resJSON, Stats: runStats.Snapshot()}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "rdfind:", err)
+			return exitDiscovery
+		}
+		stdout.Write(data)
+		fmt.Fprintln(stdout)
+	case *format == "json":
 		data, err := rdfind.MarshalResultJSON(res, ds.Dict)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdfind:", err)
-			os.Exit(exitDiscovery)
+			fmt.Fprintln(stderr, "rdfind:", err)
+			return exitDiscovery
 		}
-		os.Stdout.Write(data)
-		fmt.Println()
-	case "text":
-		fmt.Print(res.Format(ds.Dict))
+		stdout.Write(data)
+		fmt.Fprintln(stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "rdfind: unknown format %q\n", *format)
-		os.Exit(exitUsage)
+		fmt.Fprint(stdout, res.Format(ds.Dict))
 	}
 
 	if *stats {
-		printStats(os.Stderr, runStats)
+		printStats(stderr, runStats)
 	}
+	return exitOK
 }
 
 // readInput parses the N-Triples file, strictly or leniently; parse problems
-// exit with the dedicated parse-failure code so callers can tell bad input
+// return the dedicated parse-failure code so callers can tell bad input
 // apart from a failed discovery.
-func readInput(path string, lenient bool) *rdfind.Dataset {
+func readInput(path string, lenient bool, stderr io.Writer) (*rdfind.Dataset, int) {
 	if !lenient {
 		ds, err := rdfind.ReadNTriplesFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdfind:", err)
-			os.Exit(exitParse)
+			fmt.Fprintln(stderr, "rdfind:", err)
+			return nil, exitParse
 		}
-		return ds
+		return ds, exitOK
 	}
 	ds, malformed, err := rdfind.ReadNTriplesFileLenient(path, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdfind:", err)
-		os.Exit(exitParse)
+		fmt.Fprintln(stderr, "rdfind:", err)
+		return nil, exitParse
 	}
 	for _, se := range malformed {
-		fmt.Fprintln(os.Stderr, "rdfind: skipped", se)
+		fmt.Fprintln(stderr, "rdfind: skipped", se)
 	}
 	if len(malformed) > 0 {
-		fmt.Fprintf(os.Stderr, "rdfind: skipped %d malformed lines\n", len(malformed))
+		fmt.Fprintf(stderr, "rdfind: skipped %d malformed lines\n", len(malformed))
 	}
-	return ds
+	return ds, exitOK
 }
 
-func printStats(w *os.File, s *core.RunStats) {
+func printStats(w io.Writer, s *core.RunStats) {
 	fmt.Fprintf(w, "triples:             %d\n", s.Triples)
 	fmt.Fprintf(w, "frequent conditions: %d unary, %d binary\n", s.FrequentUnary, s.FrequentBinary)
 	fmt.Fprintf(w, "capture groups:      %d\n", s.CaptureGroups)
@@ -168,4 +205,5 @@ func printStats(w *os.File, s *core.RunStats) {
 		fmt.Fprintf(w, "degraded:            extraction re-planned with Bloom work units (load %d)\n", s.ExtractionLoad)
 	}
 	fmt.Fprintf(w, "work-balance speedup: %.2f\n", s.Dataflow.Speedup())
+	fmt.Fprintf(w, "operator trace:\n%s", s.Dataflow.SpanTree())
 }

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden-file convention: `go test ./cmd/rdfind -update` rewrites the
+// .golden files under testdata/ from the current output. Golden runs pin
+// -workers 1: with more workers the engine's random hash seed varies
+// per-worker distributions, and volatile fields aside, output order and
+// span accounting must be bit-stable for an exact comparison.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/rdfind -update` to create golden files)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// volatileKeys are JSON fields that legitimately change between runs (timing,
+// memory, scheduling); normalizeJSON zeroes them before golden comparison.
+var volatileKeys = map[string]bool{
+	"wall_ms":          true,
+	"start_ms":         true,
+	"goroutines":       true,
+	"heap_alloc_bytes": true,
+	"shuffle_bytes":    true,
+	"gauges":           true, // peak heap / peak goroutines
+	"counts":           true, // latency histogram buckets
+	"sum":              true, // latency histogram sum
+}
+
+func normalize(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			if volatileKeys[k] {
+				x[k] = zeroLike(val)
+				continue
+			}
+			x[k] = normalize(val)
+		}
+		return x
+	case []any:
+		for i := range x {
+			x[i] = normalize(x[i])
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+func zeroLike(v any) any {
+	switch v.(type) {
+	case []any:
+		return []any{}
+	case map[string]any:
+		return map[string]any{}
+	case string:
+		return ""
+	default:
+		return 0
+	}
+}
+
+func normalizeJSON(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, raw)
+	}
+	out, err := json.MarshalIndent(normalize(doc), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestGoldenText(t *testing.T) {
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_text", []byte(out))
+}
+
+func TestGoldenResultJSON(t *testing.T) {
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "-format", "json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_result_json", []byte(out))
+}
+
+func TestGoldenSnapshotJSON(t *testing.T) {
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "-json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_snapshot_json", normalizeJSON(t, []byte(out)))
+}
+
+// TestSnapshotJSONReconciles re-checks the accounting invariant end to end,
+// through the CLI: the emitted spans sum to the emitted total work.
+func TestSnapshotJSONReconciles(t *testing.T) {
+	code, out, _ := runCLI(t, "-support", "2", "-workers", "3", "-json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	var doc struct {
+		Stats struct {
+			TotalWork int64 `json:"total_work"`
+			Spans     []struct {
+				RecordsIn int64 `json:"records_in"`
+			} `json:"spans"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, sp := range doc.Stats.Spans {
+		sum += sp.RecordsIn
+	}
+	if sum != doc.Stats.TotalWork || sum == 0 {
+		t.Errorf("span records-in %d != total work %d", sum, doc.Stats.TotalWork)
+	}
+}
+
+func TestStatsToStderr(t *testing.T) {
+	code, _, errOut := runCLI(t, "-support", "2", "-workers", "2", "-stats", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"triples:", "capture groups:", "work-balance speedup:", "operator trace:", "input"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stats output lacks %q:\n%s", want, errOut)
+		}
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	code, out, _ := runCLI(t, "-check", "(o, p=<http://example.org/located>) <= (s, p=<http://example.org/cityIn>)",
+		"testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("holding statement exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "holds=true") {
+		t.Errorf("check output: %s", out)
+	}
+	code, out, _ = runCLI(t, "-check", "(s, p=<http://example.org/cityIn>) <= (s, p=<http://example.org/located>)",
+		"testdata/museums.nt")
+	if code != exitDiscovery {
+		t.Fatalf("violated statement exit %d: %s", code, out)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	if code, _, _ := runCLI(t); code != exitUsage {
+		t.Errorf("no args exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-variant", "nope", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("bad variant exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-format", "nope", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("bad format exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "testdata/absent.nt"); code != exitParse {
+		t.Errorf("missing input exit %d, want %d", code, exitParse)
+	}
+}

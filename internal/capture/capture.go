@@ -62,10 +62,12 @@ func BuildGroups(triples *dataflow.Dataset[rdf.Triple], fc *fcdetect.Output, opt
 			return dataflow.Pair[rdf.Value, cind.Capture]{Key: p.Key.Value, Val: p.Key.Capture}
 		})
 	grouped := dataflow.GroupByKey(byValue, "cgc/group")
-	return dataflow.Map(grouped, "cgc/strip-value",
+	groups := dataflow.Map(grouped, "cgc/strip-value",
 		func(p dataflow.Pair[rdf.Value, []cind.Capture]) Group {
 			return Group{Captures: p.Val}
 		})
+	triples.Context().Stats().Metrics().Counter("capture.groups").Add(int64(groups.Len()))
+	return groups
 }
 
 // emitEvidences is the per-triple body of Algorithm 2. With noPredProj set

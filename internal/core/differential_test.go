@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/datagen"
+	"repro/internal/naive"
+	"repro/internal/rdf"
+)
+
+// TestPropertyDifferentialSmallRandom is the property-based differential
+// suite: ~200 tiny seeded-random datasets, each run through all four pipeline
+// variants at 1, 2, and 4 workers and compared against the naive oracle.
+// Standard, RDFind-DE, and minimal-first must match the oracle exactly
+// (CINDs and ARs); RDFind-NF has no ARs by definition, so it is checked
+// semantically instead of by set equality.
+func TestPropertyDifferentialSmallRandom(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 30
+	}
+	exact := []Variant{Standard, DirectExtraction, MinimalFirst}
+	for seed := 0; seed < seeds; seed++ {
+		ds := datagen.Random(int64(seed))
+		h := 1 + seed%4
+		want := naive.Discover(ds, h, naive.Options{})
+		for _, w := range []int{1, 2, 4} {
+			for _, v := range exact {
+				res, stats := Discover(ds, Config{Support: h, Workers: w, Variant: v})
+				label := fmt.Sprintf("seed=%d h=%d %v w=%d", seed, h, v, w)
+				compareToOracle(t, label, ds, res, want, true)
+				if stats.Pertinent != len(res.CINDs) || stats.ARs != len(res.ARs) {
+					t.Errorf("%s: stats inconsistent with result", label)
+				}
+				if t.Failed() {
+					t.Fatalf("stopping after first failing dataset (seed %d)", seed)
+				}
+			}
+			nf, _ := Discover(ds, Config{Support: h, Workers: w, Variant: NoFrequentConditions})
+			checkNFSemantics(t, fmt.Sprintf("seed=%d h=%d NF w=%d", seed, h, w), ds, h, want, nf)
+			if t.Failed() {
+				t.Fatalf("stopping after first failing dataset (seed %d)", seed)
+			}
+		}
+	}
+}
+
+// checkNFSemantics verifies the RDFind-NF contract against the oracle
+// result: no association rules; every reported CIND is valid, broad, minimal
+// in presentation (non-trivial), and carries its exact support; and every
+// oracle CIND is either reported or still valid (it may be absorbed into an
+// AR-equivalent capture in NF's unquotiented universe).
+func checkNFSemantics(t *testing.T, label string, ds *rdf.Dataset, h int, want *cind.Result, nf *cind.Result) {
+	t.Helper()
+	if len(nf.ARs) != 0 {
+		t.Errorf("%s: reported %d ARs, want 0", label, len(nf.ARs))
+	}
+	nfSet := cindSet(nf)
+	for _, c := range want.CINDs {
+		if !nfSet[c] && !cind.Holds(ds, c.Inclusion) {
+			t.Errorf("%s: oracle CIND invalid?! %s", label, c.Format(ds.Dict))
+		}
+	}
+	for _, c := range nf.CINDs {
+		if !cind.Holds(ds, c.Inclusion) {
+			t.Errorf("%s: invalid CIND %s", label, c.Format(ds.Dict))
+		}
+		if c.Support < h || cind.SupportOf(ds, c.Dep) != c.Support {
+			t.Errorf("%s: wrong support for %s", label, c.Format(ds.Dict))
+		}
+		if c.Trivial() {
+			t.Errorf("%s: trivial CIND %s", label, c.Format(ds.Dict))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+// TestSnapshotReconciles pins the observability contract: the snapshot's span
+// accounting agrees with the engine's work totals, the domain counters
+// recorded by the pipeline phases match the scalar statistics, and the whole
+// thing survives a JSON round-trip.
+func TestSnapshotReconciles(t *testing.T) {
+	ds := datagen.Countries(0.05)
+	_, stats := Discover(ds, Config{Support: 2, Workers: 2})
+	snap := stats.Snapshot()
+
+	if snap.TotalWork != stats.Dataflow.TotalWork() {
+		t.Errorf("snapshot total work %d != stats %d", snap.TotalWork, stats.Dataflow.TotalWork())
+	}
+	if got := metrics.TotalRecordsIn(snap.Spans); got != snap.TotalWork {
+		t.Errorf("span records-in %d != total work %d", got, snap.TotalWork)
+	}
+	if snap.Speedup <= 0 {
+		t.Errorf("speedup = %v", snap.Speedup)
+	}
+
+	m := snap.Metrics
+	if got := m.Counters["fc.frequent.unary"]; got != int64(snap.FrequentUnary) {
+		t.Errorf("fc.frequent.unary counter %d != stat %d", got, snap.FrequentUnary)
+	}
+	if got := m.Counters["fc.frequent.binary"]; got != int64(snap.FrequentBinary) {
+		t.Errorf("fc.frequent.binary counter %d != stat %d", got, snap.FrequentBinary)
+	}
+	if got := m.Counters["capture.groups"]; got != int64(snap.CaptureGroups) {
+		t.Errorf("capture.groups counter %d != stat %d", got, snap.CaptureGroups)
+	}
+	if got := m.Counters["extract.broad_cinds"]; got != int64(snap.BroadCINDs) {
+		t.Errorf("extract.broad_cinds counter %d != stat %d", got, snap.BroadCINDs)
+	}
+	if got := m.Counters["extract.load.estimated"]; got != snap.ExtractionLoad {
+		t.Errorf("extract.load.estimated counter %d != stat %d", got, snap.ExtractionLoad)
+	}
+	if m.Histograms["dataflow.stage.wall_ms"].Count != int64(len(snap.Spans)) {
+		t.Errorf("latency histogram count %d != %d spans",
+			m.Histograms["dataflow.stage.wall_ms"].Count, len(snap.Spans))
+	}
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalWork != snap.TotalWork || back.Pertinent != snap.Pertinent || len(back.Spans) != len(snap.Spans) {
+		t.Errorf("JSON round-trip changed the snapshot: %+v", back)
+	}
+}
+
+// TestSnapshotWithoutEngine covers hand-built statistics (no dataflow run).
+func TestSnapshotWithoutEngine(t *testing.T) {
+	snap := (&RunStats{Triples: 3}).Snapshot()
+	if snap.Speedup != 1 || snap.TotalWork != 0 || len(snap.Spans) != 0 {
+		t.Errorf("engineless snapshot = %+v", snap)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}

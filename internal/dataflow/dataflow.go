@@ -53,6 +53,7 @@ type Context struct {
 	workers     int
 	seed        maphash.Seed
 	stats       *Stats
+	epoch       time.Time       // job start, the zero point of span offsets
 	job         context.Context // nil: not cancellable
 	maxAttempts int             // per-stage executions, ≥ 1
 	backoff     time.Duration   // base of the exponential inter-attempt backoff
@@ -106,6 +107,7 @@ func NewContext(workers int, opts ...Option) *Context {
 		workers:     workers,
 		seed:        maphash.MakeSeed(),
 		stats:       &Stats{},
+		epoch:       time.Now(),
 		maxAttempts: 1,
 		backoff:     time.Millisecond,
 	}
@@ -306,9 +308,10 @@ func Parallelize[T any](c *Context, name string, items []T) *Dataset[T] {
 	if c.failed() {
 		return empty[T](c)
 	}
+	sp := c.begin(name)
 	parts := make([][]T, c.workers)
 	if len(items) == 0 {
-		c.stats.record(name, make([]int64, c.workers))
+		c.finish(sp, make([]int64, c.workers), 0)
 		return &Dataset[T]{ctx: c, parts: parts}
 	}
 	chunk := (len(items) + c.workers - 1) / c.workers
@@ -325,13 +328,14 @@ func Parallelize[T any](c *Context, name string, items []T) *Dataset[T] {
 		parts[w] = items[lo:hi:hi]
 		counts[w] = int64(len(parts[w]))
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, int64(len(items)))
 	return &Dataset[T]{ctx: c, parts: parts}
 }
 
 // Map applies f to every record, preserving partitioning.
 func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 	c := d.ctx
+	sp := c.begin(name)
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name, func(w int) error {
@@ -346,13 +350,14 @@ func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 	}) {
 		return empty[U](c)
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, totalLen(out))
 	return &Dataset[U]{ctx: c, parts: out}
 }
 
 // FlatMap applies f to every record; f may emit any number of outputs.
 func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[U] {
 	c := d.ctx
+	sp := c.begin(name)
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name, func(w int) error {
@@ -367,7 +372,7 @@ func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[
 	}) {
 		return empty[U](c)
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, totalLen(out))
 	return &Dataset[U]{ctx: c, parts: out}
 }
 
@@ -385,6 +390,7 @@ func Filter[T any](d *Dataset[T], name string, pred func(T) bool) *Dataset[T] {
 // filter per worker).
 func MapPartitions[T, U any](d *Dataset[T], name string, f func(worker int, items []T, emit func(U))) *Dataset[U] {
 	c := d.ctx
+	sp := c.begin(name)
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name, func(w int) error {
@@ -396,7 +402,7 @@ func MapPartitions[T, U any](d *Dataset[T], name string, f func(worker int, item
 	}) {
 		return empty[U](c)
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, totalLen(out))
 	return &Dataset[U]{ctx: c, parts: out}
 }
 
@@ -409,11 +415,13 @@ type Pair[K comparable, V any] struct {
 // shuffleByKey hash-partitions keyed records so that all records with equal
 // keys land in the same output partition. It runs as two named phases
 // (name/scatter and name/gather); the boolean is false when either failed.
-func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][]Pair[K, V], bool) {
+// The int64 estimates the bytes that crossed partitions (zero on one worker).
+func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][]Pair[K, V], int64, bool) {
 	c := d.ctx
 	// Each input partition fills one bucket per target worker; buckets are
 	// then concatenated per target, keeping source order deterministic.
 	buckets := make([][][]Pair[K, V], c.workers)
+	crossing := make([]int64, c.workers)
 	if !c.runStage(name+"/scatter", func(w int) error {
 		local := make([][]Pair[K, V], c.workers)
 		for _, kv := range d.parts[w] {
@@ -421,9 +429,10 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][
 			local[t] = append(local[t], kv)
 		}
 		buckets[w] = local
+		crossing[w] = int64(len(d.parts[w]) - len(local[w]))
 		return nil
 	}) {
-		return nil, false
+		return nil, 0, false
 	}
 	out := make([][]Pair[K, V], c.workers)
 	if !c.runStage(name+"/gather", func(t int) error {
@@ -434,9 +443,9 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][
 		out[t] = part
 		return nil
 	}) {
-		return nil, false
+		return nil, 0, false
 	}
-	return out, true
+	return out, estimateCrossingBytes(d.parts, crossing), true
 }
 
 // ReduceByKey combines values of equal keys with the associative,
@@ -446,6 +455,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][
 // describes.
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combine func(V, V) V) *Dataset[Pair[K, V]] {
 	c := d.ctx
+	sp := c.begin(name)
 	// Combiner pass: partition-local aggregation.
 	pre := make([][]Pair[K, V], c.workers)
 	counts := make([]int64, c.workers)
@@ -468,10 +478,13 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 	}) {
 		return empty[Pair[K, V]](c)
 	}
-	shuffled, ok := shuffleByKey(&Dataset[Pair[K, V]]{ctx: c, parts: pre}, name)
+	sp.combinerIn = sumCounts(counts)
+	sp.combinerOut = totalLen(pre)
+	shuffled, bytes, ok := shuffleByKey(&Dataset[Pair[K, V]]{ctx: c, parts: pre}, name)
 	if !ok {
 		return empty[Pair[K, V]](c)
 	}
+	sp.shuffleBytes = bytes
 	// Final reduce at the target partitions.
 	out := make([][]Pair[K, V], c.workers)
 	if !c.runStage(name+"/reduce", func(w int) error {
@@ -492,21 +505,23 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 	}) {
 		return empty[Pair[K, V]](c)
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, totalLen(out))
 	return &Dataset[Pair[K, V]]{ctx: c, parts: out}
 }
 
 // GroupByKey gathers all values of equal keys into one record.
 func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Dataset[Pair[K, []V]] {
 	c := d.ctx
+	sp := c.begin(name)
 	counts := make([]int64, c.workers)
 	for w, p := range d.parts {
 		counts[w] = int64(len(p))
 	}
-	shuffled, ok := shuffleByKey(d, name)
+	shuffled, bytes, ok := shuffleByKey(d, name)
 	if !ok {
 		return empty[Pair[K, []V]](c)
 	}
+	sp.shuffleBytes = bytes
 	out := make([][]Pair[K, []V], c.workers)
 	if !c.runStage(name+"/group", func(w int) error {
 		agg := make(map[K][]V)
@@ -522,7 +537,7 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Datas
 	}) {
 		return empty[Pair[K, []V]](c)
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, totalLen(out))
 	return &Dataset[Pair[K, []V]]{ctx: c, parts: out}
 }
 
@@ -541,14 +556,16 @@ func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, 
 	if b.ctx != c {
 		panic("dataflow: cogroup of datasets from different contexts")
 	}
-	sa, okA := shuffleByKey(a, name+"/left")
+	sp := c.begin(name)
+	sa, bytesA, okA := shuffleByKey(a, name+"/left")
 	if !okA {
 		return empty[CoGrouped[K, V, W]](c)
 	}
-	sb, okB := shuffleByKey(b, name+"/right")
+	sb, bytesB, okB := shuffleByKey(b, name+"/right")
 	if !okB {
 		return empty[CoGrouped[K, V, W]](c)
 	}
+	sp.shuffleBytes = bytesA + bytesB
 	out := make([][]CoGrouped[K, V, W], c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name+"/join", func(w int) error {
@@ -575,7 +592,7 @@ func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, 
 	}) {
 		return empty[CoGrouped[K, V, W]](c)
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, totalLen(out))
 	return &Dataset[CoGrouped[K, V, W]]{ctx: c, parts: out}
 }
 
@@ -586,6 +603,7 @@ func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
 	if b.ctx != c {
 		panic("dataflow: union of datasets from different contexts")
 	}
+	sp := c.begin(name)
 	out := make([][]T, c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name, func(w int) error {
@@ -598,7 +616,7 @@ func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
 	}) {
 		return empty[T](c)
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, totalLen(out))
 	return &Dataset[T]{ctx: c, parts: out}
 }
 
@@ -618,8 +636,10 @@ func Distinct[T comparable](d *Dataset[T], name string) *Dataset[T] {
 // capture groups round-robin across workers (§7.2).
 func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T] {
 	c := d.ctx
+	sp := c.begin(name)
 	buckets := make([][][]T, c.workers)
 	counts := make([]int64, c.workers)
+	crossing := make([]int64, c.workers)
 	if !c.runStage(name+"/scatter", func(w int) error {
 		local := make([][]T, c.workers)
 		for _, t := range d.parts[w] {
@@ -631,10 +651,12 @@ func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T
 		}
 		buckets[w] = local
 		counts[w] = int64(len(d.parts[w]))
+		crossing[w] = int64(len(d.parts[w]) - len(local[w]))
 		return nil
 	}) {
 		return empty[T](c)
 	}
+	sp.shuffleBytes = estimateCrossingBytes(d.parts, crossing)
 	out := make([][]T, c.workers)
 	if !c.runStage(name+"/gather", func(t int) error {
 		var part []T
@@ -646,7 +668,7 @@ func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T
 	}) {
 		return empty[T](c)
 	}
-	c.stats.record(name, counts)
+	c.finish(sp, counts, totalLen(out))
 	return &Dataset[T]{ctx: c, parts: out}
 }
 
@@ -673,11 +695,11 @@ func GlobalReduce[T any](d *Dataset[T], name string, f func(T, T) T) (T, bool) {
 	if c.failed() {
 		return acc, false
 	}
+	sp := c.begin(name)
 	counts := make([]int64, c.workers)
 	for w, p := range d.parts {
 		counts[w] = int64(len(p))
 	}
-	c.stats.record(name, counts)
 	have := false
 	for _, p := range d.parts {
 		for _, t := range p {
@@ -689,6 +711,11 @@ func GlobalReduce[T any](d *Dataset[T], name string, f func(T, T) T) (T, bool) {
 			}
 		}
 	}
+	var out int64
+	if have {
+		out = 1
+	}
+	c.finish(sp, counts, out)
 	return acc, have
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // Stats accumulates per-stage, per-worker work accounting. Each operator
@@ -15,9 +17,12 @@ import (
 // time, because on the single-core reproduction machine goroutine
 // parallelism cannot manifest as elapsed-time speedup.
 type Stats struct {
-	mu      sync.Mutex
-	stages  []StageStat
-	retries map[string]int
+	mu       sync.Mutex
+	stages   []StageStat
+	retries  map[string]int
+	spans    []metrics.Span
+	seq      int
+	registry *metrics.Registry
 }
 
 // StageStat is the per-worker record count of one named operator instance.
@@ -26,13 +31,70 @@ type StageStat struct {
 	PerWorker []int64
 }
 
-// record appends one stage's accounting.
-func (s *Stats) record(name string, perWorker []int64) {
+// endStage appends one operator's work accounting and its trace span
+// atomically: the span's RecordsIn equals the StageStat's per-worker sum, so
+// metrics.TotalRecordsIn(Spans()) always reconciles with TotalWork.
+func (s *Stats) endStage(st StageStat, sp metrics.Span) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp := make([]int64, len(perWorker))
-	copy(cp, perWorker)
-	s.stages = append(s.stages, StageStat{Name: name, PerWorker: cp})
+	s.stages = append(s.stages, st)
+	s.spans = append(s.spans, sp)
+}
+
+// stageSeq returns a monotonically increasing stage sequence number, used to
+// subsample the expensive memory probe.
+func (s *Stats) stageSeq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.seq
+	s.seq++
+	return n
+}
+
+// retriesFor sums the worker re-executions attributed to one operator: the
+// operator's own stage name plus its '/'-suffixed sub-phases (combine,
+// scatter, gather, reduce, …).
+func (s *Stats) retriesFor(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for k, v := range s.retries {
+		if k == name || strings.HasPrefix(k, name+"/") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Spans returns a copy of the per-operator trace spans in execution order.
+func (s *Stats) Spans() []metrics.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]metrics.Span, len(s.spans))
+	copy(out, s.spans)
+	return out
+}
+
+// SpanTree renders the trace as a human-readable tree grouped by the
+// '/'-separated stage-name segments.
+func (s *Stats) SpanTree() string {
+	var b strings.Builder
+	if err := metrics.WriteSpanTree(&b, s.Spans()); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// Metrics returns the job's metric registry (stage-latency histogram, peak
+// goroutine/heap gauges, shuffle-byte counters, and whatever the pipeline
+// stages record themselves). Lazily created so a zero Stats works.
+func (s *Stats) Metrics() *metrics.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.registry == nil {
+		s.registry = metrics.NewRegistry()
+	}
+	return s.registry
 }
 
 // recordRetries accounts n worker re-executions of one stage after a

@@ -1,0 +1,112 @@
+package dataflow
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// This file threads per-stage tracing through the engine. Every operator
+// opens an activeSpan when it starts and closes it with its work accounting,
+// producing one metrics.Span per logical operator execution (sub-phases like
+// "/combine" or "/scatter" fold into their operator's span; their retries
+// are attributed by name prefix). Span input-record totals are recorded from
+// the same per-worker counts as Stats.TotalWork, so the two reconcile
+// exactly — the invariant the benchmark harness cross-checks.
+
+// memSampleEvery bounds how often a finishing stage pays for a
+// runtime.ReadMemStats (a stop-the-world sample): the first stage and every
+// memSampleEvery-th thereafter. Goroutine counts are cheap and sampled on
+// every stage.
+const memSampleEvery = 4
+
+// activeSpan is an operator span under construction.
+type activeSpan struct {
+	name         string
+	start        time.Time
+	shuffleBytes int64
+	combinerIn   int64
+	combinerOut  int64
+}
+
+// begin opens a span for one operator execution.
+func (c *Context) begin(name string) *activeSpan {
+	return &activeSpan{name: name, start: time.Now()}
+}
+
+// finish closes the span with the operator's per-worker input counts and its
+// output record count, recording both the work accounting (StageStat) and
+// the trace (metrics.Span) atomically, plus registry-level peaks and the
+// stage-latency histogram.
+func (c *Context) finish(sp *activeSpan, perWorker []int64, recordsOut int64) {
+	wall := time.Since(sp.start)
+	var in, max int64
+	for _, n := range perWorker {
+		in += n
+		if n > max {
+			max = n
+		}
+	}
+	span := metrics.Span{
+		Name:             sp.name,
+		StartMS:          float64(sp.start.Sub(c.epoch).Nanoseconds()) / 1e6,
+		WallMS:           float64(wall.Nanoseconds()) / 1e6,
+		RecordsIn:        in,
+		RecordsOut:       recordsOut,
+		MaxWorkerRecords: max,
+		PerWorker:        append([]int64(nil), perWorker...),
+		ShuffleBytes:     sp.shuffleBytes,
+		CombinerIn:       sp.combinerIn,
+		CombinerOut:      sp.combinerOut,
+		Retries:          c.stats.retriesFor(sp.name),
+		Goroutines:       runtime.NumGoroutine(),
+	}
+	reg := c.stats.Metrics()
+	if c.stats.stageSeq()%memSampleEvery == 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		span.HeapAllocBytes = ms.HeapAlloc
+		reg.Gauge("dataflow.peak.heap_alloc_bytes").SetMax(int64(ms.HeapAlloc))
+	}
+	reg.Gauge("dataflow.peak.goroutines").SetMax(int64(span.Goroutines))
+	reg.Histogram("dataflow.stage.wall_ms").Observe(span.WallMS)
+	reg.Counter("dataflow.records.processed").Add(in)
+	if sp.shuffleBytes > 0 {
+		reg.Counter("dataflow.shuffle.bytes").Add(sp.shuffleBytes)
+	}
+	c.stats.endStage(StageStat{Name: sp.name, PerWorker: append([]int64(nil), perWorker...)}, span)
+}
+
+// totalLen sums the partition lengths of an operator's output.
+func totalLen[T any](parts [][]T) int64 {
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// sumCounts adds up per-worker counts.
+func sumCounts(counts []int64) int64 {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// estimateCrossingBytes estimates the bytes a shuffle moved across
+// partitions: for each source partition, the width of one sample record is
+// extrapolated over the records that landed on a different worker. On a
+// single worker nothing crosses and the estimate is zero.
+func estimateCrossingBytes[T any](parts [][]T, crossing []int64) int64 {
+	var total int64
+	for w, part := range parts {
+		if len(part) == 0 || crossing[w] == 0 {
+			continue
+		}
+		total += metrics.EstimateSize(part[0]) * crossing[w]
+	}
+	return total
+}

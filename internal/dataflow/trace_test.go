@@ -1,0 +1,200 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// runSmallPipeline exercises every traced operator shape once.
+func runSmallPipeline(t *testing.T, workers int) *Context {
+	t.Helper()
+	c := NewContext(workers)
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	d := Parallelize(c, "input", items)
+	m := Map(d, "double", func(x int) int { return 2 * x })
+	keyed := Map(m, "key", func(x int) Pair[int, int] { return Pair[int, int]{Key: x % 7, Val: x} })
+	red := ReduceByKey(keyed, "sum-by-mod", func(a, b int) int { return a + b })
+	grp := GroupByKey(keyed, "group-by-mod")
+	_ = CoGroup(red, Map(grp, "count", func(p Pair[int, []int]) Pair[int, int] {
+		return Pair[int, int]{Key: p.Key, Val: len(p.Val)}
+	}), "join")
+	part := PartitionBy(m, "spread", func(x int) int { return x })
+	if _, ok := GlobalReduce(part, "total", func(a, b int) int { return a + b }); !ok {
+		t.Fatal("GlobalReduce found no records")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSpansReconcileWithTotalWork is the accounting invariant the benchmark
+// harness depends on: summed span input records equal Stats.TotalWork.
+func TestSpansReconcileWithTotalWork(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		c := runSmallPipeline(t, w)
+		st := c.Stats()
+		spans := st.Spans()
+		if len(spans) != len(st.Stages()) {
+			t.Fatalf("w=%d: %d spans but %d stages", w, len(spans), len(st.Stages()))
+		}
+		if got, want := metrics.TotalRecordsIn(spans), st.TotalWork(); got != want {
+			t.Errorf("w=%d: span records-in %d != TotalWork %d", w, got, want)
+		}
+		var cp int64
+		for _, sp := range spans {
+			cp += sp.MaxWorkerRecords
+		}
+		if cp != st.CriticalPath() {
+			t.Errorf("w=%d: span max-worker sum %d != CriticalPath %d", w, cp, st.CriticalPath())
+		}
+	}
+}
+
+func TestSpanFieldsPopulated(t *testing.T) {
+	c := runSmallPipeline(t, 4)
+	spans := c.Stats().Spans()
+	byName := map[string]metrics.Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+
+	in, ok := byName["input"]
+	if !ok {
+		t.Fatal("no span for the input stage")
+	}
+	if in.RecordsIn != 100 || in.RecordsOut != 100 {
+		t.Errorf("input span records = %d/%d, want 100/100", in.RecordsIn, in.RecordsOut)
+	}
+	if in.WallMS < 0 || in.StartMS < 0 {
+		t.Errorf("input span has negative timing: %+v", in)
+	}
+	if in.Goroutines <= 0 {
+		t.Errorf("input span did not sample goroutines: %+v", in)
+	}
+
+	red := byName["sum-by-mod"]
+	if red.CombinerIn != 100 {
+		t.Errorf("reduce combiner-in = %d, want 100", red.CombinerIn)
+	}
+	// 4 partitions × ≤7 keys: the combiner must have pre-aggregated.
+	if red.CombinerOut >= red.CombinerIn || red.CombinerOut < 7 {
+		t.Errorf("reduce combiner-out = %d (in %d)", red.CombinerOut, red.CombinerIn)
+	}
+	if red.RecordsOut != 7 {
+		t.Errorf("reduce records-out = %d, want 7", red.RecordsOut)
+	}
+	if red.ShuffleBytes <= 0 {
+		t.Errorf("reduce shuffle bytes = %d, want > 0 on 4 workers", red.ShuffleBytes)
+	}
+	if grp := byName["group-by-mod"]; grp.ShuffleBytes <= 0 {
+		t.Errorf("group shuffle bytes = %d, want > 0", grp.ShuffleBytes)
+	}
+
+	// One memory sample must have been taken (stage 0 always samples).
+	reg := c.Stats().Metrics().Snapshot()
+	if reg.Gauges["dataflow.peak.heap_alloc_bytes"] <= 0 {
+		t.Error("no heap sample recorded")
+	}
+	if reg.Gauges["dataflow.peak.goroutines"] <= 0 {
+		t.Error("no goroutine peak recorded")
+	}
+	if reg.Histograms["dataflow.stage.wall_ms"].Count != int64(len(spans)) {
+		t.Errorf("latency histogram has %d observations, want %d",
+			reg.Histograms["dataflow.stage.wall_ms"].Count, len(spans))
+	}
+}
+
+func TestSingleWorkerShufflesNothing(t *testing.T) {
+	c := runSmallPipeline(t, 1)
+	for _, sp := range c.Stats().Spans() {
+		if sp.ShuffleBytes != 0 {
+			t.Errorf("stage %s moved %d bytes on a single worker", sp.Name, sp.ShuffleBytes)
+		}
+	}
+}
+
+// TestSpeedupEmptyPipeline covers the zero-work edge case: a pipeline over an
+// empty dataset records stages with zero counts, CriticalPath is zero, and
+// Speedup must define itself as 1.0 instead of dividing by zero.
+func TestSpeedupEmptyPipeline(t *testing.T) {
+	c := NewContext(3)
+	d := Parallelize(c, "input", []int(nil))
+	keyed := Map(d, "key", func(x int) Pair[int, int] { return Pair[int, int]{Key: x, Val: x} })
+	red := ReduceByKey(keyed, "reduce", func(a, b int) int { return a + b })
+	if got := Collect(red); len(got) != 0 {
+		t.Fatalf("empty pipeline produced %d records", len(got))
+	}
+	st := c.Stats()
+	if st.TotalWork() != 0 || st.CriticalPath() != 0 {
+		t.Fatalf("empty pipeline accounted work: total=%d critical=%d", st.TotalWork(), st.CriticalPath())
+	}
+	if len(st.Stages()) == 0 {
+		t.Fatal("empty pipeline recorded no stages")
+	}
+	if got := st.Speedup(); got != 1.0 {
+		t.Errorf("Speedup of zero-work pipeline = %v, want 1.0", got)
+	}
+}
+
+func TestSpanRetriesAttribution(t *testing.T) {
+	plan := NewFaultPlan(
+		Fault{Stage: "agg/combine", Worker: 0, Kind: FaultTransient},
+		Fault{Stage: "agg/reduce", Worker: 1, Kind: FaultPanic},
+	)
+	c := NewContext(2, WithRetries(2), WithBackoff(time.Nanosecond), WithFaultPlan(plan))
+	d := Parallelize(c, "input", []int{1, 2, 3, 4})
+	keyed := Map(d, "key", func(x int) Pair[int, int] { return Pair[int, int]{Key: x % 2, Val: x} })
+	red := ReduceByKey(keyed, "agg", func(a, b int) int { return a + b })
+	if got := Collect(red); len(got) != 2 {
+		t.Fatalf("faulted pipeline produced %d records: %v", len(got), c.Err())
+	}
+	var agg *metrics.Span
+	spans := c.Stats().Spans()
+	for i := range spans {
+		if spans[i].Name == "agg" {
+			agg = &spans[i]
+		}
+	}
+	if agg == nil {
+		t.Fatal("no span for the faulted operator")
+	}
+	if agg.Retries != 2 {
+		t.Errorf("agg span retries = %d, want 2 (one per injected fault)", agg.Retries)
+	}
+}
+
+func TestSpanTreeRendering(t *testing.T) {
+	c := runSmallPipeline(t, 2)
+	tree := c.Stats().SpanTree()
+	for _, want := range []string{"input", "sum-by-mod", "join"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("span tree lacks %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestFailedStageRecordsNoSpan(t *testing.T) {
+	plan := NewFaultPlan(Fault{Stage: "boom", Worker: 0, Kind: FaultTransient})
+	c := NewContext(2, WithFaultPlan(plan)) // no retries: first fault is terminal
+	d := Parallelize(c, "input", []int{1, 2, 3})
+	_ = Map(d, "boom", func(x int) int { return x })
+	if c.Err() == nil {
+		t.Fatal("fault did not surface")
+	}
+	for _, sp := range c.Stats().Spans() {
+		if sp.Name == "boom" {
+			t.Error("failed stage recorded a span")
+		}
+	}
+	// The accounting invariant holds on failed pipelines too.
+	if got, want := metrics.TotalRecordsIn(c.Stats().Spans()), c.Stats().TotalWork(); got != want {
+		t.Errorf("span records-in %d != TotalWork %d after failure", got, want)
+	}
+}

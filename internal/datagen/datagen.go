@@ -109,6 +109,28 @@ func zipfValues(rng *rand.Rand, prefix string, n int, skew float64) func() strin
 	}
 }
 
+// Random generates a tiny seeded-random dataset for property-based
+// differential testing: 15–40 triples over a deliberately small vocabulary,
+// so conditions repeat often enough to exercise frequent-condition pruning,
+// AR derivation, and dominant-group handling while the naive oracle stays
+// fast. Two calls with the same seed produce identical datasets.
+func Random(seed int64) *rdf.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder()
+	n := 15 + rng.Intn(26)
+	subjects := 3 + rng.Intn(6)
+	predicates := 2 + rng.Intn(4)
+	objects := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		b.add(
+			fmt.Sprintf("s%d", rng.Intn(subjects)),
+			fmt.Sprintf("p%d", rng.Intn(predicates)),
+			fmt.Sprintf("o%d", rng.Intn(objects)),
+		)
+	}
+	return b.ds
+}
+
 // Stats summarizes a dataset for the Table 2 reproduction.
 type Stats struct {
 	Name          string

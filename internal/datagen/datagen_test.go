@@ -248,3 +248,28 @@ func TestDescribe(t *testing.T) {
 		t.Errorf("SizeMB = %f", st.SizeMB)
 	}
 }
+
+func TestRandomDeterministicAndVaried(t *testing.T) {
+	a, b := Random(7), Random(7)
+	if a.Size() != b.Size() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Size(), b.Size())
+	}
+	for i := range a.Triples {
+		as := [3]string{a.Dict.Decode(a.Triples[i].S), a.Dict.Decode(a.Triples[i].P), a.Dict.Decode(a.Triples[i].O)}
+		bs := [3]string{b.Dict.Decode(b.Triples[i].S), b.Dict.Decode(b.Triples[i].P), b.Dict.Decode(b.Triples[i].O)}
+		if as != bs {
+			t.Fatalf("same seed, triple %d differs: %v vs %v", i, as, bs)
+		}
+	}
+	sizes := map[int]bool{}
+	for seed := int64(0); seed < 50; seed++ {
+		ds := Random(seed)
+		if ds.Size() < 1 || ds.Size() > 40 {
+			t.Errorf("seed %d: %d triples outside the tiny range", seed, ds.Size())
+		}
+		sizes[ds.Size()] = true
+	}
+	if len(sizes) < 5 {
+		t.Errorf("seeds produce only %d distinct sizes — generator barely varies", len(sizes))
+	}
+}

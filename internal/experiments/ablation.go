@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 )
@@ -27,9 +26,7 @@ func RunAblation(opts Options) (*Report, error) {
 	}
 	baseline := -1
 	for _, size := range sizes {
-		start := time.Now()
-		res, _ := core.Discover(ds, core.Config{Support: h, Workers: opts.Workers, BloomBytes: size})
-		elapsed := time.Since(start)
+		res, _, elapsed := timedDiscover(fmt.Sprintf("bloom-%dB", size), ds, core.Config{Support: h, Workers: opts.Workers, BloomBytes: size})
 		n := len(res.CINDs) + len(res.ARs)
 		if baseline < 0 {
 			baseline = n

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cind"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rdf"
+)
+
+// BenchSchema versions the machine-readable benchmark record. Bump it when a
+// field changes meaning; benchdiff refuses to compare records across schemas.
+const BenchSchema = "rdfind-bench/v1"
+
+// PipelineRun is one instrumented discovery run inside an experiment: which
+// configuration ran, how long it took, and the engine's work accounting and
+// trace. Every span's input records reconcile with TotalWork — the invariant
+// TestBenchSpansReconcile pins per experiment.
+type PipelineRun struct {
+	Label        string         `json:"label"`
+	Variant      string         `json:"variant"`
+	Workers      int            `json:"workers"`
+	Support      int            `json:"support"`
+	WallMS       float64        `json:"wall_ms"`
+	TotalWork    int64          `json:"total_work"`
+	CriticalPath int64          `json:"critical_path"`
+	Speedup      float64        `json:"speedup"`
+	Retries      int            `json:"retries,omitempty"`
+	Failed       bool           `json:"failed,omitempty"`
+	Spans        []metrics.Span `json:"spans,omitempty"`
+}
+
+// BenchRecord is the machine-readable result of one experiment: the rendered
+// report plus aggregate and per-run performance accounting. cmd/benchsuite
+// writes one BENCH_<experiment>.json per record; cmd/benchdiff compares them.
+type BenchRecord struct {
+	Schema       string        `json:"schema"`
+	Experiment   string        `json:"experiment"`
+	Title        string        `json:"title"`
+	Scale        float64       `json:"scale"`
+	Workers      int           `json:"workers"`
+	WallMS       float64       `json:"wall_ms"`
+	TotalWork    int64         `json:"total_work"`
+	CriticalPath int64         `json:"critical_path"`
+	Speedup      float64       `json:"speedup"`
+	Runs         []PipelineRun `json:"runs"`
+	Header       []string      `json:"header,omitempty"`
+	Rows         [][]string    `json:"rows,omitempty"`
+	Notes        []string      `json:"notes,omitempty"`
+}
+
+// The collector gathers the PipelineRuns of the experiment currently running
+// under RunBench. Plain Run(...) leaves it off, so the text harness pays only
+// for the struct copies timedDiscover makes.
+var (
+	benchRunMu sync.Mutex // serializes RunBench: one collection at a time
+	collectMu  sync.Mutex
+	collected  []PipelineRun
+	collecting bool
+)
+
+func recordRun(r PipelineRun) {
+	collectMu.Lock()
+	if collecting {
+		collected = append(collected, r)
+	}
+	collectMu.Unlock()
+}
+
+// timedDiscover is the experiments' instrumented core.Discover: it times the
+// run and, under RunBench, records the configuration, work accounting, and
+// trace spans. Panics on error, like core.Discover.
+func timedDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Result, *core.RunStats, time.Duration) {
+	res, stats, elapsed, err := timedTryDiscover(label, ds, cfg)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return res, stats, elapsed
+}
+
+// timedTryDiscover is timedDiscover with errors surfaced; failed runs (load
+// limit, injected faults) are recorded with Failed set and partial accounting.
+func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Result, *core.RunStats, time.Duration, error) {
+	start := time.Now()
+	res, stats, err := core.TryDiscover(ds, cfg)
+	elapsed := time.Since(start)
+	run := PipelineRun{
+		Label:   label,
+		Variant: cfg.Variant.String(),
+		Workers: max(cfg.Workers, 1),
+		Support: max(cfg.Support, 1),
+		WallMS:  float64(elapsed.Nanoseconds()) / 1e6,
+		Speedup: 1,
+		Failed:  err != nil,
+	}
+	if stats != nil && stats.Dataflow != nil {
+		run.TotalWork = stats.Dataflow.TotalWork()
+		run.CriticalPath = stats.Dataflow.CriticalPath()
+		run.Speedup = stats.Dataflow.Speedup()
+		run.Retries = stats.StageRetries
+		run.Spans = stats.Dataflow.Spans()
+	}
+	recordRun(run)
+	return res, stats, elapsed, err
+}
+
+// RunBench executes one experiment with run collection switched on and
+// returns its benchmark record. Note that experiments share memoized results
+// (the Fig. 10/11 support sweep runs once per options): benching both in one
+// process leaves the second record's run list empty.
+func RunBench(id string, opts Options) (*BenchRecord, error) {
+	runner, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	opts = opts.normalized()
+
+	benchRunMu.Lock()
+	defer benchRunMu.Unlock()
+	collectMu.Lock()
+	collected, collecting = nil, true
+	collectMu.Unlock()
+
+	start := time.Now()
+	rep, err := runner(opts)
+	elapsed := time.Since(start)
+
+	collectMu.Lock()
+	runs := collected
+	collected, collecting = nil, false
+	collectMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &BenchRecord{
+		Schema:     BenchSchema,
+		Experiment: rep.ID,
+		Title:      rep.Title,
+		Scale:      opts.Scale,
+		Workers:    opts.Workers,
+		WallMS:     float64(elapsed.Nanoseconds()) / 1e6,
+		Speedup:    1,
+		Runs:       runs,
+		Header:     rep.Header,
+		Rows:       rep.Rows,
+		Notes:      rep.Notes,
+	}
+	for _, r := range runs {
+		rec.TotalWork += r.TotalWork
+		rec.CriticalPath += r.CriticalPath
+	}
+	if rec.CriticalPath > 0 {
+		rec.Speedup = float64(rec.TotalWork) / float64(rec.CriticalPath)
+	}
+	return rec, nil
+}

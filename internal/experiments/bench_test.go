@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestBenchAllExperimentsReconcile is the harness-level accounting check:
+// every experiment produces a valid benchmark record whose per-run span
+// totals reconcile with the engine's TotalWork, and the record survives a
+// JSON round-trip. Uses its own options so the Fig. 10/11 sweep memo from
+// other tests in this package does not empty the run lists.
+func TestBenchAllExperimentsReconcile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	opts := Options{Scale: 0.04, Workers: 3}
+	sawRuns := false
+	for _, id := range IDs() {
+		rec, err := RunBench(id, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rec.Schema != BenchSchema {
+			t.Errorf("%s: schema %q", id, rec.Schema)
+		}
+		if rec.Experiment != id {
+			t.Errorf("%s: record carries experiment %q", id, rec.Experiment)
+		}
+		if rec.WallMS <= 0 || len(rec.Rows) == 0 {
+			t.Errorf("%s: incomplete record: wall=%v rows=%d", id, rec.WallMS, len(rec.Rows))
+		}
+		var total, critical int64
+		for _, run := range rec.Runs {
+			sawRuns = true
+			if got := metrics.TotalRecordsIn(run.Spans); got != run.TotalWork {
+				t.Errorf("%s run %q: span records-in %d != total work %d",
+					id, run.Label, got, run.TotalWork)
+			}
+			if run.WallMS <= 0 || run.Workers < 1 || run.Support < 1 {
+				t.Errorf("%s run %q: bad fields: %+v", id, run.Label, run)
+			}
+			total += run.TotalWork
+			critical += run.CriticalPath
+		}
+		if total != rec.TotalWork || critical != rec.CriticalPath {
+			t.Errorf("%s: aggregate work %d/%d != summed runs %d/%d",
+				id, rec.TotalWork, rec.CriticalPath, total, critical)
+		}
+
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", id, err)
+		}
+		var back BenchRecord
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", id, err)
+		}
+		if back.TotalWork != rec.TotalWork || len(back.Runs) != len(rec.Runs) {
+			t.Errorf("%s: JSON round-trip changed the record", id)
+		}
+	}
+	if !sawRuns {
+		t.Error("no experiment recorded a single pipeline run")
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	if _, err := RunBench("nope", tinyOpts); err == nil {
+		t.Error("no error for unknown experiment")
+	}
+}
+
+// TestPlainRunDoesNotCollect guards the collector gate: discoveries outside
+// RunBench must not leak runs into the next benchmark record.
+func TestPlainRunDoesNotCollect(t *testing.T) {
+	ds := dataset("Countries", 0.02)
+	timedDiscover("stray", ds, core.Config{Support: 2, Workers: 1})
+	rec, err := RunBench("table2", Options{Scale: 0.02, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range rec.Runs {
+		if run.Label == "stray" {
+			t.Error("un-benched run leaked into the record")
+		}
+	}
+}

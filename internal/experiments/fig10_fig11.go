@@ -49,12 +49,11 @@ func runSweep(opts Options) []sweepPoint {
 	for _, entry := range supportSweep {
 		ds := dataset(entry.Dataset, opts.Scale)
 		for _, h := range entry.Thresholds {
-			start := time.Now()
-			res, _ := core.Discover(ds, core.Config{Support: h, Workers: opts.Workers})
+			res, _, elapsed := timedDiscover(entry.Dataset, ds, core.Config{Support: h, Workers: opts.Workers})
 			points = append(points, sweepPoint{
 				Dataset: entry.Dataset,
 				H:       h,
-				Runtime: time.Since(start),
+				Runtime: elapsed,
 				CINDs:   len(res.CINDs),
 				ARs:     len(res.ARs),
 			})

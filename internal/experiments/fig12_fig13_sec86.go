@@ -23,11 +23,9 @@ const memGrant = 30_000_000
 // the grant.
 func timeVariantBounded(name string, opts Options, h int, v core.Variant, limit int64) (time.Duration, int, bool, error) {
 	ds := dataset(name, opts.Scale)
-	start := time.Now()
-	res, _, err := core.TryDiscover(ds, core.Config{
+	res, _, elapsed, err := timedTryDiscover(name, ds, core.Config{
 		Support: h, Workers: opts.Workers, Variant: v, LoadLimit: limit,
 	})
-	elapsed := time.Since(start)
 	if errors.Is(err, extract.ErrLoadLimit) {
 		return elapsed, 0, true, nil
 	}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -36,13 +35,11 @@ func RunFig8(opts Options) (*Report, error) {
 	for _, frac := range steps {
 		n := int(float64(full.Size()) * frac)
 		prefix := &rdf.Dataset{Dict: full.Dict, Triples: full.Triples[:n]}
-		start := time.Now()
-		res, _ := core.Discover(prefix, core.Config{
+		res, _, elapsed := timedDiscover(fmt.Sprintf("Freebase[:%s]", fmtCount(n)), prefix, core.Config{
 			Support:                    h,
 			Workers:                    opts.Workers,
 			PredicatesOnlyInConditions: true,
 		})
-		elapsed := time.Since(start)
 		rep.Rows = append(rep.Rows, []string{
 			fmtCount(n),
 			fmtDuration(elapsed),
@@ -75,9 +72,7 @@ func RunFig9(opts Options) (*Report, error) {
 	}
 	for _, h := range thresholds {
 		for _, w := range workerCounts {
-			start := time.Now()
-			res, stats := core.Discover(ds, core.Config{Support: h, Workers: w})
-			elapsed := time.Since(start)
+			res, stats, elapsed := timedDiscover("LinkedMDB", ds, core.Config{Support: h, Workers: w})
 			rep.Rows = append(rep.Rows, []string{
 				fmt.Sprintf("%d", w),
 				fmt.Sprintf("%d", h),

@@ -241,6 +241,12 @@ func BroadCINDsOutcome(groups *dataflow.Dataset[capture.Group], cfg Config) ([]c
 	if err := groups.Context().Err(); err != nil {
 		return nil, outcome, err
 	}
+	reg := groups.Context().Stats().Metrics()
+	reg.Counter("extract.load.estimated").Add(outcome.EstimatedLoad)
+	reg.Counter("extract.broad_cinds").Add(int64(len(out)))
+	if outcome.Degraded {
+		reg.Counter("extract.degraded_runs").Inc()
+	}
 	return out, outcome, nil
 }
 

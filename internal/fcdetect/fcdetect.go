@@ -123,6 +123,12 @@ func Detect(triples *dataflow.Dataset[rdf.Triple], h int, opts Options) *Output 
 	// Association rules: join frequent unary and binary counters on the
 	// embedded unary condition; equal counts mean confidence 1 (step 11).
 	out.ARs = extractARs(out.Unary, out.Binary)
+
+	// Detector-level observability: the funnel sizes §8's evaluation keys on.
+	reg := triples.Context().Stats().Metrics()
+	reg.Counter("fc.frequent.unary").Add(int64(out.Unary.Len()))
+	reg.Counter("fc.frequent.binary").Add(int64(out.Binary.Len()))
+	reg.Counter("fc.ars").Add(int64(len(out.ARs)))
 	return out
 }
 

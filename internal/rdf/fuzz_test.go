@@ -1,0 +1,85 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTriple checks two properties of the N-Triples reader on arbitrary
+// input: the lenient mode never panics or errors spuriously (it may reject
+// documents, never crash), and whatever it parses survives a write→reparse
+// round-trip term for term. The parser keeps terms in surface form, so the
+// writer must emit exactly what the strict reader accepts.
+func FuzzReadTriple(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"<http://example.org/s> <http://example.org/p> <http://example.org/o> .",
+		"<http://example.org/altes_museum> <http://example.org/located> <http://example.org/berlin> .\n" +
+			"<http://example.org/berlin> <http://example.org/cityIn> <http://example.org/germany> .",
+		"_:b0 <http://example.org/p> _:b1 .",
+		`<s> <p> "plain literal" .`,
+		`<s> <p> "escaped \" quote" .`,
+		`<s> <p> "trailing backslash \\" .`,
+		`<s> <p> "typed"^^<http://www.w3.org/2001/XMLSchema#string> .`,
+		`<s> <p> "tagged"@en-US .`,
+		`<s> <p> "héllo wörld ☃" .`,
+		`<s> <p> "dot inside . and # hash" .`,
+		"<a><b><c>.",
+		`<s> <p> "no space".`,
+		"  <s>\t<p>\t<o>\t.  ",
+		"<s> <p> <o>",            // missing dot
+		`<s> <p> "unterminated`,  // unterminated literal
+		"<s> <p> <unterminated",  // unterminated URI
+		`<s> <p> "t"^^<no-close`, // unterminated datatype
+		"just some text\nacross lines\n",
+		"<ok> <ok> <ok> .\nbroken line\n<ok2> <ok2> <ok2> .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// One seed produced by the writer itself, covering term wrapping.
+	ds := NewDataset()
+	ds.Add("bare-term", "p", `"lit"@de`)
+	ds.Add("<u>", "_:b", `"x\ny"`)
+	var b bytes.Buffer
+	if err := WriteNTriples(&b, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.String())
+
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, malformed, err := ReadNTriplesLenient(strings.NewReader(input), 50)
+		if err != nil {
+			return // over the malformed-line cap; rejecting is fine, panicking is not
+		}
+		for _, se := range malformed {
+			if se == nil || se.Line <= 0 || se.Err == nil {
+				t.Fatalf("malformed report without position or cause: %v", se)
+			}
+		}
+
+		// Round-trip: write what was parsed, reparse strictly, compare terms.
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, parsed); err != nil {
+			t.Fatalf("write failed on parsed dataset: %v", err)
+		}
+		back, err := ReadNTriples(&buf)
+		if err != nil {
+			t.Fatalf("strict reparse of written output failed: %v\ndocument:\n%s", err, buf.String())
+		}
+		if len(back.Triples) != len(parsed.Triples) {
+			t.Fatalf("round-trip changed triple count: %d -> %d\ndocument:\n%s",
+				len(parsed.Triples), len(back.Triples), buf.String())
+		}
+		for i := range parsed.Triples {
+			p, q := parsed.Triples[i], back.Triples[i]
+			ps := [3]string{parsed.Dict.Decode(p.S), parsed.Dict.Decode(p.P), parsed.Dict.Decode(p.O)}
+			qs := [3]string{back.Dict.Decode(q.S), back.Dict.Decode(q.P), back.Dict.Decode(q.O)}
+			if ps != qs {
+				t.Fatalf("round-trip changed triple %d: %q -> %q", i, ps, qs)
+			}
+		}
+	})
+}
