@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold F] OLD.json NEW.json
+//	benchdiff [-threshold F] [-alloc-threshold F] OLD.json NEW.json
 //
 // Wall times (the whole experiment's and each pipeline run's) may regress by
 // up to the threshold fraction (default 0.2 = 20%) before the comparison
 // fails; total work is deterministic for a given configuration, so any
-// work-count change at all is flagged. Exit codes: 0 = within threshold,
-// 1 = regression detected, 2 = usage or unreadable/incomparable records.
+// work-count change at all is flagged. Allocation counts (mallocs), where
+// both records measured them, get their own threshold (default 0.5 — GC
+// timing makes them noisier than wall time). Exit codes: 0 = within
+// threshold, 1 = regression detected, 2 = usage or unreadable/incomparable
+// records.
 package main
 
 import (
@@ -30,11 +33,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.2, "tolerated wall-time regression as a fraction (0.2 = 20%)")
+	allocThreshold := fs.Float64("alloc-threshold", 0.5, "tolerated allocation-count regression as a fraction (0.5 = 50%)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 2 || *threshold < 0 {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold F] OLD.json NEW.json")
+	if fs.NArg() != 2 || *threshold < 0 || *allocThreshold < 0 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold F] [-alloc-threshold F] OLD.json NEW.json")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -57,9 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	regressions := diff(oldRec, newRec, *threshold, stdout)
+	regressions := diff(oldRec, newRec, *threshold, *allocThreshold, stdout)
 	if regressions > 0 {
-		fmt.Fprintf(stdout, "FAIL: %d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		fmt.Fprintf(stdout, "FAIL: %d regression(s) beyond threshold\n", regressions)
 		return 1
 	}
 	fmt.Fprintln(stdout, "OK: within threshold")
@@ -82,27 +86,39 @@ func load(path string) (*experiments.BenchRecord, error) {
 }
 
 // diff writes the comparison table and returns the number of regressions:
-// wall times or work counts that grew beyond the threshold fraction. (Work
-// counts are nearly — not exactly — deterministic: combiner output sizes
-// depend on the run's random hash seed, so they get the same tolerance
-// instead of an exact comparison.)
-func diff(oldRec, newRec *experiments.BenchRecord, threshold float64, w io.Writer) int {
+// wall times, work counts, or allocation counts that grew beyond their
+// threshold fraction. (Work counts are nearly — not exactly — deterministic:
+// combiner output sizes depend on the run's random hash seed, so they get the
+// same tolerance instead of an exact comparison. Allocation counts are only
+// compared when both records carry them, so records from before the counters
+// existed still diff cleanly.)
+func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold float64, w io.Writer) int {
 	fmt.Fprintf(w, "== %s: old vs new ==\n", oldRec.Experiment)
 	regressions := 0
-	check := func(label, unit string, oldV, newV float64) {
+	checkAt := func(label, unit string, oldV, newV, limit float64) {
 		delta := 0.0
 		if oldV > 0 {
 			delta = newV/oldV - 1
 		}
 		mark := ""
-		if delta > threshold {
+		if delta > limit {
 			mark = "  << REGRESSION"
 			regressions++
 		}
 		fmt.Fprintf(w, "%-40s %12.1f%s %12.1f%s %+7.1f%%%s\n", label, oldV, unit, newV, unit, delta*100, mark)
 	}
+	check := func(label, unit string, oldV, newV float64) {
+		checkAt(label, unit, oldV, newV, threshold)
+	}
+	checkAllocs := func(label string, oldV, newV uint64) {
+		if oldV == 0 || newV == 0 {
+			return // at least one record predates allocation accounting
+		}
+		checkAt(label, "", float64(oldV), float64(newV), allocThreshold)
+	}
 	check("wall", "ms", oldRec.WallMS, newRec.WallMS)
 	check("total work", "", float64(oldRec.TotalWork), float64(newRec.TotalWork))
+	checkAllocs("mallocs", oldRec.Mallocs, newRec.Mallocs)
 
 	newRuns := indexRuns(newRec.Runs)
 	for _, or := range oldRec.Runs {
@@ -116,6 +132,7 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold float64, w io.Write
 		newRuns[k] = queue[1:]
 		check("run "+k, "ms", or.WallMS, nr.WallMS)
 		check("work "+k, "", float64(or.TotalWork), float64(nr.TotalWork))
+		checkAllocs("mallocs "+k, or.Mallocs, nr.Mallocs)
 	}
 	for k, queue := range newRuns {
 		for range queue {

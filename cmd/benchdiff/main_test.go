@@ -24,6 +24,8 @@ func record(wallMS float64, runs ...experiments.PipelineRun) *experiments.BenchR
 	for _, r := range runs {
 		rec.TotalWork += r.TotalWork
 		rec.CriticalPath += r.CriticalPath
+		rec.Mallocs += r.Mallocs
+		rec.AllocBytes += r.AllocBytes
 	}
 	return rec
 }
@@ -98,6 +100,39 @@ func TestWorkRegressionFails(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
 		t.Fatalf("doubled work exit %d, want 1: %s", code, out.String())
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json",
+		record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000, Mallocs: 1000})))
+	// Double the allocations at unchanged wall time and work: beyond the
+	// default 50% allocation threshold.
+	newPath := write(t, dir, "new.json",
+		record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000, Mallocs: 2000})))
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("doubled mallocs exit %d, want 1: %s", code, out.String())
+	}
+	// A looser allocation threshold tolerates the doubling.
+	var out2 bytes.Buffer
+	if code := run([]string{"-alloc-threshold", "1.5", oldPath, newPath}, &out2, &errOut); code != 0 {
+		t.Fatalf("loose alloc threshold exit %d, want 0: %s", code, out2.String())
+	}
+}
+
+func TestAllocCountersOnlyInOneRecordIgnored(t *testing.T) {
+	dir := t.TempDir()
+	// The old record predates allocation accounting (Mallocs == 0); the new
+	// one measures. No comparison, no regression.
+	oldPath := write(t, dir, "old.json",
+		record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000})))
+	newPath := write(t, dir, "new.json",
+		record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000, Mallocs: 123456})))
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("one-sided alloc counters exit %d, want 0: %s", code, out.String())
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rdfind [-support N] [-workers N] [-variant rdfind|de|nf|mf]
+//	rdfind [-support N] [-workers N] [-ingest-workers N] [-variant rdfind|de|nf|mf]
 //	       [-pred-only-conditions] [-lenient] [-timeout D] [-stats] [-json] file.nt
 //
 // The result is printed one statement per line, CINDs and ARs sorted by
@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	support := fs.Int("support", 100, "support threshold h (minimum distinct included values)")
 	workers := fs.Int("workers", 4, "logical dataflow workers")
+	ingestWorkers := fs.Int("ingest-workers", 0, "parallel N-Triples ingest shards (0 = same as -workers); any value yields identical datasets")
 	variantName := fs.String("variant", "rdfind", "pipeline variant: rdfind, de, nf, mf")
 	predOnly := fs.Bool("pred-only-conditions", false, "use predicates only in conditions (no predicate projections)")
 	format := fs.String("format", "text", "output format: text or json")
@@ -86,7 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	ds, code := readInput(fs.Arg(0), *lenient, stderr)
+	if *ingestWorkers <= 0 {
+		*ingestWorkers = *workers
+	}
+	ds, code := readInput(fs.Arg(0), *ingestWorkers, *lenient, stderr)
 	if code != exitOK {
 		return code
 	}
@@ -165,19 +169,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitOK
 }
 
-// readInput parses the N-Triples file, strictly or leniently; parse problems
-// return the dedicated parse-failure code so callers can tell bad input
-// apart from a failed discovery.
-func readInput(path string, lenient bool, stderr io.Writer) (*rdfind.Dataset, int) {
+// readInput parses the N-Triples file with the requested number of parallel
+// ingest shards, strictly or leniently; parse problems return the dedicated
+// parse-failure code so callers can tell bad input apart from a failed
+// discovery. The shard count changes only ingest speed, never the dataset:
+// the sharded dictionary merge assigns the same IDs at any count.
+func readInput(path string, shards int, lenient bool, stderr io.Writer) (*rdfind.Dataset, int) {
 	if !lenient {
-		ds, err := rdfind.ReadNTriplesFile(path)
+		ds, err := rdfind.ReadNTriplesFile(path, shards)
 		if err != nil {
 			fmt.Fprintln(stderr, "rdfind:", err)
 			return nil, exitParse
 		}
 		return ds, exitOK
 	}
-	ds, malformed, err := rdfind.ReadNTriplesFileLenient(path, 0)
+	ds, malformed, err := rdfind.ReadNTriplesFileLenient(path, shards, 0)
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind:", err)
 		return nil, exitParse

@@ -48,10 +48,23 @@ var volatileKeys = map[string]bool{
 	"sum":              true, // latency histogram sum
 }
 
+// droppedKeys are volatile fields added after the goldens were recorded;
+// deleting them (rather than zeroing) keeps the goldens byte-identical.
+var droppedKeys = map[string]bool{
+	"mallocs":           true, // run-level allocation deltas
+	"alloc_bytes":       true,
+	"mallocs_delta":     true, // per-span allocation deltas
+	"alloc_bytes_delta": true,
+}
+
 func normalize(v any) any {
 	switch x := v.(type) {
 	case map[string]any:
 		for k, val := range x {
+			if droppedKeys[k] {
+				delete(x, k)
+				continue
+			}
 			if volatileKeys[k] {
 				x[k] = zeroLike(val)
 				continue
@@ -150,6 +163,28 @@ func TestSnapshotJSONReconciles(t *testing.T) {
 	}
 	if sum != doc.Stats.TotalWork || sum == 0 {
 		t.Errorf("span records-in %d != total work %d", sum, doc.Stats.TotalWork)
+	}
+}
+
+// TestIngestWorkersDeterministic pins the user-visible promise of the
+// -ingest-workers flag: any shard count produces byte-identical output,
+// because the sharded dictionary merge assigns the same term IDs the
+// sequential reader would.
+func TestIngestWorkersDeterministic(t *testing.T) {
+	baseArgs := []string{"-support", "2", "-workers", "1", "-format", "json", "testdata/museums.nt"}
+	code, want, errOut := runCLI(t, baseArgs...)
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, shards := range []string{"1", "2", "4", "8"} {
+		args := append([]string{"-ingest-workers", shards}, baseArgs...)
+		code, got, errOut := runCLI(t, args...)
+		if code != exitOK {
+			t.Fatalf("-ingest-workers %s: exit %d: %s", shards, code, errOut)
+		}
+		if got != want {
+			t.Errorf("-ingest-workers %s changed the output:\n--- got ---\n%s--- want ---\n%s", shards, got, want)
+		}
 	}
 }
 

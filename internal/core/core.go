@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"time"
 
 	"repro/internal/capture"
@@ -131,6 +132,12 @@ type RunStats struct {
 	// StageRetries is the total number of worker re-executions after
 	// transient faults, summed over all stages (see dataflow.Stats.Retries).
 	StageRetries int
+	// Mallocs and AllocBytes are the process-wide allocation deltas
+	// (runtime.MemStats Mallocs and TotalAlloc) across the run — the
+	// whole-pipeline counterpart of the per-span deltas, letting the
+	// benchmark harness gate on allocation counts next to wall time.
+	Mallocs    uint64
+	AllocBytes uint64
 }
 
 // Discover runs the selected pipeline over the dataset and returns the
@@ -163,6 +170,8 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var memStart runtime.MemStats
+	runtime.ReadMemStats(&memStart)
 	start := time.Now()
 	dfctx := dataflow.NewContext(cfg.Workers,
 		dataflow.WithCancel(ctx),
@@ -171,9 +180,16 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		dataflow.WithFaultPlan(cfg.FaultPlan),
 	)
 	stats := &RunStats{Triples: ds.Size(), Dataflow: dfctx.Stats()}
+	recordAllocs := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		stats.Mallocs = ms.Mallocs - memStart.Mallocs
+		stats.AllocBytes = ms.TotalAlloc - memStart.TotalAlloc
+	}
 	finish := func(err error) (*cind.Result, *RunStats, error) {
 		stats.StageRetries = dfctx.Stats().TotalRetries()
 		stats.Duration = time.Since(start)
+		recordAllocs()
 		return nil, stats, err
 	}
 
@@ -240,6 +256,7 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	stats.ARs = len(res.ARs)
 	stats.StageRetries = dfctx.Stats().TotalRetries()
 	stats.Duration = time.Since(start)
+	recordAllocs()
 	return res, stats, nil
 }
 

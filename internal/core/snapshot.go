@@ -21,6 +21,11 @@ type RunSnapshot struct {
 	StageRetries   int     `json:"stage_retries,omitempty"`
 	ExtractionLoad int64   `json:"extraction_load,omitempty"`
 	Degraded       bool    `json:"degraded,omitempty"`
+	// Mallocs/AllocBytes are the run's process-wide allocation deltas
+	// (RunStats.Mallocs/AllocBytes); zero on snapshots from before the
+	// counters existed, so readers treat zero as "not measured".
+	Mallocs    uint64 `json:"mallocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 
 	Spans   []metrics.Span           `json:"spans,omitempty"`
 	Metrics metrics.RegistrySnapshot `json:"metrics,omitzero"`
@@ -42,6 +47,8 @@ func (s *RunStats) Snapshot() *RunSnapshot {
 		StageRetries:   s.StageRetries,
 		ExtractionLoad: s.ExtractionLoad,
 		Degraded:       s.Degraded,
+		Mallocs:        s.Mallocs,
+		AllocBytes:     s.AllocBytes,
 		Speedup:        1,
 	}
 	if s.Dataflow != nil {

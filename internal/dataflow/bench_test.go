@@ -1,0 +1,100 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Microbenchmarks for the engine's hot kernels. Run with
+//
+//	go test ./internal/dataflow -run '^$' -bench . -benchmem
+//
+// The -benchmem columns are the point: the scatter/reduce rewrites are gated
+// on allocations per operation, not only wall time (single-core CI machines
+// cannot show goroutine parallelism as elapsed-time wins).
+
+// benchPairs builds n keyed records over k distinct keys.
+func benchPairs(n, k int) []Pair[int, int] {
+	data := make([]Pair[int, int], n)
+	for i := range data {
+		data[i] = Pair[int, int]{i % k, 1}
+	}
+	return data
+}
+
+func BenchmarkReduceByKey(b *testing.B) {
+	c := NewContext(4)
+	data := benchPairs(100000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Parallelize(c, "in", data)
+		ReduceByKey(d, "count", func(a, b int) int { return a + b })
+	}
+}
+
+func BenchmarkShuffleByKey(b *testing.B) {
+	c := NewContext(4)
+	data := benchPairs(100000, 1000)
+	d := Parallelize(c, "in", data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := shuffleByKey(d, "shuffle"); !ok {
+			b.Fatal(c.Err())
+		}
+	}
+}
+
+func BenchmarkGroupByKey(b *testing.B) {
+	c := NewContext(4)
+	data := benchPairs(100000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Parallelize(c, "in", data)
+		GroupByKey(d, "group")
+	}
+}
+
+func BenchmarkDistinct(b *testing.B) {
+	c := NewContext(4)
+	data := make([]int, 100000)
+	for i := range data {
+		data[i] = i % 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Parallelize(c, "in", data)
+		Distinct(d, "distinct")
+	}
+}
+
+func BenchmarkGlobalReduce(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := NewContext(workers)
+			data := make([]int, 100000)
+			for i := range data {
+				data[i] = i
+			}
+			d := Parallelize(c, "in", data)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := GlobalReduce(d, "sum", func(a, b int) int { return a + b }); !ok {
+					b.Fatal(c.Err())
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	c := NewContext(4)
+	data := make([]int, 100000)
+	for i := range data {
+		data[i] = i
+	}
+	d := Parallelize(c, "in", data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Filter(d, "even", func(v int) bool { return v%2 == 0 })
+	}
+}

@@ -179,6 +179,12 @@ func (c *Context) sleep(d time.Duration) bool {
 type Dataset[T any] struct {
 	ctx   *Context
 	parts [][]T
+	// distinct is an upper bound on the number of distinct shuffle keys in
+	// the dataset when one is known (0 = unknown). Operators that aggregate
+	// by key (ReduceByKey, GroupByKey, Distinct) set it on their outputs and
+	// use it to pre-size downstream aggregation maps; record-subset operators
+	// (Filter) propagate it, since a subset cannot add keys.
+	distinct int64
 }
 
 // Context returns the context the dataset belongs to.
@@ -340,7 +346,12 @@ func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 	counts := make([]int64, c.workers)
 	if !c.runStage(name, func(w int) error {
 		in := d.parts[w]
-		res := make([]U, len(in))
+		res := out[w] // a retried worker reuses its previous attempt's buffer
+		if cap(res) < len(in) {
+			res = make([]U, len(in))
+		} else {
+			res = res[:len(in)]
+		}
 		for i, t := range in {
 			res[i] = f(t)
 		}
@@ -361,7 +372,7 @@ func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name, func(w int) error {
-		var res []U
+		res := out[w][:0] // a retried worker reuses its previous attempt's buffer
 		emit := func(u U) { res = append(res, u) }
 		for _, t := range d.parts[w] {
 			f(t, emit)
@@ -376,13 +387,30 @@ func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[
 	return &Dataset[U]{ctx: c, parts: out}
 }
 
-// Filter keeps the records satisfying pred, preserving partitioning.
+// Filter keeps the records satisfying pred, preserving partitioning. It runs
+// directly per partition (no FlatMap emit-closure indirection) and, as a
+// record-subset operator, propagates the input's distinct-key bound.
 func Filter[T any](d *Dataset[T], name string, pred func(T) bool) *Dataset[T] {
-	return FlatMap(d, name, func(t T, emit func(T)) {
-		if pred(t) {
-			emit(t)
+	c := d.ctx
+	sp := c.begin(name)
+	out := make([][]T, c.workers)
+	counts := make([]int64, c.workers)
+	if !c.runStage(name, func(w int) error {
+		in := d.parts[w]
+		res := out[w][:0] // a retried worker reuses its previous attempt's buffer
+		for _, t := range in {
+			if pred(t) {
+				res = append(res, t)
+			}
 		}
-	})
+		out[w] = res
+		counts[w] = int64(len(in))
+		return nil
+	}) {
+		return empty[T](c)
+	}
+	c.finish(sp, counts, totalLen(out))
+	return &Dataset[T]{ctx: c, parts: out, distinct: d.distinct}
 }
 
 // MapPartitions applies f once per partition with the worker index, for
@@ -394,7 +422,7 @@ func MapPartitions[T, U any](d *Dataset[T], name string, f func(worker int, item
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name, func(w int) error {
-		var res []U
+		res := out[w][:0] // a retried worker reuses its previous attempt's buffer
 		f(w, d.parts[w], func(u U) { res = append(res, u) })
 		out[w] = res
 		counts[w] = int64(len(d.parts[w]))
@@ -412,31 +440,87 @@ type Pair[K comparable, V any] struct {
 	Val V
 }
 
-// shuffleByKey hash-partitions keyed records so that all records with equal
-// keys land in the same output partition. It runs as two named phases
+// mapSizeHint sizes an aggregation map that will see n input records.
+// distinct, when positive, is an upper bound on the number of distinct keys
+// and wins whenever it is tighter than n. Without a bound, pre-sizing to n
+// would balloon memory on heavily duplicated keys, so the speculative size is
+// capped and the map grows normally past it.
+func mapSizeHint(n int, distinct int64) int {
+	if distinct > 0 && distinct < int64(n) {
+		n = int(distinct)
+	}
+	const unknownKeyCap = 1024
+	if distinct <= 0 && n > unknownKeyCap {
+		return unknownKeyCap
+	}
+	return n
+}
+
+// shuffleParts redistributes records to the partition chosen by target (which
+// must return a value in [0, workers)). It runs as two named phases
 // (name/scatter and name/gather); the boolean is false when either failed.
 // The int64 estimates the bytes that crossed partitions (zero on one worker).
-func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][]Pair[K, V], int64, bool) {
-	c := d.ctx
-	// Each input partition fills one bucket per target worker; buckets are
-	// then concatenated per target, keeping source order deterministic.
-	buckets := make([][][]Pair[K, V], c.workers)
+//
+// The scatter is allocation-lean: a classification pass records every
+// record's target in an int32 scratch slice while counting per destination,
+// then exact-capacity buckets are filled — no append regrowth, at the price
+// of reading the input twice. All scratch (target slice, bucket slices,
+// gathered partitions) is published only through per-worker slots, so a
+// retried worker finds its previous attempt's allocations, shrinks them with
+// [:0], and overwrites them deterministically — the same retained-partition
+// retry contract the append-based kernel had, with no allocations on re-runs.
+func shuffleParts[T any](c *Context, name string, parts [][]T, target func(T) int) ([][]T, int64, bool) {
+	buckets := make([][][]T, c.workers)
+	targets := make([][]int32, c.workers)
 	crossing := make([]int64, c.workers)
 	if !c.runStage(name+"/scatter", func(w int) error {
-		local := make([][]Pair[K, V], c.workers)
-		for _, kv := range d.parts[w] {
-			t := hashPartition(c, kv.Key)
-			local[t] = append(local[t], kv)
+		in := parts[w]
+		tg := targets[w]
+		if cap(tg) < len(in) {
+			tg = make([]int32, len(in))
+		} else {
+			tg = tg[:len(in)]
+		}
+		cnt := make([]int32, c.workers)
+		for i, t := range in {
+			p := target(t)
+			tg[i] = int32(p)
+			cnt[p]++
+		}
+		targets[w] = tg
+		local := buckets[w]
+		if local == nil {
+			local = make([][]T, c.workers)
+		}
+		for p, n := range cnt {
+			if cap(local[p]) < int(n) {
+				local[p] = make([]T, 0, n)
+			} else {
+				local[p] = local[p][:0]
+			}
+		}
+		for i, t := range in {
+			p := tg[i]
+			local[p] = append(local[p], t)
 		}
 		buckets[w] = local
-		crossing[w] = int64(len(d.parts[w]) - len(local[w]))
+		crossing[w] = int64(len(in) - len(local[w]))
 		return nil
 	}) {
 		return nil, 0, false
 	}
-	out := make([][]Pair[K, V], c.workers)
+	out := make([][]T, c.workers)
 	if !c.runStage(name+"/gather", func(t int) error {
-		var part []Pair[K, V]
+		n := 0
+		for w := 0; w < c.workers; w++ {
+			n += len(buckets[w][t])
+		}
+		part := out[t]
+		if cap(part) < n {
+			part = make([]T, 0, n)
+		} else {
+			part = part[:0]
+		}
 		for w := 0; w < c.workers; w++ {
 			part = append(part, buckets[w][t]...)
 		}
@@ -445,7 +529,16 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][
 	}) {
 		return nil, 0, false
 	}
-	return out, estimateCrossingBytes(d.parts, crossing), true
+	return out, estimateCrossingBytes(parts, crossing), true
+}
+
+// shuffleByKey hash-partitions keyed records so that all records with equal
+// keys land in the same output partition.
+func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][]Pair[K, V], int64, bool) {
+	c := d.ctx
+	return shuffleParts(c, name, d.parts, func(kv Pair[K, V]) int {
+		return hashPartition(c, kv.Key)
+	})
 }
 
 // ReduceByKey combines values of equal keys with the associative,
@@ -460,43 +553,61 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 	pre := make([][]Pair[K, V], c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name+"/combine", func(w int) error {
-		agg := make(map[K]V)
-		for _, kv := range d.parts[w] {
+		in := d.parts[w]
+		agg := make(map[K]V, mapSizeHint(len(in), d.distinct))
+		for _, kv := range in {
 			if cur, ok := agg[kv.Key]; ok {
 				agg[kv.Key] = combine(cur, kv.Val)
 			} else {
 				agg[kv.Key] = kv.Val
 			}
 		}
-		local := make([]Pair[K, V], 0, len(agg))
+		local := pre[w] // a retried worker reuses its previous attempt's buffer
+		if cap(local) < len(agg) {
+			local = make([]Pair[K, V], 0, len(agg))
+		} else {
+			local = local[:0]
+		}
 		for k, v := range agg {
 			local = append(local, Pair[K, V]{k, v})
 		}
 		pre[w] = local
-		counts[w] = int64(len(d.parts[w]))
+		counts[w] = int64(len(in))
 		return nil
 	}) {
 		return empty[Pair[K, V]](c)
 	}
 	sp.combinerIn = sumCounts(counts)
 	sp.combinerOut = totalLen(pre)
-	shuffled, bytes, ok := shuffleByKey(&Dataset[Pair[K, V]]{ctx: c, parts: pre}, name)
+	shuffled, bytes, ok := shuffleByKey(&Dataset[Pair[K, V]]{ctx: c, parts: pre, distinct: d.distinct}, name)
 	if !ok {
 		return empty[Pair[K, V]](c)
 	}
 	sp.shuffleBytes = bytes
-	// Final reduce at the target partitions.
+	// Final reduce at the target partitions. Post-combine, every shuffled
+	// record carries a distinct (partition, key) pair, so the partition length
+	// itself is a tight key bound.
 	out := make([][]Pair[K, V], c.workers)
 	if !c.runStage(name+"/reduce", func(w int) error {
-		agg := make(map[K]V)
-		for _, kv := range shuffled[w] {
+		in := shuffled[w]
+		bound := int64(len(in))
+		if d.distinct > 0 && d.distinct < bound {
+			bound = d.distinct
+		}
+		agg := make(map[K]V, bound)
+		for _, kv := range in {
 			if cur, ok := agg[kv.Key]; ok {
 				agg[kv.Key] = combine(cur, kv.Val)
 			} else {
 				agg[kv.Key] = kv.Val
 			}
 		}
-		local := make([]Pair[K, V], 0, len(agg))
+		local := out[w]
+		if cap(local) < len(agg) {
+			local = make([]Pair[K, V], 0, len(agg))
+		} else {
+			local = local[:0]
+		}
 		for k, v := range agg {
 			local = append(local, Pair[K, V]{k, v})
 		}
@@ -506,7 +617,9 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 		return empty[Pair[K, V]](c)
 	}
 	c.finish(sp, counts, totalLen(out))
-	return &Dataset[Pair[K, V]]{ctx: c, parts: out}
+	// One output record per distinct key: the output's own length is an exact
+	// distinct-key bound for downstream aggregations.
+	return &Dataset[Pair[K, V]]{ctx: c, parts: out, distinct: totalLen(out)}
 }
 
 // GroupByKey gathers all values of equal keys into one record.
@@ -524,8 +637,9 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Datas
 	sp.shuffleBytes = bytes
 	out := make([][]Pair[K, []V], c.workers)
 	if !c.runStage(name+"/group", func(w int) error {
-		agg := make(map[K][]V)
-		for _, kv := range shuffled[w] {
+		in := shuffled[w]
+		agg := make(map[K][]V, mapSizeHint(len(in), d.distinct))
+		for _, kv := range in {
 			agg[kv.Key] = append(agg[kv.Key], kv.Val)
 		}
 		local := make([]Pair[K, []V], 0, len(agg))
@@ -538,7 +652,8 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Datas
 		return empty[Pair[K, []V]](c)
 	}
 	c.finish(sp, counts, totalLen(out))
-	return &Dataset[Pair[K, []V]]{ctx: c, parts: out}
+	// One output record per distinct key.
+	return &Dataset[Pair[K, []V]]{ctx: c, parts: out, distinct: totalLen(out)}
 }
 
 // CoGrouped is the result record of a CoGroup: all left and right values
@@ -569,15 +684,15 @@ func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, 
 	out := make([][]CoGrouped[K, V, W], c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name+"/join", func(w int) error {
-		left := make(map[K][]V)
+		left := make(map[K][]V, mapSizeHint(len(sa[w]), a.distinct))
 		for _, kv := range sa[w] {
 			left[kv.Key] = append(left[kv.Key], kv.Val)
 		}
-		right := make(map[K][]W)
+		right := make(map[K][]W, mapSizeHint(len(sb[w]), b.distinct))
 		for _, kv := range sb[w] {
 			right[kv.Key] = append(right[kv.Key], kv.Val)
 		}
-		var local []CoGrouped[K, V, W]
+		local := make([]CoGrouped[K, V, W], 0, len(left))
 		for k, vs := range left {
 			local = append(local, CoGrouped[K, V, W]{k, vs, right[k]})
 		}
@@ -607,7 +722,13 @@ func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
 	out := make([][]T, c.workers)
 	counts := make([]int64, c.workers)
 	if !c.runStage(name, func(w int) error {
-		part := make([]T, 0, len(a.parts[w])+len(b.parts[w]))
+		n := len(a.parts[w]) + len(b.parts[w])
+		part := out[w] // a retried worker reuses its previous attempt's buffer
+		if cap(part) < n {
+			part = make([]T, 0, n)
+		} else {
+			part = part[:0]
+		}
 		part = append(part, a.parts[w]...)
 		part = append(part, b.parts[w]...)
 		out[w] = part
@@ -617,18 +738,76 @@ func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
 		return empty[T](c)
 	}
 	c.finish(sp, counts, totalLen(out))
-	return &Dataset[T]{ctx: c, parts: out}
+	// Key bounds add across a concatenation, but only when both are known.
+	var hint int64
+	if a.distinct > 0 && b.distinct > 0 {
+		hint = a.distinct + b.distinct
+	}
+	return &Dataset[T]{ctx: c, parts: out, distinct: hint}
 }
 
 // Distinct removes duplicate records via a hash shuffle, so equal records
 // meet on one worker. It is the engine-level form of the early-aggregated
 // deduplication RDFind's capture-evidence stage performs.
+//
+// It runs directly on T — records are deduplicated partition-locally
+// (name/combine, the early aggregation), shuffled by their own hash, and
+// deduplicated once more at the target (name/reduce) — instead of boxing
+// every record into a Pair[T, struct{}] and delegating to ReduceByKey. Within
+// each partition, output records keep first-occurrence order.
 func Distinct[T comparable](d *Dataset[T], name string) *Dataset[T] {
-	keyed := Map(d, name+"-key", func(t T) Pair[T, struct{}] {
-		return Pair[T, struct{}]{Key: t}
+	c := d.ctx
+	sp := c.begin(name)
+	pre := make([][]T, c.workers)
+	counts := make([]int64, c.workers)
+	if !c.runStage(name+"/combine", func(w int) error {
+		in := d.parts[w]
+		seen := make(map[T]struct{}, mapSizeHint(len(in), d.distinct))
+		local := pre[w][:0] // a retried worker reuses its previous attempt's buffer
+		for _, t := range in {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				local = append(local, t)
+			}
+		}
+		pre[w] = local
+		counts[w] = int64(len(in))
+		return nil
+	}) {
+		return empty[T](c)
+	}
+	sp.combinerIn = sumCounts(counts)
+	sp.combinerOut = totalLen(pre)
+	shuffled, bytes, ok := shuffleParts(c, name, pre, func(t T) int {
+		return hashPartition(c, t)
 	})
-	reduced := ReduceByKey(keyed, name, func(a, _ struct{}) struct{} { return a })
-	return Map(reduced, name+"-unkey", func(p Pair[T, struct{}]) T { return p.Key })
+	if !ok {
+		return empty[T](c)
+	}
+	sp.shuffleBytes = bytes
+	out := make([][]T, c.workers)
+	if !c.runStage(name+"/reduce", func(w int) error {
+		in := shuffled[w]
+		bound := int64(len(in)) // post-combine, the partition length is tight
+		if d.distinct > 0 && d.distinct < bound {
+			bound = d.distinct
+		}
+		seen := make(map[T]struct{}, bound)
+		local := out[w][:0]
+		for _, t := range in {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				local = append(local, t)
+			}
+		}
+		out[w] = local
+		return nil
+	}) {
+		return empty[T](c)
+	}
+	c.finish(sp, counts, totalLen(out))
+	// Every surviving record is a distinct key by construction.
+	return &Dataset[T]{ctx: c, parts: out, distinct: totalLen(out)}
 }
 
 // PartitionBy redistributes records by an explicit partition function,
@@ -637,39 +816,24 @@ func Distinct[T comparable](d *Dataset[T], name string) *Dataset[T] {
 func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T] {
 	c := d.ctx
 	sp := c.begin(name)
-	buckets := make([][][]T, c.workers)
 	counts := make([]int64, c.workers)
-	crossing := make([]int64, c.workers)
-	if !c.runStage(name+"/scatter", func(w int) error {
-		local := make([][]T, c.workers)
-		for _, t := range d.parts[w] {
-			p := part(t) % c.workers
-			if p < 0 {
-				p += c.workers
-			}
-			local[p] = append(local[p], t)
+	for w, p := range d.parts {
+		counts[w] = int64(len(p))
+	}
+	out, bytes, ok := shuffleParts(c, name, d.parts, func(t T) int {
+		p := part(t) % c.workers
+		if p < 0 {
+			p += c.workers
 		}
-		buckets[w] = local
-		counts[w] = int64(len(d.parts[w]))
-		crossing[w] = int64(len(d.parts[w]) - len(local[w]))
-		return nil
-	}) {
+		return p
+	})
+	if !ok {
 		return empty[T](c)
 	}
-	sp.shuffleBytes = estimateCrossingBytes(d.parts, crossing)
-	out := make([][]T, c.workers)
-	if !c.runStage(name+"/gather", func(t int) error {
-		var part []T
-		for w := 0; w < c.workers; w++ {
-			part = append(part, buckets[w][t]...)
-		}
-		out[t] = part
-		return nil
-	}) {
-		return empty[T](c)
-	}
+	sp.shuffleBytes = bytes
 	c.finish(sp, counts, totalLen(out))
-	return &Dataset[T]{ctx: c, parts: out}
+	// A repartition moves records without merging keys.
+	return &Dataset[T]{ctx: c, parts: out, distinct: d.distinct}
 }
 
 // Collect gathers all records on the driver, Flink's collect/broadcast
@@ -686,37 +850,73 @@ func Collect[T any](d *Dataset[T]) []T {
 	return all
 }
 
-// GlobalReduce folds all records into one value on a single worker, used to
-// union per-worker partial Bloom filters (Fig. 5, step 4). The boolean is
-// false when the dataset is empty or the pipeline has failed.
+// GlobalReduce folds all records into one value, used to union per-worker
+// partial Bloom filters (Fig. 5, step 4). f must be associative: each worker
+// first folds its own partition (name/partial), then the per-worker partial
+// values meet in a binary merge tree (name/merge, ⌈log₂ w⌉ rounds) instead of
+// a record-by-record fold on the driver. Records still combine in worker
+// order, so f need not be commutative. The boolean is false when the dataset
+// is empty or the pipeline has failed.
 func GlobalReduce[T any](d *Dataset[T], name string, f func(T, T) T) (T, bool) {
 	c := d.ctx
-	var acc T
+	var zero T
 	if c.failed() {
-		return acc, false
+		return zero, false
 	}
 	sp := c.begin(name)
 	counts := make([]int64, c.workers)
 	for w, p := range d.parts {
 		counts[w] = int64(len(p))
 	}
-	have := false
-	for _, p := range d.parts {
-		for _, t := range p {
-			if !have {
-				acc = t
-				have = true
+	partials := make([]T, c.workers)
+	have := make([]bool, c.workers)
+	if !c.runStage(name+"/partial", func(w int) error {
+		var acc T
+		ok := false // reset at entry so a retried worker restarts cleanly
+		for _, t := range d.parts[w] {
+			if !ok {
+				acc, ok = t, true
 			} else {
 				acc = f(acc, t)
 			}
 		}
+		partials[w], have[w] = acc, ok
+		return nil
+	}) {
+		return zero, false
+	}
+	// Each round halves the live slots: merge worker w combines slot
+	// i = w·2·stride with its partner at i+stride. Rounds write into fresh
+	// arrays, so a retried worker re-reads an unmodified previous round.
+	for stride := 1; stride < c.workers; stride *= 2 {
+		next := make([]T, c.workers)
+		haveNext := make([]bool, c.workers)
+		if !c.runStage(name+"/merge", func(w int) error {
+			i := w * 2 * stride
+			if i >= c.workers {
+				return nil // no slot for this worker in this round
+			}
+			acc, ok := partials[i], have[i]
+			if j := i + stride; j < c.workers && have[j] {
+				if ok {
+					acc = f(acc, partials[j])
+				} else {
+					acc, ok = partials[j], true
+				}
+			}
+			next[i], haveNext[i] = acc, ok
+			return nil
+		}) {
+			return zero, false
+		}
+		partials, have = next, haveNext
 	}
 	var out int64
-	if have {
+	if have[0] {
 		out = 1
 	}
 	c.finish(sp, counts, out)
-	return acc, have
+	return partials[0], have[0]
 }
 
 // String summarizes the dataset for diagnostics.

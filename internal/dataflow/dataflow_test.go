@@ -334,15 +334,3 @@ func TestQuickGroupByKeyPreservesMultiplicity(t *testing.T) {
 	}
 }
 
-func BenchmarkReduceByKey(b *testing.B) {
-	c := NewContext(4)
-	data := make([]Pair[int, int], 100000)
-	for i := range data {
-		data[i] = Pair[int, int]{i % 1000, 1}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d := Parallelize(c, "in", data)
-		ReduceByKey(d, "count", func(a, b int) int { return a + b })
-	}
-}

@@ -15,10 +15,10 @@ import (
 // the same per-worker counts as Stats.TotalWork, so the two reconcile
 // exactly — the invariant the benchmark harness cross-checks.
 
-// memSampleEvery bounds how often a finishing stage pays for a
-// runtime.ReadMemStats (a stop-the-world sample): the first stage and every
-// memSampleEvery-th thereafter. Goroutine counts are cheap and sampled on
-// every stage.
+// memSampleEvery bounds how often a stage pays for runtime.ReadMemStats (a
+// stop-the-world sample, taken once at begin and once at finish so the span
+// can report allocation deltas): the first stage and every memSampleEvery-th
+// thereafter. Goroutine counts are cheap and sampled on every stage.
 const memSampleEvery = 4
 
 // activeSpan is an operator span under construction.
@@ -28,11 +28,30 @@ type activeSpan struct {
 	shuffleBytes int64
 	combinerIn   int64
 	combinerOut  int64
+	// memSampled marks spans selected for the runtime.ReadMemStats probe;
+	// startMallocs/startAllocBytes hold the probe's baseline so finish can
+	// report the stage's allocation deltas.
+	memSampled      bool
+	startMallocs    uint64
+	startAllocBytes uint64
 }
 
-// begin opens a span for one operator execution.
+// begin opens a span for one operator execution. The memory-probe decision is
+// made here (every operator consumes exactly one sequence number, so the
+// sampled set is the same as when finish decided) because allocation deltas
+// need a baseline before any stage work runs; the wall clock starts after the
+// probe so its stop-the-world cost is not billed to the stage.
 func (c *Context) begin(name string) *activeSpan {
-	return &activeSpan{name: name, start: time.Now()}
+	sp := &activeSpan{name: name}
+	if c.stats.stageSeq()%memSampleEvery == 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		sp.memSampled = true
+		sp.startMallocs = ms.Mallocs
+		sp.startAllocBytes = ms.TotalAlloc
+	}
+	sp.start = time.Now()
+	return sp
 }
 
 // finish closes the span with the operator's per-worker input counts and its
@@ -63,10 +82,12 @@ func (c *Context) finish(sp *activeSpan, perWorker []int64, recordsOut int64) {
 		Goroutines:       runtime.NumGoroutine(),
 	}
 	reg := c.stats.Metrics()
-	if c.stats.stageSeq()%memSampleEvery == 0 {
+	if sp.memSampled {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		span.HeapAllocBytes = ms.HeapAlloc
+		span.MallocsDelta = ms.Mallocs - sp.startMallocs
+		span.AllocBytesDelta = ms.TotalAlloc - sp.startAllocBytes
 		reg.Gauge("dataflow.peak.heap_alloc_bytes").SetMax(int64(ms.HeapAlloc))
 	}
 	reg.Gauge("dataflow.peak.goroutines").SetMax(int64(span.Goroutines))

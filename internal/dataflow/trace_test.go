@@ -111,6 +111,102 @@ func TestSpanFieldsPopulated(t *testing.T) {
 	}
 }
 
+// TestGlobalReduceAccounting pins the rewritten GlobalReduce (per-worker
+// partial folds plus a binary merge tree): for any worker count — powers of
+// two and not — the result equals a sequential in-order fold even when f is
+// only associative (string concatenation is order-sensitive), and the
+// operator's span accounting still reconciles with Stats.TotalWork.
+func TestGlobalReduceAccounting(t *testing.T) {
+	items := make([]string, 101)
+	want := ""
+	for i := range items {
+		items[i] = string(rune('a' + i%26))
+		want += items[i]
+	}
+	for _, w := range []int{1, 2, 3, 5, 8} {
+		c := NewContext(w)
+		d := Parallelize(c, "input", items)
+		got, ok := GlobalReduce(d, "concat", func(a, b string) string { return a + b })
+		if !ok {
+			t.Fatalf("w=%d: GlobalReduce found no records: %v", w, c.Err())
+		}
+		if got != want {
+			t.Errorf("w=%d: tree merge reordered the fold:\n got %q\nwant %q", w, got, want)
+		}
+		st := c.Stats()
+		if sum, tw := metrics.TotalRecordsIn(st.Spans()), st.TotalWork(); sum != tw {
+			t.Errorf("w=%d: span records-in %d != TotalWork %d", w, sum, tw)
+		}
+		var sp *metrics.Span
+		spans := st.Spans()
+		for i := range spans {
+			if spans[i].Name == "concat" {
+				sp = &spans[i]
+			}
+		}
+		if sp == nil {
+			t.Fatalf("w=%d: no span for GlobalReduce", w)
+		}
+		if sp.RecordsIn != int64(len(items)) || sp.RecordsOut != 1 {
+			t.Errorf("w=%d: GlobalReduce span records = %d/%d, want %d/1",
+				w, sp.RecordsIn, sp.RecordsOut, len(items))
+		}
+	}
+
+	// The empty dataset still reports "no records" and one zero-count span.
+	c := NewContext(3)
+	d := Parallelize(c, "input", []string(nil))
+	if _, ok := GlobalReduce(d, "concat", func(a, b string) string { return a + b }); ok {
+		t.Error("GlobalReduce over an empty dataset reported a value")
+	}
+}
+
+// TestGlobalReduceMergeRetry injects a transient fault into a merge-tree
+// round: the retried worker must re-read the unmodified previous round and
+// reproduce the same result (merge rounds write into fresh arrays).
+func TestGlobalReduceMergeRetry(t *testing.T) {
+	items := make([]string, 40)
+	want := ""
+	for i := range items {
+		items[i] = string(rune('a' + i%26))
+		want += items[i]
+	}
+	plan := NewFaultPlan(
+		Fault{Stage: "concat/partial", Worker: 1, Kind: FaultTransient},
+		Fault{Stage: "concat/merge", Worker: 0, Kind: FaultTransient},
+	)
+	c := NewContext(4, WithRetries(2), WithBackoff(time.Nanosecond), WithFaultPlan(plan))
+	d := Parallelize(c, "input", items)
+	got, ok := GlobalReduce(d, "concat", func(a, b string) string { return a + b })
+	if !ok {
+		t.Fatalf("faulted GlobalReduce failed: %v", c.Err())
+	}
+	if got != want {
+		t.Errorf("retried merge diverged:\n got %q\nwant %q", got, want)
+	}
+	if c.Stats().TotalRetries() != 2 {
+		t.Errorf("retries = %d, want 2", c.Stats().TotalRetries())
+	}
+}
+
+// TestSpanAllocDeltas: sampled spans report process-wide allocation deltas
+// next to the end-of-stage heap sample.
+func TestSpanAllocDeltas(t *testing.T) {
+	c := runSmallPipeline(t, 2)
+	sampled := 0
+	for _, sp := range c.Stats().Spans() {
+		if sp.HeapAllocBytes > 0 {
+			sampled++
+			if sp.MallocsDelta == 0 && sp.AllocBytesDelta == 0 {
+				t.Errorf("sampled span %s has no allocation deltas", sp.Name)
+			}
+		}
+	}
+	if sampled == 0 {
+		t.Error("no span carried a memory sample (stage 0 always samples)")
+	}
+}
+
 func TestSingleWorkerShufflesNothing(t *testing.T) {
 	c := runSmallPipeline(t, 1)
 	for _, sp := range c.Stats().Spans() {

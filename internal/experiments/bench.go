@@ -30,7 +30,13 @@ type PipelineRun struct {
 	Speedup      float64        `json:"speedup"`
 	Retries      int            `json:"retries,omitempty"`
 	Failed       bool           `json:"failed,omitempty"`
-	Spans        []metrics.Span `json:"spans,omitempty"`
+	// Mallocs/AllocBytes are the run's process-wide allocation deltas
+	// (core.RunStats.Mallocs/AllocBytes). Additive within schema v1: zero in
+	// records written before the counters existed, and benchdiff only
+	// compares them when both sides measured.
+	Mallocs    uint64         `json:"mallocs,omitempty"`
+	AllocBytes uint64         `json:"alloc_bytes,omitempty"`
+	Spans      []metrics.Span `json:"spans,omitempty"`
 }
 
 // BenchRecord is the machine-readable result of one experiment: the rendered
@@ -46,7 +52,11 @@ type BenchRecord struct {
 	TotalWork    int64         `json:"total_work"`
 	CriticalPath int64         `json:"critical_path"`
 	Speedup      float64       `json:"speedup"`
-	Runs         []PipelineRun `json:"runs"`
+	// Mallocs/AllocBytes sum the runs' allocation deltas (zero when no run
+	// measured them).
+	Mallocs    uint64        `json:"mallocs,omitempty"`
+	AllocBytes uint64        `json:"alloc_bytes,omitempty"`
+	Runs       []PipelineRun `json:"runs"`
 	Header       []string      `json:"header,omitempty"`
 	Rows         [][]string    `json:"rows,omitempty"`
 	Notes        []string      `json:"notes,omitempty"`
@@ -95,6 +105,10 @@ func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Res
 		WallMS:  float64(elapsed.Nanoseconds()) / 1e6,
 		Speedup: 1,
 		Failed:  err != nil,
+	}
+	if stats != nil {
+		run.Mallocs = stats.Mallocs
+		run.AllocBytes = stats.AllocBytes
 	}
 	if stats != nil && stats.Dataflow != nil {
 		run.TotalWork = stats.Dataflow.TotalWork()
@@ -152,6 +166,8 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 	for _, r := range runs {
 		rec.TotalWork += r.TotalWork
 		rec.CriticalPath += r.CriticalPath
+		rec.Mallocs += r.Mallocs
+		rec.AllocBytes += r.AllocBytes
 	}
 	if rec.CriticalPath > 0 {
 		rec.Speedup = float64(rec.TotalWork) / float64(rec.CriticalPath)

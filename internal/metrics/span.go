@@ -46,6 +46,13 @@ type Span struct {
 	// (runtime.NumGoroutine, runtime.ReadMemStats().HeapAlloc).
 	Goroutines     int    `json:"goroutines,omitempty"`
 	HeapAllocBytes uint64 `json:"heap_alloc_bytes,omitempty"`
+	// MallocsDelta and AllocBytesDelta are the process-wide allocation deltas
+	// (runtime.MemStats Mallocs and TotalAlloc) between the stage's start and
+	// end, sampled on the same subsampling schedule as HeapAllocBytes (zero on
+	// unsampled stages). Process-wide means concurrent GC and driver work leak
+	// in; like ShuffleBytes, they are for relative comparisons between runs.
+	MallocsDelta    uint64 `json:"mallocs_delta,omitempty"`
+	AllocBytesDelta uint64 `json:"alloc_bytes_delta,omitempty"`
 }
 
 // CombinerHitRate is the fraction of records the combiner eliminated before
@@ -125,6 +132,9 @@ func writeSpanNodes(w io.Writer, nodes []*spanNode, depth int) error {
 			}
 			if s.CombinerIn > 0 {
 				line += fmt.Sprintf("  combiner=%.0f%%", s.CombinerHitRate()*100)
+			}
+			if s.MallocsDelta > 0 {
+				line += fmt.Sprintf("  allocs=%d/%s", s.MallocsDelta, fmtBytes(int64(s.AllocBytesDelta)))
 			}
 			if s.Retries > 0 {
 				line += fmt.Sprintf("  retries=%d", s.Retries)

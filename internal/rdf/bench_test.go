@@ -1,0 +1,59 @@
+package rdf_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// Ingest microbenchmarks: the sequential bufio reader vs the parallel
+// byte-slice kernel at several shard counts. Run with
+//
+//	go test ./internal/rdf -run '^$' -bench Ingest -benchmem
+//
+// Even at one shard the parallel kernel should win on allocations: it slices
+// terms out of the input buffer and materializes a string only on a term's
+// first occurrence, where the sequential path materializes every line.
+
+// benchDocument synthesizes an N-Triples corpus with term reuse patterns like
+// real data: many subjects, few predicates, a mid-sized object vocabulary.
+func benchDocument(triples int) []byte {
+	var b strings.Builder
+	b.Grow(triples * 80)
+	for i := 0; i < triples; i++ {
+		fmt.Fprintf(&b, "<http://example.org/entity/%d> <http://example.org/p%d> <http://example.org/value/%d> .\n",
+			i/4, i%7, i%997)
+		if i%5 == 0 {
+			fmt.Fprintf(&b, "<http://example.org/entity/%d> <http://example.org/label> \"entity %d\"@en .\n", i/4, i/4)
+		}
+	}
+	return []byte(b.String())
+}
+
+func BenchmarkIngestSequential(b *testing.B) {
+	data := benchDocument(50000)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdf.ReadNTriples(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIngestParallel(b *testing.B) {
+	data := benchDocument(50000)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := rdf.ParseNTriples(data, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -52,11 +52,41 @@ func FuzzReadTriple(f *testing.F) {
 	f.Fuzz(func(t *testing.T, input string) {
 		parsed, malformed, err := ReadNTriplesLenient(strings.NewReader(input), 50)
 		if err != nil {
-			return // over the malformed-line cap; rejecting is fine, panicking is not
+			// Over the malformed-line cap; rejecting is fine, panicking is
+			// not — and the parallel kernel must reject identically.
+			if _, _, perr := ParseNTriplesLenient([]byte(input), 4, 50); perr == nil || perr.Error() != err.Error() {
+				t.Fatalf("parallel lenient diverged on rejection: %v vs %v", perr, err)
+			}
+			return
 		}
 		for _, se := range malformed {
 			if se == nil || se.Line <= 0 || se.Err == nil {
 				t.Fatalf("malformed report without position or cause: %v", se)
+			}
+		}
+
+		// Differential: the parallel byte-slice kernel accepts exactly the
+		// same documents with exactly the same dictionary assignment.
+		par, parMalformed, parErr := ParseNTriplesLenient([]byte(input), 4, 50)
+		if parErr != nil {
+			t.Fatalf("parallel lenient failed where sequential succeeded: %v", parErr)
+		}
+		if len(parMalformed) != len(malformed) {
+			t.Fatalf("parallel reported %d malformed lines, sequential %d", len(parMalformed), len(malformed))
+		}
+		for i := range malformed {
+			if parMalformed[i].Line != malformed[i].Line {
+				t.Fatalf("parallel malformed line %d at %d, sequential at %d",
+					i, parMalformed[i].Line, malformed[i].Line)
+			}
+		}
+		if len(par.Triples) != len(parsed.Triples) || par.Dict.Len() != parsed.Dict.Len() {
+			t.Fatalf("parallel parse diverged: %d triples/%d terms vs %d/%d",
+				len(par.Triples), par.Dict.Len(), len(parsed.Triples), parsed.Dict.Len())
+		}
+		for i := range parsed.Triples {
+			if par.Triples[i] != parsed.Triples[i] {
+				t.Fatalf("parallel triple %d = %+v, sequential %+v", i, par.Triples[i], parsed.Triples[i])
 			}
 		}
 
