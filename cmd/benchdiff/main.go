@@ -116,9 +116,19 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		}
 		checkAt(label, "", float64(oldV), float64(newV), allocThreshold)
 	}
+	// Spilled bytes get the allocation threshold too: flush boundaries shift
+	// with map growth and scheduling, and — like mallocs — the counter only
+	// exists when both records ran with a memory budget.
+	checkSpill := func(label string, oldV, newV int64) {
+		if oldV == 0 || newV == 0 {
+			return // at least one record ran unbudgeted (or predates spilling)
+		}
+		checkAt(label, "", float64(oldV), float64(newV), allocThreshold)
+	}
 	check("wall", "ms", oldRec.WallMS, newRec.WallMS)
 	check("total work", "", float64(oldRec.TotalWork), float64(newRec.TotalWork))
 	checkAllocs("mallocs", oldRec.Mallocs, newRec.Mallocs)
+	checkSpill("spilled bytes", oldRec.SpilledBytes, newRec.SpilledBytes)
 
 	newRuns := indexRuns(newRec.Runs)
 	for _, or := range oldRec.Runs {
@@ -133,6 +143,7 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		check("run "+k, "ms", or.WallMS, nr.WallMS)
 		check("work "+k, "", float64(or.TotalWork), float64(nr.TotalWork))
 		checkAllocs("mallocs "+k, or.Mallocs, nr.Mallocs)
+		checkSpill("spill "+k, or.SpilledBytes, nr.SpilledBytes)
 	}
 	for k, queue := range newRuns {
 		for range queue {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"repro"
 	"repro/internal/core"
@@ -62,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print run statistics and the operator trace to stderr")
 	lenient := fs.Bool("lenient", false, "skip malformed N-Triples lines (reported to stderr) instead of aborting")
 	timeout := fs.Duration("timeout", 0, "abort discovery after this duration (0 = no limit), exit code 4")
+	memBudget := fs.String("mem-budget", "", "memory budget for keyed shuffle state, e.g. 512M or 2G; overflow spills to disk (empty = unlimited, no spilling)")
+	spillDir := fs.String("spill-dir", "", "directory for spill files (empty = system temp dir; implies a 256M budget if -mem-budget is unset)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -84,6 +87,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(stderr, "rdfind: unknown format %q\n", *format)
+		return exitUsage
+	}
+	budget, err := parseByteSize(*memBudget)
+	if err != nil {
+		fmt.Fprintf(stderr, "rdfind: bad -mem-budget: %v\n", err)
 		return exitUsage
 	}
 
@@ -121,6 +129,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:                    *workers,
 		Variant:                    variant,
 		PredicatesOnlyInConditions: *predOnly,
+		MemoryBudget:               budget,
+		SpillDir:                   *spillDir,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind:", err)
@@ -169,6 +179,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitOK
 }
 
+// parseByteSize parses a byte count with an optional K/M/G suffix (powers of
+// 1024, case-insensitive, optional trailing B): "512M", "2g", "65536".
+// The empty string means 0 (no budget).
+func parseByteSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	num, mult := s, int64(1)
+	if n := len(num); n > 0 && (num[n-1] == 'b' || num[n-1] == 'B') {
+		num = num[:n-1]
+	}
+	if n := len(num); n > 0 {
+		switch num[n-1] {
+		case 'k', 'K':
+			mult, num = 1<<10, num[:n-1]
+		case 'm', 'M':
+			mult, num = 1<<20, num[:n-1]
+		case 'g', 'G':
+			mult, num = 1<<30, num[:n-1]
+		}
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("want a byte count like 512M or 2G, got %q", s)
+	}
+	return v * mult, nil
+}
+
 // readInput parses the N-Triples file with the requested number of parallel
 // ingest shards, strictly or leniently; parse problems return the dedicated
 // parse-failure code so callers can tell bad input apart from a failed
@@ -209,6 +247,13 @@ func printStats(w io.Writer, s *core.RunStats) {
 	}
 	if s.Degraded {
 		fmt.Fprintf(w, "degraded:            extraction re-planned with Bloom work units (load %d)\n", s.ExtractionLoad)
+	}
+	if s.SpillPlanned {
+		fmt.Fprintf(w, "spill planned:       load limit breach absorbed by the spill path (load %d)\n", s.ExtractionLoad)
+	}
+	if s.SpilledBytes > 0 {
+		fmt.Fprintf(w, "spilled:             %d bytes in %d runs, %d merge passes\n",
+			s.SpilledBytes, s.SpilledRuns, s.MergePasses)
 	}
 	fmt.Fprintf(w, "work-balance speedup: %.2f\n", s.Dataflow.Speedup())
 	fmt.Fprintf(w, "operator trace:\n%s", s.Dataflow.SpanTree())

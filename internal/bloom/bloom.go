@@ -11,6 +11,8 @@
 package bloom
 
 import (
+	"encoding/binary"
+	"errors"
 	"math"
 )
 
@@ -18,15 +20,23 @@ import (
 // geometry can be combined with Union (bit-wise OR, used to merge per-worker
 // partial filters) and Intersect (bit-wise AND, used by Algorithm 3 to
 // approximate the intersection of two referenced-capture sets).
+//
+// A filter can also be saturated (see Saturated): it represents the universe,
+// accepts every membership probe, and combines with filters of any geometry —
+// union with it saturates, intersection with it is the identity.
 type Filter struct {
-	bits   []uint64
-	nbits  uint64
-	hashes int
+	bits      []uint64
+	nbits     uint64
+	hashes    int
+	saturated bool
 }
 
 // New returns a filter sized for the expected number of elements n at the
 // given target false-positive probability p. Geometry follows the textbook
-// formulas m = -n ln p / (ln 2)^2 and k = m/n ln 2.
+// formulas m = -n ln p / (ln 2)^2 and k = m/n ln 2, with k derived from the
+// final word-rounded bit count — probes run modulo that rounded size, so
+// deriving k from the pre-rounding m would mistune the filter (most visibly
+// for small n, where rounding up to whole 64-bit words grows m the most).
 func New(n int, p float64) *Filter {
 	if n < 1 {
 		n = 1
@@ -38,7 +48,9 @@ func New(n int, p float64) *Filter {
 	if m < 64 {
 		m = 64
 	}
-	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	words := (m + 63) / 64
+	nbits := words * 64
+	k := int(math.Round(float64(nbits) / float64(n) * math.Ln2))
 	if k < 1 {
 		k = 1
 	}
@@ -46,8 +58,8 @@ func New(n int, p float64) *Filter {
 		k = 16
 	}
 	return &Filter{
-		bits:   make([]uint64, (m+63)/64),
-		nbits:  (m + 63) / 64 * 64,
+		bits:   make([]uint64, words),
+		nbits:  nbits,
 		hashes: k,
 	}
 }
@@ -100,8 +112,12 @@ func split(key uint64) (uint64, uint64) {
 	return h, h2 | 1 // odd step so all positions are reachable
 }
 
-// Add inserts key into the filter.
+// Add inserts key into the filter. A saturated filter already contains
+// everything, so inserting is a no-op.
 func (f *Filter) Add(key uint64) {
+	if f.saturated {
+		return
+	}
 	h1, h2 := split(key)
 	for i := 0; i < f.hashes; i++ {
 		idx := f.index(h1, h2, i)
@@ -110,8 +126,11 @@ func (f *Filter) Add(key uint64) {
 }
 
 // Test reports whether key may have been inserted. False positives are
-// possible; false negatives are not.
+// possible; false negatives are not. A saturated filter accepts every key.
 func (f *Filter) Test(key uint64) bool {
+	if f.saturated {
+		return true
+	}
 	h1, h2 := split(key)
 	for i := 0; i < f.hashes; i++ {
 		idx := f.index(h1, h2, i)
@@ -122,10 +141,17 @@ func (f *Filter) Test(key uint64) bool {
 	return true
 }
 
-// Union ORs other into f. Both filters must share geometry, which holds by
-// construction for the per-worker partial filters RDFind merges.
+// Union ORs other into f. Non-saturated filters must share geometry, which
+// holds by construction for the per-worker partial filters RDFind merges.
+// Saturation is absorbing: a union involving a saturated filter is saturated,
+// regardless of the other side's geometry.
 func (f *Filter) Union(other *Filter) {
-	if other == nil {
+	if other == nil || f.saturated {
+		return
+	}
+	if other.saturated {
+		f.saturated = true
+		f.bits = nil
 		return
 	}
 	if f.nbits != other.nbits || f.hashes != other.hashes {
@@ -139,8 +165,20 @@ func (f *Filter) Union(other *Filter) {
 // Intersect ANDs other into f, approximating the intersection of the two
 // represented sets (Algorithm 3, case of two approximate candidate sets).
 // The result can over-approximate the true intersection but never drops a
-// common element.
+// common element. Saturation is the identity: intersecting with a saturated
+// filter leaves the other side unchanged (adopting its geometry when f
+// itself was saturated), regardless of geometry.
 func (f *Filter) Intersect(other *Filter) {
+	if other.saturated {
+		return
+	}
+	if f.saturated {
+		f.saturated = false
+		f.nbits = other.nbits
+		f.hashes = other.hashes
+		f.bits = append([]uint64(nil), other.bits...)
+		return
+	}
 	if f.nbits != other.nbits || f.hashes != other.hashes {
 		panic("bloom: intersect of filters with different geometry")
 	}
@@ -151,23 +189,26 @@ func (f *Filter) Intersect(other *Filter) {
 
 // Clone returns a deep copy of the filter.
 func (f *Filter) Clone() *Filter {
-	c := &Filter{bits: make([]uint64, len(f.bits)), nbits: f.nbits, hashes: f.hashes}
+	c := &Filter{bits: make([]uint64, len(f.bits)), nbits: f.nbits, hashes: f.hashes, saturated: f.saturated}
 	copy(c.bits, f.bits)
 	return c
 }
 
-// Saturated returns a minimal filter with every bit set: all membership
-// probes succeed. RDFind-NF uses it to treat every condition as frequent.
+// Saturated returns a filter representing the universe: every membership
+// probe succeeds and it combines with filters of any geometry (see Union and
+// Intersect). RDFind-NF uses it to treat every condition as frequent.
 func Saturated() *Filter {
-	f := NewBytes(8, 1)
-	for i := range f.bits {
-		f.bits[i] = ^uint64(0)
-	}
-	return f
+	return &Filter{saturated: true}
 }
 
-// Empty reports whether no bit is set.
+// IsSaturated reports whether the filter is the explicit universe filter.
+func (f *Filter) IsSaturated() bool { return f.saturated }
+
+// Empty reports whether no bit is set. A saturated filter is never empty.
 func (f *Filter) Empty() bool {
+	if f.saturated {
+		return false
+	}
 	for _, w := range f.bits {
 		if w != 0 {
 			return false
@@ -176,11 +217,20 @@ func (f *Filter) Empty() bool {
 	return true
 }
 
-// Bytes returns the size of the bit array in bytes.
+// Bytes returns the size of the bit array in bytes (zero for the saturated
+// filter, which carries no bit array).
 func (f *Filter) Bytes() int { return len(f.bits) * 8 }
 
+// Geometry returns the filter's bit count and hash count, for tests and
+// diagnostics. The saturated filter reports a zero geometry.
+func (f *Filter) Geometry() (nbits uint64, hashes int) { return f.nbits, f.hashes }
+
 // FillRatio returns the fraction of set bits, a diagnostic for saturation.
+// The explicit saturated filter reports 1.
 func (f *Filter) FillRatio() float64 {
+	if f.saturated {
+		return 1
+	}
 	set := 0
 	for _, w := range f.bits {
 		set += popcount(w)
@@ -195,4 +245,55 @@ func popcount(x uint64) int {
 		n++
 	}
 	return n
+}
+
+// Wire flags of the binary encoding.
+const flagSaturated = 1
+
+// AppendBinary serializes the filter: one flag byte, then (for non-saturated
+// filters) the hash count, word count, and words as unsigned varints /
+// little-endian 64-bit words. The saturated state survives the round trip,
+// so a spilled candidate set can carry a universe filter.
+func (f *Filter) AppendBinary(dst []byte) []byte {
+	if f.saturated {
+		return append(dst, flagSaturated)
+	}
+	dst = append(dst, 0)
+	dst = binary.AppendUvarint(dst, uint64(f.hashes))
+	dst = binary.AppendUvarint(dst, uint64(len(f.bits)))
+	for _, w := range f.bits {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// FromBinary deserializes a filter written by AppendBinary and returns it
+// together with the number of bytes consumed.
+func FromBinary(src []byte) (*Filter, int, error) {
+	if len(src) < 1 {
+		return nil, 0, errors.New("bloom: truncated filter encoding")
+	}
+	if src[0]&flagSaturated != 0 {
+		return Saturated(), 1, nil
+	}
+	off := 1
+	hashes, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return nil, 0, errors.New("bloom: bad hash count")
+	}
+	off += n
+	words, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return nil, 0, errors.New("bloom: bad word count")
+	}
+	off += n
+	if uint64(len(src)-off) < words*8 {
+		return nil, 0, errors.New("bloom: truncated bit array")
+	}
+	f := &Filter{bits: make([]uint64, words), nbits: words * 64, hashes: int(hashes)}
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(src[off:])
+		off += 8
+	}
+	return f, off, nil
 }

@@ -1,0 +1,50 @@
+package capture
+
+import (
+	"encoding/binary"
+
+	"repro/internal/cind"
+	"repro/internal/dataflow"
+	"repro/internal/rdf"
+)
+
+// Spill codecs for the Capture Groups Creator's keyed stages: the evidence
+// deduplication (cgc/dedup) and the grouping by value (cgc/group) are the
+// pipeline's largest shuffles — one record per triple element pair — so they
+// are the first to breach a memory budget on real datasets.
+
+// evidenceCodec spills Pair[evidence, struct{}]: a 15-byte key (value plus
+// capture) and an empty value.
+type evidenceCodec struct{}
+
+func (evidenceCodec) AppendKey(dst []byte, k evidence) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(k.Value))
+	return cind.AppendCapture(dst, k.Capture)
+}
+func (evidenceCodec) DecodeKey(src []byte) evidence {
+	return evidence{
+		Value:   rdf.Value(binary.LittleEndian.Uint32(src)),
+		Capture: cind.CaptureAt(src[4:]),
+	}
+}
+func (evidenceCodec) AppendValue(dst []byte, _ struct{}) []byte { return dst }
+func (evidenceCodec) DecodeValue([]byte) struct{}               { return struct{}{} }
+
+// valueCaptureCodec spills Pair[rdf.Value, cind.Capture].
+type valueCaptureCodec struct{}
+
+func (valueCaptureCodec) AppendKey(dst []byte, k rdf.Value) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(k))
+}
+func (valueCaptureCodec) DecodeKey(src []byte) rdf.Value {
+	return rdf.Value(binary.LittleEndian.Uint32(src))
+}
+func (valueCaptureCodec) AppendValue(dst []byte, v cind.Capture) []byte {
+	return cind.AppendCapture(dst, v)
+}
+func (valueCaptureCodec) DecodeValue(src []byte) cind.Capture { return cind.CaptureAt(src) }
+
+func init() {
+	dataflow.RegisterPairCodec[evidence, struct{}](evidenceCodec{})
+	dataflow.RegisterPairCodec[rdf.Value, cind.Capture](valueCaptureCodec{})
+}

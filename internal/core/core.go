@@ -82,6 +82,17 @@ type Config struct {
 	// degrade: the paper defines direct extraction as exact-only, and its
 	// memory failures are the point of Fig. 13.
 	LoadLimit int64
+	// MemoryBudget caps (approximately) the bytes of keyed shuffle and
+	// aggregation state the dataflow engine holds in memory; overflow spills
+	// to unlinked temporary files and is re-merged externally, with results
+	// byte-identical to an unbudgeted run. 0 disables spilling. A budgeted
+	// run also absorbs LoadLimit breaches by keeping the exact extraction
+	// plan on the spill path instead of degrading to Bloom work units.
+	MemoryBudget int64
+	// SpillDir is the directory for spill files; empty selects the system
+	// temp directory. Setting SpillDir without MemoryBudget enables spilling
+	// with a default budget of 256 MiB.
+	SpillDir string
 	// MaxStageAttempts bounds how often a dataflow stage is executed when
 	// workers fail with transient faults (1 disables retries); 0 selects 3.
 	MaxStageAttempts int
@@ -103,6 +114,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxStageAttempts < 1 {
 		c.MaxStageAttempts = 3
+	}
+	if c.SpillDir != "" && c.MemoryBudget == 0 {
+		c.MemoryBudget = 1 << 28 // 256 MiB default once a spill dir is named
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = time.Millisecond
@@ -129,6 +143,17 @@ type RunStats struct {
 	// Degraded reports that a LoadLimit breach was absorbed by re-planning
 	// extraction with Bloom work-unit candidate sets instead of failing.
 	Degraded bool
+	// SpillPlanned reports that a LoadLimit breach was absorbed by keeping
+	// the exact extraction plan on the engine's spill-to-disk path (requires
+	// Config.MemoryBudget; takes precedence over degradation).
+	SpillPlanned bool
+	// SpilledBytes, SpilledRuns, and MergePasses aggregate the engine's
+	// out-of-core activity across all stages: bytes written to spill files,
+	// sorted runs flushed, and external merge passes performed. All zero in
+	// an unbudgeted run or when the budget was never exceeded.
+	SpilledBytes int64
+	SpilledRuns  int64
+	MergePasses  int64
 	// StageRetries is the total number of worker re-executions after
 	// transient faults, summed over all stages (see dataflow.Stats.Retries).
 	StageRetries int
@@ -178,6 +203,8 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		dataflow.WithRetries(cfg.MaxStageAttempts-1),
 		dataflow.WithBackoff(cfg.RetryBackoff),
 		dataflow.WithFaultPlan(cfg.FaultPlan),
+		dataflow.WithMemoryBudget(cfg.MemoryBudget),
+		dataflow.WithSpillDir(cfg.SpillDir),
 	)
 	stats := &RunStats{Triples: ds.Size(), Dataflow: dfctx.Stats()}
 	recordAllocs := func() {
@@ -186,10 +213,19 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		stats.Mallocs = ms.Mallocs - memStart.Mallocs
 		stats.AllocBytes = ms.TotalAlloc - memStart.TotalAlloc
 	}
+	recordSpill := func() {
+		// Read through a snapshot so an unbudgeted run does not materialize
+		// zero-valued spill counters in the registry.
+		counters := dfctx.Stats().Metrics().Snapshot().Counters
+		stats.SpilledBytes = counters["dataflow.spill.bytes"]
+		stats.SpilledRuns = counters["dataflow.spill.runs"]
+		stats.MergePasses = counters["dataflow.spill.merge_passes"]
+	}
 	finish := func(err error) (*cind.Result, *RunStats, error) {
 		stats.StageRetries = dfctx.Stats().TotalRetries()
 		stats.Duration = time.Since(start)
 		recordAllocs()
+		recordSpill()
 		return nil, stats, err
 	}
 
@@ -225,12 +261,14 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		BloomBytes:         cfg.BloomBytes,
 		LoadLimit:          cfg.LoadLimit,
 		DegradeOnLoadLimit: true,
+		SpillOnLoadLimit:   cfg.MemoryBudget > 0,
 	}
 	var pertinent []cind.CIND
 	if cfg.Variant == MinimalFirst {
 		mf, outcome, err := minimalFirst(groups, ecfg)
 		stats.ExtractionLoad = outcome.EstimatedLoad
 		stats.Degraded = outcome.Degraded
+		stats.SpillPlanned = outcome.Spilled
 		if err != nil {
 			return finish(err)
 		}
@@ -240,6 +278,7 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		broad, outcome, err := extract.BroadCINDsOutcome(groups, ecfg)
 		stats.ExtractionLoad = outcome.EstimatedLoad
 		stats.Degraded = outcome.Degraded
+		stats.SpillPlanned = outcome.Spilled
 		if err != nil {
 			return finish(err)
 		}
@@ -257,6 +296,7 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	stats.StageRetries = dfctx.Stats().TotalRetries()
 	stats.Duration = time.Since(start)
 	recordAllocs()
+	recordSpill()
 	return res, stats, nil
 }
 

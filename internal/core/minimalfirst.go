@@ -30,6 +30,7 @@ func minimalFirst(groups *dataflow.Dataset[capture.Group], ecfg extract.Config) 
 		res, outcome, err := extract.BroadCINDsOutcome(groups, cfg)
 		total.EstimatedLoad += outcome.EstimatedLoad
 		total.Degraded = total.Degraded || outcome.Degraded
+		total.Spilled = total.Spilled || outcome.Spilled
 		return res, err
 	}
 

@@ -21,6 +21,12 @@ type RunSnapshot struct {
 	StageRetries   int     `json:"stage_retries,omitempty"`
 	ExtractionLoad int64   `json:"extraction_load,omitempty"`
 	Degraded       bool    `json:"degraded,omitempty"`
+	// Spill accounting (RunStats.SpillPlanned/SpilledBytes/SpilledRuns/
+	// MergePasses); all zero when no memory budget was set or never exceeded.
+	SpillPlanned bool  `json:"spill_planned,omitempty"`
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
+	SpilledRuns  int64 `json:"spilled_runs,omitempty"`
+	MergePasses  int64 `json:"merge_passes,omitempty"`
 	// Mallocs/AllocBytes are the run's process-wide allocation deltas
 	// (RunStats.Mallocs/AllocBytes); zero on snapshots from before the
 	// counters existed, so readers treat zero as "not measured".
@@ -47,6 +53,10 @@ func (s *RunStats) Snapshot() *RunSnapshot {
 		StageRetries:   s.StageRetries,
 		ExtractionLoad: s.ExtractionLoad,
 		Degraded:       s.Degraded,
+		SpillPlanned:   s.SpillPlanned,
+		SpilledBytes:   s.SpilledBytes,
+		SpilledRuns:    s.SpilledRuns,
+		MergePasses:    s.MergePasses,
 		Mallocs:        s.Mallocs,
 		AllocBytes:     s.AllocBytes,
 		Speedup:        1,

@@ -58,6 +58,8 @@ type Context struct {
 	maxAttempts int             // per-stage executions, ≥ 1
 	backoff     time.Duration   // base of the exponential inter-attempt backoff
 	faults      *FaultPlan      // nil: no injection, no tracing
+	memBudget   int64           // bytes of keyed-operator state before spilling; 0: in-memory only
+	spillDir    string          // directory for spill files; "": the OS temp dir
 
 	mu  sync.Mutex
 	err error // first terminal failure; latches the whole pipeline
@@ -96,6 +98,26 @@ func WithFaultPlan(p *FaultPlan) Option {
 	return func(c *Context) { c.faults = p }
 }
 
+// WithMemoryBudget bounds the keyed-operator state (aggregation maps and
+// shuffle routing buffers) to roughly n bytes across all workers. Under the
+// budget, ReduceByKey and GroupByKey over record types with a registered
+// PairCodec switch to the spill-to-disk execution of spill.go; operators
+// without a codec are unaffected. Non-positive budgets disable spilling.
+func WithMemoryBudget(n int64) Option {
+	return func(c *Context) {
+		if n > 0 {
+			c.memBudget = n
+		}
+	}
+}
+
+// WithSpillDir places spill files in dir instead of the OS temp directory.
+// The directory must exist; files are unlinked at creation, so nothing is
+// left behind regardless of how the job ends.
+func WithSpillDir(dir string) Option {
+	return func(c *Context) { c.spillDir = dir }
+}
+
 // NewContext returns a context with the given number of logical workers.
 // Worker counts below 1 are clamped to 1. Without options the context is not
 // cancellable, does not retry (one attempt per stage), and injects no faults.
@@ -122,6 +144,9 @@ func NewContext(workers int, opts ...Option) *Context {
 
 // Workers returns the number of logical workers.
 func (c *Context) Workers() int { return c.workers }
+
+// MemoryBudget returns the configured spill budget in bytes (0: unbudgeted).
+func (c *Context) MemoryBudget() int64 { return c.memBudget }
 
 // Stats returns the accumulated work accounting.
 func (c *Context) Stats() *Stats { return c.stats }
@@ -229,6 +254,12 @@ func (c *Context) runStage(name string, f func(worker int) error) bool {
 	for w := range pending {
 		pending[w] = w
 	}
+	// lastErr remembers each worker's failure message from the previous
+	// attempt. Inputs are immutable retained partitions, so a transient
+	// failure that reproduces byte-identically on replay is a deterministic
+	// logic fault mislabeled as transient — retrying it further would burn
+	// the whole retry budget reproducing the same failure.
+	lastErr := make(map[int]string)
 	for attempt := 1; ; attempt++ {
 		if err := c.cancelErr(); err != nil {
 			c.fail(&StageError{Stage: name, Worker: -1, Attempt: attempt,
@@ -258,16 +289,29 @@ func (c *Context) runStage(name string, f func(worker int) error) bool {
 		sort.Slice(failures, func(i, j int) bool { return failures[i].worker < failures[j].worker })
 		first := failures[0]
 		retryable := attempt < c.maxAttempts
+		deterministic := false
 		for _, wf := range failures {
 			if !IsTransient(wf.err) {
-				retryable = false
+				// A genuine crash outranks every other classification.
+				retryable, deterministic = false, false
 				first = wf
 				break
 			}
+			if msg, seen := lastErr[wf.worker]; !deterministic && seen && msg == wf.err.Error() {
+				deterministic = true
+				first = wf
+			}
+		}
+		if deterministic {
+			retryable = false
 		}
 		if !retryable {
-			c.fail(&StageError{Stage: name, Worker: first.worker, Attempt: attempt, Cause: first.err})
+			c.fail(&StageError{Stage: name, Worker: first.worker, Attempt: attempt,
+				Deterministic: deterministic, Cause: first.err})
 			return false
+		}
+		for _, wf := range failures {
+			lastErr[wf.worker] = wf.err.Error()
 		}
 		c.stats.recordRetries(name, len(failures))
 		if !c.sleep(c.backoff << (attempt - 1)) {
@@ -548,6 +592,11 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][
 // describes.
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combine func(V, V) V) *Dataset[Pair[K, V]] {
 	c := d.ctx
+	if c.memBudget > 0 {
+		if codec, ok := pairCodecFor[K, V](); ok {
+			return reduceByKeySpill(d, name, combine, codec)
+		}
+	}
 	sp := c.begin(name)
 	// Combiner pass: partition-local aggregation.
 	pre := make([][]Pair[K, V], c.workers)
@@ -625,6 +674,11 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 // GroupByKey gathers all values of equal keys into one record.
 func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Dataset[Pair[K, []V]] {
 	c := d.ctx
+	if c.memBudget > 0 {
+		if codec, ok := pairCodecFor[K, V](); ok {
+			return groupByKeySpill(d, name, codec)
+		}
+	}
 	sp := c.begin(name)
 	counts := make([]int64, c.workers)
 	for w, p := range d.parts {

@@ -36,11 +36,21 @@ type StageError struct {
 	Worker int
 	// Attempt is the 1-based stage attempt the failure occurred on.
 	Attempt int
+	// Deterministic marks a transient-labeled failure that reproduced
+	// byte-identically when its worker was replayed on the retained input
+	// partition: a logic fault, not a recoverable condition. The engine
+	// stops retrying such failures after the first replay instead of
+	// burning the remaining retry budget on identical re-executions.
+	Deterministic bool
 	// Cause is the recovered failure.
 	Cause error
 }
 
 func (e *StageError) Error() string {
+	if e.Deterministic {
+		return fmt.Sprintf("dataflow: stage %q worker %d attempt %d: deterministic failure (identical on replay): %v",
+			e.Stage, e.Worker, e.Attempt, e.Cause)
+	}
 	return fmt.Sprintf("dataflow: stage %q worker %d attempt %d: %v", e.Stage, e.Worker, e.Attempt, e.Cause)
 }
 

@@ -96,12 +96,17 @@ func TestFaultTransientErrorIsRetried(t *testing.T) {
 		if w == 1 {
 			mu.Lock()
 			shouldFail := failures > 0
+			remaining := failures
 			if shouldFail {
 				failures--
 			}
 			mu.Unlock()
 			if shouldFail {
-				panic(Transient(fmt.Errorf("flaky worker")))
+				// The message varies per attempt: a transient failure that
+				// recurs byte-identically on the retained partition is now
+				// classified deterministic and not retried (see the
+				// deterministic-recurrence test below).
+				panic(Transient(fmt.Errorf("flaky worker, %d failures left", remaining)))
 			}
 		}
 		emit(sum(items))
@@ -115,6 +120,80 @@ func TestFaultTransientErrorIsRetried(t *testing.T) {
 	}
 	if got := c.Stats().Retries()["flaky"]; got != 2 {
 		t.Errorf(`Retries["flaky"] = %d, want 2`, got)
+	}
+}
+
+// A transient-labeled panic that reproduces byte-identically on the retained
+// partition is a deterministic logic fault: the engine must classify it as
+// non-retryable after the first replay instead of burning the whole retry
+// budget, and surface a StageError carrying the Deterministic flag.
+func TestFaultDeterministicPanicStopsRetrying(t *testing.T) {
+	c := NewContext(3, WithRetries(5), WithBackoff(0))
+	var runs sync.Map
+	d := Parallelize(c, "input", ints(90))
+	MapPartitions(d, "buggy", func(w int, items []int, emit func(int)) {
+		n, _ := runs.LoadOrStore(w, new(int))
+		if w == 1 {
+			*(n.(*int))++
+			// Same message every attempt: deterministic on the retained input.
+			panic(Transient(fmt.Errorf("divide by zero at record 17")))
+		}
+		emit(sum(items))
+	})
+	err := c.Err()
+	if err == nil {
+		t.Fatal("pipeline succeeded despite a deterministic failure")
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not a *StageError: %v", err, err)
+	}
+	if !se.Deterministic {
+		t.Errorf("StageError.Deterministic = false, want true: %v", se)
+	}
+	if se.Stage != "buggy" || se.Worker != 1 {
+		t.Errorf("StageError names stage %q worker %d, want \"buggy\" worker 1", se.Stage, se.Worker)
+	}
+	if se.Attempt != 2 {
+		t.Errorf("failed on attempt %d, want 2 (one replay)", se.Attempt)
+	}
+	if !strings.Contains(err.Error(), "deterministic") {
+		t.Errorf("error message does not mention determinism: %v", err)
+	}
+	// Exactly one replay: the original execution plus the confirming one.
+	if n, ok := runs.Load(1); !ok || *(n.(*int)) != 2 {
+		t.Errorf("worker 1 ran %v times, want exactly 2", n)
+	}
+	if got := c.Stats().TotalRetries(); got != 1 {
+		t.Errorf("TotalRetries = %d, want 1 (budget not burned)", got)
+	}
+}
+
+// Distinct failure messages on consecutive attempts keep the transient
+// classification: only identical recurrence is deterministic.
+func TestFaultVaryingTransientStillRetries(t *testing.T) {
+	c := NewContext(2, WithRetries(3), WithBackoff(0))
+	var mu sync.Mutex
+	attempts := 0
+	d := Parallelize(c, "input", ints(20))
+	out := MapPartitions(d, "varying", func(w int, items []int, emit func(int)) {
+		if w == 0 {
+			mu.Lock()
+			attempts++
+			n := attempts
+			mu.Unlock()
+			if n <= 3 {
+				panic(Transient(fmt.Errorf("timeout after %d ms", n*10)))
+			}
+		}
+		emit(sum(items))
+	})
+	got := sum(Collect(out))
+	if err := c.Err(); err != nil {
+		t.Fatalf("pipeline failed despite varying transient errors: %v", err)
+	}
+	if want := sum(ints(20)); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
 	}
 }
 

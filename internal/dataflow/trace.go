@@ -2,6 +2,7 @@ package dataflow
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -34,6 +35,11 @@ type activeSpan struct {
 	memSampled      bool
 	startMallocs    uint64
 	startAllocBytes uint64
+	// Spill accounting, written concurrently by the workers of a budgeted
+	// keyed operator (see spill.go), hence atomic.
+	spilledBytes atomic.Int64
+	spilledRuns  atomic.Int64
+	mergePasses  atomic.Int64
 }
 
 // begin opens a span for one operator execution. The memory-probe decision is
@@ -78,6 +84,9 @@ func (c *Context) finish(sp *activeSpan, perWorker []int64, recordsOut int64) {
 		ShuffleBytes:     sp.shuffleBytes,
 		CombinerIn:       sp.combinerIn,
 		CombinerOut:      sp.combinerOut,
+		SpilledBytes:     sp.spilledBytes.Load(),
+		SpilledRuns:      sp.spilledRuns.Load(),
+		MergePasses:      sp.mergePasses.Load(),
 		Retries:          c.stats.retriesFor(sp.name),
 		Goroutines:       runtime.NumGoroutine(),
 	}
@@ -95,6 +104,15 @@ func (c *Context) finish(sp *activeSpan, perWorker []int64, recordsOut int64) {
 	reg.Counter("dataflow.records.processed").Add(in)
 	if sp.shuffleBytes > 0 {
 		reg.Counter("dataflow.shuffle.bytes").Add(sp.shuffleBytes)
+	}
+	if span.SpilledBytes > 0 {
+		reg.Counter("dataflow.spill.bytes").Add(span.SpilledBytes)
+	}
+	if span.SpilledRuns > 0 {
+		reg.Counter("dataflow.spill.runs").Add(span.SpilledRuns)
+	}
+	if span.MergePasses > 0 {
+		reg.Counter("dataflow.spill.merge_passes").Add(span.MergePasses)
 	}
 	c.stats.endStage(StageStat{Name: sp.name, PerWorker: append([]int64(nil), perWorker...)}, span)
 }

@@ -20,43 +20,52 @@ const BenchSchema = "rdfind-bench/v1"
 // trace. Every span's input records reconcile with TotalWork — the invariant
 // TestBenchSpansReconcile pins per experiment.
 type PipelineRun struct {
-	Label        string         `json:"label"`
-	Variant      string         `json:"variant"`
-	Workers      int            `json:"workers"`
-	Support      int            `json:"support"`
-	WallMS       float64        `json:"wall_ms"`
-	TotalWork    int64          `json:"total_work"`
-	CriticalPath int64          `json:"critical_path"`
-	Speedup      float64        `json:"speedup"`
-	Retries      int            `json:"retries,omitempty"`
-	Failed       bool           `json:"failed,omitempty"`
+	Label        string  `json:"label"`
+	Variant      string  `json:"variant"`
+	Workers      int     `json:"workers"`
+	Support      int     `json:"support"`
+	WallMS       float64 `json:"wall_ms"`
+	TotalWork    int64   `json:"total_work"`
+	CriticalPath int64   `json:"critical_path"`
+	Speedup      float64 `json:"speedup"`
+	Retries      int     `json:"retries,omitempty"`
+	Failed       bool    `json:"failed,omitempty"`
 	// Mallocs/AllocBytes are the run's process-wide allocation deltas
 	// (core.RunStats.Mallocs/AllocBytes). Additive within schema v1: zero in
 	// records written before the counters existed, and benchdiff only
 	// compares them when both sides measured.
-	Mallocs    uint64         `json:"mallocs,omitempty"`
-	AllocBytes uint64         `json:"alloc_bytes,omitempty"`
-	Spans      []metrics.Span `json:"spans,omitempty"`
+	Mallocs    uint64 `json:"mallocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	// SpilledBytes/SpilledRuns are the engine's out-of-core activity
+	// (core.RunStats); additive within schema v1 like Mallocs, zero in
+	// unbudgeted runs and in records from before spilling existed.
+	SpilledBytes int64          `json:"spilled_bytes,omitempty"`
+	SpilledRuns  int64          `json:"spilled_runs,omitempty"`
+	Spans        []metrics.Span `json:"spans,omitempty"`
 }
 
 // BenchRecord is the machine-readable result of one experiment: the rendered
 // report plus aggregate and per-run performance accounting. cmd/benchsuite
 // writes one BENCH_<experiment>.json per record; cmd/benchdiff compares them.
 type BenchRecord struct {
-	Schema       string        `json:"schema"`
-	Experiment   string        `json:"experiment"`
-	Title        string        `json:"title"`
-	Scale        float64       `json:"scale"`
-	Workers      int           `json:"workers"`
-	WallMS       float64       `json:"wall_ms"`
-	TotalWork    int64         `json:"total_work"`
-	CriticalPath int64         `json:"critical_path"`
-	Speedup      float64       `json:"speedup"`
+	Schema       string  `json:"schema"`
+	Experiment   string  `json:"experiment"`
+	Title        string  `json:"title"`
+	Scale        float64 `json:"scale"`
+	Workers      int     `json:"workers"`
+	WallMS       float64 `json:"wall_ms"`
+	TotalWork    int64   `json:"total_work"`
+	CriticalPath int64   `json:"critical_path"`
+	Speedup      float64 `json:"speedup"`
 	// Mallocs/AllocBytes sum the runs' allocation deltas (zero when no run
 	// measured them).
-	Mallocs    uint64        `json:"mallocs,omitempty"`
-	AllocBytes uint64        `json:"alloc_bytes,omitempty"`
-	Runs       []PipelineRun `json:"runs"`
+	Mallocs    uint64 `json:"mallocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	// SpilledBytes/SpilledRuns sum the runs' out-of-core activity (zero when
+	// nothing spilled).
+	SpilledBytes int64         `json:"spilled_bytes,omitempty"`
+	SpilledRuns  int64         `json:"spilled_runs,omitempty"`
+	Runs         []PipelineRun `json:"runs"`
 	Header       []string      `json:"header,omitempty"`
 	Rows         [][]string    `json:"rows,omitempty"`
 	Notes        []string      `json:"notes,omitempty"`
@@ -109,6 +118,8 @@ func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Res
 	if stats != nil {
 		run.Mallocs = stats.Mallocs
 		run.AllocBytes = stats.AllocBytes
+		run.SpilledBytes = stats.SpilledBytes
+		run.SpilledRuns = stats.SpilledRuns
 	}
 	if stats != nil && stats.Dataflow != nil {
 		run.TotalWork = stats.Dataflow.TotalWork()
@@ -168,6 +179,8 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 		rec.CriticalPath += r.CriticalPath
 		rec.Mallocs += r.Mallocs
 		rec.AllocBytes += r.AllocBytes
+		rec.SpilledBytes += r.SpilledBytes
+		rec.SpilledRuns += r.SpilledRuns
 	}
 	if rec.CriticalPath > 0 {
 		rec.Speedup = float64(rec.TotalWork) / float64(rec.CriticalPath)

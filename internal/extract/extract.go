@@ -78,6 +78,15 @@ type Config struct {
 	// limit. Ignored under DirectExtraction, which the paper defines as
 	// exact-only (its memory failures are the point of Fig. 13).
 	DegradeOnLoadLimit bool
+	// SpillOnLoadLimit turns a LoadLimit breach into a spill point instead:
+	// the exact plan is kept unchanged and the breach is simply recorded,
+	// trusting the engine's memory budget to take the oversized shuffle state
+	// out of core (the Context must carry a budget and the extract codecs are
+	// registered at package load). It takes precedence over
+	// DegradeOnLoadLimit and — unlike degradation — also applies under
+	// DirectExtraction, since spilling does not change the plan and therefore
+	// cannot violate the exact-only definition of RDFind-DE.
+	SpillOnLoadLimit bool
 }
 
 // Outcome reports how an extraction ran: the estimated load of the executed
@@ -90,6 +99,9 @@ type Outcome struct {
 	// Degraded reports that DegradeOnLoadLimit re-planned the extraction
 	// with Bloom work-unit candidate sets.
 	Degraded bool
+	// Spilled reports that SpillOnLoadLimit absorbed a LoadLimit breach: the
+	// exact plan ran unchanged on the engine's spill-to-disk path.
+	Spilled bool
 }
 
 func (c Config) bloomBytes() int {
@@ -157,17 +169,24 @@ func BroadCINDsOutcome(groups *dataflow.Dataset[capture.Group], cfg Config) ([]c
 	// load is linear rather than quadratic in the group sizes.
 	outcome.EstimatedLoad = estimateLoad(normal, units)
 	if cfg.LoadLimit > 0 && outcome.EstimatedLoad > cfg.LoadLimit {
-		if !cfg.DegradeOnLoadLimit || cfg.DirectExtraction || forced {
+		switch {
+		case cfg.SpillOnLoadLimit:
+			// Keep the exact plan: the engine's memory budget will spill the
+			// oversized candidate-set state to disk instead of us trading it
+			// for extra Bloom validation work.
+			outcome.Spilled = true
+		case !cfg.DegradeOnLoadLimit || cfg.DirectExtraction || forced:
 			return nil, outcome, fmt.Errorf("%w: %d candidate entries > limit %d",
 				ErrLoadLimit, outcome.EstimatedLoad, cfg.LoadLimit)
-		}
-		forced = true
-		outcome.Degraded = true
-		normal, units = planStrategy(closed, cfg, forced)
-		outcome.EstimatedLoad = estimateLoad(normal, units)
-		if outcome.EstimatedLoad > cfg.LoadLimit {
-			return nil, outcome, fmt.Errorf("%w: degraded run still needs %d candidate entries > limit %d",
-				ErrLoadLimit, outcome.EstimatedLoad, cfg.LoadLimit)
+		default:
+			forced = true
+			outcome.Degraded = true
+			normal, units = planStrategy(closed, cfg, forced)
+			outcome.EstimatedLoad = estimateLoad(normal, units)
+			if outcome.EstimatedLoad > cfg.LoadLimit {
+				return nil, outcome, fmt.Errorf("%w: degraded run still needs %d candidate entries > limit %d",
+					ErrLoadLimit, outcome.EstimatedLoad, cfg.LoadLimit)
+			}
 		}
 	}
 
@@ -246,6 +265,9 @@ func BroadCINDsOutcome(groups *dataflow.Dataset[capture.Group], cfg Config) ([]c
 	reg.Counter("extract.broad_cinds").Add(int64(len(out)))
 	if outcome.Degraded {
 		reg.Counter("extract.degraded_runs").Inc()
+	}
+	if outcome.Spilled {
+		reg.Counter("extract.spill_planned_runs").Inc()
 	}
 	return out, outcome, nil
 }

@@ -1,0 +1,49 @@
+package fcdetect
+
+import (
+	"encoding/binary"
+
+	"repro/internal/cind"
+	"repro/internal/dataflow"
+)
+
+// Spill codecs for the FCDetector's keyed stages, so the frequency sums
+// (fcd/unary-sum, fcd/binary-sum, stats/condition-frequencies) and the
+// frequency histogram (stats/bucket-sum) can run out of core under a memory
+// budget. Registered at package load; the engine only consults them when a
+// budget is configured.
+
+// conditionCountCodec spills Pair[cind.Condition, int].
+type conditionCountCodec struct{}
+
+func (conditionCountCodec) AppendKey(dst []byte, k cind.Condition) []byte {
+	return cind.AppendCondition(dst, k)
+}
+func (conditionCountCodec) DecodeKey(src []byte) cind.Condition { return cind.ConditionAt(src) }
+func (conditionCountCodec) AppendValue(dst []byte, v int) []byte {
+	return binary.AppendVarint(dst, int64(v))
+}
+func (conditionCountCodec) DecodeValue(src []byte) int {
+	v, _ := binary.Varint(src)
+	return int(v)
+}
+
+// intCountCodec spills Pair[int, int] (the frequency-histogram buckets).
+type intCountCodec struct{}
+
+func (intCountCodec) AppendKey(dst []byte, k int) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(int64(k)))
+}
+func (intCountCodec) DecodeKey(src []byte) int { return int(int64(binary.BigEndian.Uint64(src))) }
+func (intCountCodec) AppendValue(dst []byte, v int) []byte {
+	return binary.AppendVarint(dst, int64(v))
+}
+func (intCountCodec) DecodeValue(src []byte) int {
+	v, _ := binary.Varint(src)
+	return int(v)
+}
+
+func init() {
+	dataflow.RegisterPairCodec[cind.Condition, int](conditionCountCodec{})
+	dataflow.RegisterPairCodec[int, int](intCountCodec{})
+}

@@ -38,6 +38,13 @@ type Span struct {
 	// has no combiner.
 	CombinerIn  int64 `json:"combiner_in,omitempty"`
 	CombinerOut int64 `json:"combiner_out,omitempty"`
+	// SpilledBytes/SpilledRuns/MergePasses account the stage's out-of-core
+	// execution (dataflow spill.go): bytes written to spill files, runs and
+	// chunk segments flushed, and external-merge passes executed. All zero
+	// for stages that stayed in memory.
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
+	SpilledRuns  int64 `json:"spilled_runs,omitempty"`
+	MergePasses  int64 `json:"merge_passes,omitempty"`
 	// Retries counts worker re-executions after transient faults across the
 	// stage's phases.
 	Retries int `json:"retries,omitempty"`
@@ -132,6 +139,9 @@ func writeSpanNodes(w io.Writer, nodes []*spanNode, depth int) error {
 			}
 			if s.CombinerIn > 0 {
 				line += fmt.Sprintf("  combiner=%.0f%%", s.CombinerHitRate()*100)
+			}
+			if s.SpilledBytes > 0 {
+				line += fmt.Sprintf("  spill=%s/%druns", fmtBytes(s.SpilledBytes), s.SpilledRuns)
 			}
 			if s.MallocsDelta > 0 {
 				line += fmt.Sprintf("  allocs=%d/%s", s.MallocsDelta, fmtBytes(int64(s.AllocBytesDelta)))
