@@ -125,10 +125,21 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		}
 		checkAt(label, "", float64(oldV), float64(newV), allocThreshold)
 	}
+	// Materialized bytes (narrow-stage output buffering) follow the same
+	// both-sides-measured rule: zero means the record predates the counter.
+	// Regressions here mean fused chains started re-materializing
+	// intermediates, so they get the tighter wall-time threshold.
+	checkMaterialized := func(label string, oldV, newV int64) {
+		if oldV == 0 || newV == 0 {
+			return // at least one record predates materialization accounting
+		}
+		checkAt(label, "", float64(oldV), float64(newV), threshold)
+	}
 	check("wall", "ms", oldRec.WallMS, newRec.WallMS)
 	check("total work", "", float64(oldRec.TotalWork), float64(newRec.TotalWork))
 	checkAllocs("mallocs", oldRec.Mallocs, newRec.Mallocs)
 	checkSpill("spilled bytes", oldRec.SpilledBytes, newRec.SpilledBytes)
+	checkMaterialized("materialized bytes", oldRec.MaterializedBytes, newRec.MaterializedBytes)
 
 	newRuns := indexRuns(newRec.Runs)
 	for _, or := range oldRec.Runs {
@@ -144,6 +155,7 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		check("work "+k, "", float64(or.TotalWork), float64(nr.TotalWork))
 		checkAllocs("mallocs "+k, or.Mallocs, nr.Mallocs)
 		checkSpill("spill "+k, or.SpilledBytes, nr.SpilledBytes)
+		checkMaterialized("materialized "+k, or.MaterializedBytes, nr.MaterializedBytes)
 	}
 	for k, queue := range newRuns {
 		for range queue {

@@ -46,6 +46,10 @@ var volatileKeys = map[string]bool{
 	"gauges":           true, // peak heap / peak goroutines
 	"counts":           true, // latency histogram buckets
 	"sum":              true, // latency histogram sum
+	// Narrow-stage buffering estimates (top-level, per fused span, and the
+	// registry counter): memory estimates, zeroed like shuffle_bytes.
+	"materialized_bytes":          true,
+	"dataflow.materialized.bytes": true,
 }
 
 // droppedKeys are volatile fields added after the goldens were recorded;
@@ -132,11 +136,33 @@ func TestGoldenResultJSON(t *testing.T) {
 }
 
 func TestGoldenSnapshotJSON(t *testing.T) {
+	// The snapshot's spans carry fused-chain composite names, so this golden
+	// is recorded in (default) fused mode; pin it against the CI leg that
+	// sets DATAFLOW_FUSION=off process-wide.
+	t.Setenv("DATAFLOW_FUSION", "on")
 	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "-json", "testdata/museums.nt")
 	if code != exitOK {
 		t.Fatalf("exit %d: %s", code, errOut)
 	}
 	goldenCompare(t, "museums_snapshot_json", normalizeJSON(t, []byte(out)))
+}
+
+// TestGoldenFusionOff pins fusion's central promise at the CLI boundary: with
+// lazy fusion disabled the discovered results — text and JSON — are
+// byte-identical to the fused goldens. (Only the trace snapshot differs,
+// since eager execution records one span per narrow operator.)
+func TestGoldenFusionOff(t *testing.T) {
+	t.Setenv("DATAFLOW_FUSION", "off")
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_text", []byte(out))
+	code, out, errOut = runCLI(t, "-support", "2", "-workers", "1", "-format", "json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_result_json", []byte(out))
 }
 
 // TestSnapshotJSONReconciles re-checks the accounting invariant end to end,

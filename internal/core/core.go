@@ -103,6 +103,12 @@ type Config struct {
 	// robustness testing; nil injects nothing. An empty plan traces stage
 	// executions without injecting.
 	FaultPlan *dataflow.FaultPlan
+	// DisableFusion switches the dataflow engine back to eager
+	// one-stage-per-operator execution (dataflow.WithFusion(false)) instead
+	// of the default lazy narrow-operator fusion. Results are byte-identical
+	// either way — the differential suites pin that — so this exists for
+	// those suites and for debugging per-operator spans.
+	DisableFusion bool
 }
 
 func (c Config) normalized() Config {
@@ -154,6 +160,11 @@ type RunStats struct {
 	SpilledBytes int64
 	SpilledRuns  int64
 	MergePasses  int64
+	// MaterializedBytes estimates the bytes buffered into partition slices by
+	// narrow-operator stages (fused or eager), summed over all stages. Fusion
+	// shrinks it by eliding the intermediate partitions between chained
+	// narrow operators.
+	MaterializedBytes int64
 	// StageRetries is the total number of worker re-executions after
 	// transient faults, summed over all stages (see dataflow.Stats.Retries).
 	StageRetries int
@@ -198,14 +209,18 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	var memStart runtime.MemStats
 	runtime.ReadMemStats(&memStart)
 	start := time.Now()
-	dfctx := dataflow.NewContext(cfg.Workers,
+	dfOpts := []dataflow.Option{
 		dataflow.WithCancel(ctx),
-		dataflow.WithRetries(cfg.MaxStageAttempts-1),
+		dataflow.WithRetries(cfg.MaxStageAttempts - 1),
 		dataflow.WithBackoff(cfg.RetryBackoff),
 		dataflow.WithFaultPlan(cfg.FaultPlan),
 		dataflow.WithMemoryBudget(cfg.MemoryBudget),
 		dataflow.WithSpillDir(cfg.SpillDir),
-	)
+	}
+	if cfg.DisableFusion {
+		dfOpts = append(dfOpts, dataflow.WithFusion(false))
+	}
+	dfctx := dataflow.NewContext(cfg.Workers, dfOpts...)
 	stats := &RunStats{Triples: ds.Size(), Dataflow: dfctx.Stats()}
 	recordAllocs := func() {
 		var ms runtime.MemStats
@@ -220,6 +235,7 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		stats.SpilledBytes = counters["dataflow.spill.bytes"]
 		stats.SpilledRuns = counters["dataflow.spill.runs"]
 		stats.MergePasses = counters["dataflow.spill.merge_passes"]
+		stats.MaterializedBytes = counters["dataflow.materialized.bytes"]
 	}
 	finish := func(err error) (*cind.Result, *RunStats, error) {
 		stats.StageRetries = dfctx.Stats().TotalRetries()

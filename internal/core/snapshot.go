@@ -27,6 +27,9 @@ type RunSnapshot struct {
 	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
 	SpilledRuns  int64 `json:"spilled_runs,omitempty"`
 	MergePasses  int64 `json:"merge_passes,omitempty"`
+	// MaterializedBytes estimates the bytes buffered into partition slices by
+	// narrow-operator stages (RunStats.MaterializedBytes); fusion lowers it.
+	MaterializedBytes int64 `json:"materialized_bytes,omitempty"`
 	// Mallocs/AllocBytes are the run's process-wide allocation deltas
 	// (RunStats.Mallocs/AllocBytes); zero on snapshots from before the
 	// counters existed, so readers treat zero as "not measured".
@@ -42,24 +45,25 @@ type RunSnapshot struct {
 // engine (hand-built in tests) yields empty trace fields.
 func (s *RunStats) Snapshot() *RunSnapshot {
 	snap := &RunSnapshot{
-		Triples:        s.Triples,
-		FrequentUnary:  s.FrequentUnary,
-		FrequentBinary: s.FrequentBinary,
-		CaptureGroups:  s.CaptureGroups,
-		BroadCINDs:     s.BroadCINDs,
-		Pertinent:      s.Pertinent,
-		ARs:            s.ARs,
-		WallMS:         float64(s.Duration.Nanoseconds()) / 1e6,
-		StageRetries:   s.StageRetries,
-		ExtractionLoad: s.ExtractionLoad,
-		Degraded:       s.Degraded,
-		SpillPlanned:   s.SpillPlanned,
-		SpilledBytes:   s.SpilledBytes,
-		SpilledRuns:    s.SpilledRuns,
-		MergePasses:    s.MergePasses,
-		Mallocs:        s.Mallocs,
-		AllocBytes:     s.AllocBytes,
-		Speedup:        1,
+		Triples:           s.Triples,
+		FrequentUnary:     s.FrequentUnary,
+		FrequentBinary:    s.FrequentBinary,
+		CaptureGroups:     s.CaptureGroups,
+		BroadCINDs:        s.BroadCINDs,
+		Pertinent:         s.Pertinent,
+		ARs:               s.ARs,
+		WallMS:            float64(s.Duration.Nanoseconds()) / 1e6,
+		StageRetries:      s.StageRetries,
+		ExtractionLoad:    s.ExtractionLoad,
+		Degraded:          s.Degraded,
+		SpillPlanned:      s.SpillPlanned,
+		SpilledBytes:      s.SpilledBytes,
+		SpilledRuns:       s.SpilledRuns,
+		MergePasses:       s.MergePasses,
+		MaterializedBytes: s.MaterializedBytes,
+		Mallocs:           s.Mallocs,
+		AllocBytes:        s.AllocBytes,
+		Speedup:           1,
 	}
 	if s.Dataflow != nil {
 		snap.TotalWork = s.Dataflow.TotalWork()

@@ -95,6 +95,48 @@ func BenchmarkFilter(b *testing.B) {
 	d := Parallelize(c, "in", data)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Filter(d, "even", func(v int) bool { return v%2 == 0 })
+		// Materialize forces the lazily planned stage so the benchmark
+		// measures execution, not plan construction.
+		Filter(d, "even", func(v int) bool { return v%2 == 0 }).Materialize()
+	}
+}
+
+// benchChain applies ops narrow operators to d and forces the result: a
+// Filter dropping nothing followed by alternating Maps, so fused and unfused
+// execution see identical record flow.
+func benchChain(d *Dataset[int], ops int) *Dataset[int] {
+	out := Filter(d, "keep", func(v int) bool { return v >= 0 })
+	for i := 1; i < ops; i++ {
+		step := i
+		out = Map(out, fmt.Sprintf("m%d", step), func(v int) int { return v + step })
+	}
+	return out.Materialize()
+}
+
+// BenchmarkNarrowChain measures 2-, 4-, and 6-operator narrow chains with
+// fusion on and off. Fused chains stream each record through every operator
+// into a single output buffer; unfused chains materialize a full intermediate
+// partition set per operator, so allocs/op and ns/op grow with chain length.
+func BenchmarkNarrowChain(b *testing.B) {
+	data := make([]int, 100000)
+	for i := range data {
+		data[i] = i
+	}
+	for _, ops := range []int{2, 4, 6} {
+		for _, fused := range []bool{true, false} {
+			mode := "fused"
+			if !fused {
+				mode = "unfused"
+			}
+			b.Run(fmt.Sprintf("ops=%d/%s", ops, mode), func(b *testing.B) {
+				c := NewContext(4, WithFusion(fused))
+				d := Parallelize(c, "in", data).Materialize()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchChain(d, ops)
+				}
+			})
+		}
 	}
 }

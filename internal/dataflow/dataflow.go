@@ -12,6 +12,12 @@
 // combiner-style pre-aggregation before data crosses partitions, mirroring
 // the "early aggregation" the paper uses to cut network traffic (§5.2, §6.1).
 //
+// Narrow operators are lazy by default: they build a logical plan on the
+// Dataset, and a chain of them executes as one fused stage when a wide
+// operator or a sink forces materialization — the engine-level analogue of
+// Flink's chained operators. See plan.go for the plan layer and
+// WithFusion(false) for the eager escape hatch.
+//
 // The engine is fault-tolerant in the way Flink's task recovery made RDFind
 // fault-tolerant (see fault.go): worker panics become StageErrors, stages
 // failing with transient faults are re-executed from their retained input
@@ -34,6 +40,7 @@ import (
 	"context"
 	"fmt"
 	"hash/maphash"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -60,6 +67,7 @@ type Context struct {
 	faults      *FaultPlan      // nil: no injection, no tracing
 	memBudget   int64           // bytes of keyed-operator state before spilling; 0: in-memory only
 	spillDir    string          // directory for spill files; "": the OS temp dir
+	fuse        bool            // lazy narrow-operator fusion (plan.go); false: eager per-op stages
 
 	mu  sync.Mutex
 	err error // first terminal failure; latches the whole pipeline
@@ -118,6 +126,26 @@ func WithSpillDir(dir string) Option {
 	return func(c *Context) { c.spillDir = dir }
 }
 
+// WithFusion toggles lazy narrow-operator fusion (see plan.go). It is on by
+// default; disabling it restores the old eager one-stage-per-operator
+// execution, which the differential suites compare fused runs against. The
+// DATAFLOW_FUSION environment variable ("off"/"0"/"false" disables,
+// "on"/"1"/"true" enables) sets the process-wide default; an explicit
+// WithFusion always wins over the environment.
+func WithFusion(enabled bool) Option {
+	return func(c *Context) { c.fuse = enabled }
+}
+
+// fusionDefault reads the DATAFLOW_FUSION environment toggle.
+func fusionDefault() bool {
+	switch os.Getenv("DATAFLOW_FUSION") {
+	case "off", "0", "false":
+		return false
+	default:
+		return true
+	}
+}
+
 // NewContext returns a context with the given number of logical workers.
 // Worker counts below 1 are clamped to 1. Without options the context is not
 // cancellable, does not retry (one attempt per stage), and injects no faults.
@@ -132,6 +160,7 @@ func NewContext(workers int, opts ...Option) *Context {
 		epoch:       time.Now(),
 		maxAttempts: 1,
 		backoff:     time.Millisecond,
+		fuse:        fusionDefault(),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -200,10 +229,15 @@ func (c *Context) sleep(d time.Duration) bool {
 }
 
 // Dataset is a horizontally partitioned collection: one slice of records per
-// logical worker.
+// logical worker. Under fusion (the default) a Dataset may be lazy — a
+// pending narrow-operator chain instead of materialized partitions (see
+// plan.go); every consumer that needs the records (wide operators, Collect,
+// GlobalReduce, Len, Partitions, String) forces it exactly once. Like the
+// Context it belongs to, a Dataset is driven by a single job goroutine.
 type Dataset[T any] struct {
 	ctx   *Context
 	parts [][]T
+	plan  *chain[T] // pending narrow-operator chain; nil once materialized
 	// distinct is an upper bound on the number of distinct shuffle keys in
 	// the dataset when one is known (0 = unknown). Operators that aggregate
 	// by key (ReduceByKey, GroupByKey, Distinct) set it on their outputs and
@@ -215,12 +249,18 @@ type Dataset[T any] struct {
 // Context returns the context the dataset belongs to.
 func (d *Dataset[T]) Context() *Context { return d.ctx }
 
-// Partitions exposes the raw partitions, mainly for tests and diagnostics.
-// The slice always has exactly Context().Workers() entries.
-func (d *Dataset[T]) Partitions() [][]T { return d.parts }
+// Partitions exposes the raw partitions, mainly for tests and diagnostics,
+// forcing any pending chain first. The slice always has exactly
+// Context().Workers() entries.
+func (d *Dataset[T]) Partitions() [][]T {
+	d.force()
+	return d.parts
+}
 
-// Len returns the total number of records across all partitions.
+// Len returns the total number of records across all partitions, forcing any
+// pending chain first.
 func (d *Dataset[T]) Len() int {
+	d.force()
 	n := 0
 	for _, p := range d.parts {
 		n += len(p)
@@ -352,8 +392,12 @@ func hashPartition[K comparable](c *Context, k K) int {
 }
 
 // Parallelize splits items across the context's workers in contiguous
-// chunks, mimicking reading an unpartitioned input file split-wise. Empty
-// (or nil) input yields a dataset with w empty partitions.
+// chunks, mimicking reading an unpartitioned input file split-wise. The
+// remainder of len(items)/workers is spread over the first partitions, so
+// partition sizes differ by at most one (ceil-chunking instead would leave
+// trailing workers empty: n=5, w=4 gave 2/2/1/0 where 2/1/1/1 balances).
+// Concatenating the partitions in worker order always reproduces items.
+// Empty (or nil) input yields a dataset with w empty partitions.
 func Parallelize[T any](c *Context, name string, items []T) *Dataset[T] {
 	if c.failed() {
 		return empty[T](c)
@@ -364,27 +408,34 @@ func Parallelize[T any](c *Context, name string, items []T) *Dataset[T] {
 		c.finish(sp, make([]int64, c.workers), 0)
 		return &Dataset[T]{ctx: c, parts: parts}
 	}
-	chunk := (len(items) + c.workers - 1) / c.workers
+	base, rem := len(items)/c.workers, len(items)%c.workers
 	counts := make([]int64, c.workers)
+	lo := 0
 	for w := 0; w < c.workers; w++ {
-		lo := w * chunk
-		if lo > len(items) {
-			lo = len(items)
-		}
-		hi := lo + chunk
-		if hi > len(items) {
-			hi = len(items)
+		hi := lo + base
+		if w < rem {
+			hi++
 		}
 		parts[w] = items[lo:hi:hi]
-		counts[w] = int64(len(parts[w]))
+		counts[w] = int64(hi - lo)
+		lo = hi
 	}
 	c.finish(sp, counts, int64(len(items)))
 	return &Dataset[T]{ctx: c, parts: parts}
 }
 
-// Map applies f to every record, preserving partitioning.
+// Map applies f to every record, preserving partitioning. Under fusion it is
+// lazy: the map is appended to the dataset's pending chain and runs when a
+// consumer forces materialization.
 func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 	c := d.ctx
+	if c.fuse {
+		if c.failed() {
+			return empty[U](c)
+		}
+		return &Dataset[U]{ctx: c, plan: chainMap(chainOf(d), name, f)}
+	}
+	d.force()
 	sp := c.begin(name)
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
@@ -405,13 +456,22 @@ func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 	}) {
 		return empty[U](c)
 	}
+	sp.materializedBytes = estimateMaterializedBytes(out)
 	c.finish(sp, counts, totalLen(out))
 	return &Dataset[U]{ctx: c, parts: out}
 }
 
 // FlatMap applies f to every record; f may emit any number of outputs.
+// Under fusion it is lazy, like Map.
 func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[U] {
 	c := d.ctx
+	if c.fuse {
+		if c.failed() {
+			return empty[U](c)
+		}
+		return &Dataset[U]{ctx: c, plan: chainFlatMap(chainOf(d), name, f)}
+	}
+	d.force()
 	sp := c.begin(name)
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
@@ -427,15 +487,24 @@ func FlatMap[T, U any](d *Dataset[T], name string, f func(T, func(U))) *Dataset[
 	}) {
 		return empty[U](c)
 	}
+	sp.materializedBytes = estimateMaterializedBytes(out)
 	c.finish(sp, counts, totalLen(out))
 	return &Dataset[U]{ctx: c, parts: out}
 }
 
 // Filter keeps the records satisfying pred, preserving partitioning. It runs
 // directly per partition (no FlatMap emit-closure indirection) and, as a
-// record-subset operator, propagates the input's distinct-key bound.
+// record-subset operator, propagates the input's distinct-key bound — even
+// across a pending chain. Under fusion it is lazy, like Map.
 func Filter[T any](d *Dataset[T], name string, pred func(T) bool) *Dataset[T] {
 	c := d.ctx
+	if c.fuse {
+		if c.failed() {
+			return empty[T](c)
+		}
+		return &Dataset[T]{ctx: c, plan: chainFilter(chainOf(d), name, pred), distinct: d.distinct}
+	}
+	d.force()
 	sp := c.begin(name)
 	out := make([][]T, c.workers)
 	counts := make([]int64, c.workers)
@@ -453,15 +522,25 @@ func Filter[T any](d *Dataset[T], name string, pred func(T) bool) *Dataset[T] {
 	}) {
 		return empty[T](c)
 	}
+	sp.materializedBytes = estimateMaterializedBytes(out)
 	c.finish(sp, counts, totalLen(out))
 	return &Dataset[T]{ctx: c, parts: out, distinct: d.distinct}
 }
 
 // MapPartitions applies f once per partition with the worker index, for
 // operators that need partition-local state (e.g. building a partial Bloom
-// filter per worker).
+// filter per worker). Because f receives a whole partition slice, it is a
+// fusion barrier on its input side — any pending upstream chain is forced
+// first — but its own output is lazy and downstream narrow ops fuse onto it.
 func MapPartitions[T, U any](d *Dataset[T], name string, f func(worker int, items []T, emit func(U))) *Dataset[U] {
 	c := d.ctx
+	d.force()
+	if c.fuse {
+		if c.failed() {
+			return empty[U](c)
+		}
+		return &Dataset[U]{ctx: c, plan: chainMapPartitions(d.parts, name, f)}
+	}
 	sp := c.begin(name)
 	out := make([][]U, c.workers)
 	counts := make([]int64, c.workers)
@@ -474,6 +553,7 @@ func MapPartitions[T, U any](d *Dataset[T], name string, f func(worker int, item
 	}) {
 		return empty[U](c)
 	}
+	sp.materializedBytes = estimateMaterializedBytes(out)
 	c.finish(sp, counts, totalLen(out))
 	return &Dataset[U]{ctx: c, parts: out}
 }
@@ -592,6 +672,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][
 // describes.
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combine func(V, V) V) *Dataset[Pair[K, V]] {
 	c := d.ctx
+	d.force()
 	if c.memBudget > 0 {
 		if codec, ok := pairCodecFor[K, V](); ok {
 			return reduceByKeySpill(d, name, combine, codec)
@@ -674,6 +755,7 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 // GroupByKey gathers all values of equal keys into one record.
 func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Dataset[Pair[K, []V]] {
 	c := d.ctx
+	d.force()
 	if c.memBudget > 0 {
 		if codec, ok := pairCodecFor[K, V](); ok {
 			return groupByKeySpill(d, name, codec)
@@ -725,6 +807,8 @@ func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, 
 	if b.ctx != c {
 		panic("dataflow: cogroup of datasets from different contexts")
 	}
+	a.force()
+	b.force()
 	sp := c.begin(name)
 	sa, bytesA, okA := shuffleByKey(a, name+"/left")
 	if !okA {
@@ -772,6 +856,8 @@ func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
 	if b.ctx != c {
 		panic("dataflow: union of datasets from different contexts")
 	}
+	a.force()
+	b.force()
 	sp := c.begin(name)
 	out := make([][]T, c.workers)
 	counts := make([]int64, c.workers)
@@ -811,6 +897,7 @@ func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
 // each partition, output records keep first-occurrence order.
 func Distinct[T comparable](d *Dataset[T], name string) *Dataset[T] {
 	c := d.ctx
+	d.force()
 	sp := c.begin(name)
 	pre := make([][]T, c.workers)
 	counts := make([]int64, c.workers)
@@ -869,6 +956,7 @@ func Distinct[T comparable](d *Dataset[T], name string) *Dataset[T] {
 // capture groups round-robin across workers (§7.2).
 func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T] {
 	c := d.ctx
+	d.force()
 	sp := c.begin(name)
 	counts := make([]int64, c.workers)
 	for w, p := range d.parts {
@@ -894,6 +982,7 @@ func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T
 // boundary. The returned slice concatenates partitions in worker order. On a
 // failed pipeline it returns nil; check Context.Err.
 func Collect[T any](d *Dataset[T]) []T {
+	d.force()
 	if d.ctx.failed() {
 		return nil
 	}
@@ -913,6 +1002,7 @@ func Collect[T any](d *Dataset[T]) []T {
 // is empty or the pipeline has failed.
 func GlobalReduce[T any](d *Dataset[T], name string, f func(T, T) T) (T, bool) {
 	c := d.ctx
+	d.force()
 	var zero T
 	if c.failed() {
 		return zero, false
@@ -973,7 +1063,8 @@ func GlobalReduce[T any](d *Dataset[T], name string, f func(T, T) T) (T, bool) {
 	return partials[0], have[0]
 }
 
-// String summarizes the dataset for diagnostics.
+// String summarizes the dataset for diagnostics, forcing any pending chain
+// (via Len) exactly once.
 func (d *Dataset[T]) String() string {
 	return fmt.Sprintf("Dataset(workers=%d, records=%d)", d.ctx.workers, d.Len())
 }

@@ -255,7 +255,7 @@ func TestGlobalReduce(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	c := NewContext(2)
 	d := Parallelize(c, "in", ints(10))
-	Map(d, "noop", func(x int) int { return x })
+	Map(d, "noop", func(x int) int { return x }).Materialize()
 	st := c.Stats()
 	if got := st.TotalWork(); got != 20 { // 10 parallelize + 10 map
 		t.Fatalf("TotalWork = %d, want 20", got)
@@ -333,4 +333,3 @@ func TestQuickGroupByKeyPreservesMultiplicity(t *testing.T) {
 		t.Error(err)
 	}
 }
-

@@ -43,7 +43,7 @@ func TestFaultWorkerPanicBecomesStageError(t *testing.T) {
 			panic("user code bug")
 		}
 		return v
-	})
+	}).Materialize()
 	err := c.Err()
 	if err == nil {
 		t.Fatal("expected a stage error after a worker panic")
@@ -72,7 +72,7 @@ func TestFaultRealPanicIsNotRetried(t *testing.T) {
 		n, _ := calls.LoadOrStore(v, new(int))
 		*(n.(*int))++
 		panic("deterministic bug")
-	})
+	}).Materialize()
 	if c.Err() == nil {
 		t.Fatal("expected failure")
 	}
@@ -139,7 +139,7 @@ func TestFaultDeterministicPanicStopsRetrying(t *testing.T) {
 			panic(Transient(fmt.Errorf("divide by zero at record 17")))
 		}
 		emit(sum(items))
-	})
+	}).Materialize()
 	err := c.Err()
 	if err == nil {
 		t.Fatal("pipeline succeeded despite a deterministic failure")
@@ -229,7 +229,7 @@ func TestFaultOnlyFailedWorkersAreReexecuted(t *testing.T) {
 		n, _ := runs.LoadOrStore(w, new(int))
 		*(n.(*int))++
 		emit(len(items))
-	})
+	}).Materialize()
 	if err := c.Err(); err != nil {
 		t.Fatalf("pipeline failed: %v", err)
 	}
@@ -299,7 +299,9 @@ func TestFaultDownstreamOperatorsShortCircuit(t *testing.T) {
 	plan := NewFaultPlan(Fault{Stage: "key", Worker: 0, Occurrence: 1, Kind: FaultTransient})
 	c := NewContext(2, WithFaultPlan(plan)) // no retries: first fault is terminal
 	d := Parallelize(c, "input", ints(50))
-	keyed := Map(d, "key", func(v int) Pair[int, int] { return Pair[int, int]{Key: v, Val: v} })
+	// Materialize pins the fault site: unforced, "key" would fuse with
+	// "after" and the fault's stage name would not match.
+	keyed := Map(d, "key", func(v int) Pair[int, int] { return Pair[int, int]{Key: v, Val: v} }).Materialize()
 	ran := false
 	mapped := Map(keyed, "after", func(p Pair[int, int]) Pair[int, int] { ran = true; return p })
 	if ran {
@@ -345,7 +347,7 @@ func TestFaultCancellationDuringRetryBackoff(t *testing.T) {
 	d := Parallelize(c, "input", ints(10))
 	done := make(chan struct{})
 	go func() {
-		Map(d, "work", func(v int) int { return v })
+		Map(d, "work", func(v int) int { return v }).Materialize()
 		close(done)
 	}()
 	time.Sleep(10 * time.Millisecond)

@@ -35,6 +35,12 @@ type activeSpan struct {
 	memSampled      bool
 	startMallocs    uint64
 	startAllocBytes uint64
+	// fusedOps attributes a fused chain's per-operator record counts (only
+	// set for chains of length > 1; single-op stages keep plain spans).
+	fusedOps []metrics.FusedOp
+	// materializedBytes estimates the output partitions a narrow stage (or
+	// fused chain) wrote — the quantity fusion exists to shrink.
+	materializedBytes int64
 	// Spill accounting, written concurrently by the workers of a budgeted
 	// keyed operator (see spill.go), hence atomic.
 	spilledBytes atomic.Int64
@@ -74,21 +80,23 @@ func (c *Context) finish(sp *activeSpan, perWorker []int64, recordsOut int64) {
 		}
 	}
 	span := metrics.Span{
-		Name:             sp.name,
-		StartMS:          float64(sp.start.Sub(c.epoch).Nanoseconds()) / 1e6,
-		WallMS:           float64(wall.Nanoseconds()) / 1e6,
-		RecordsIn:        in,
-		RecordsOut:       recordsOut,
-		MaxWorkerRecords: max,
-		PerWorker:        append([]int64(nil), perWorker...),
-		ShuffleBytes:     sp.shuffleBytes,
-		CombinerIn:       sp.combinerIn,
-		CombinerOut:      sp.combinerOut,
-		SpilledBytes:     sp.spilledBytes.Load(),
-		SpilledRuns:      sp.spilledRuns.Load(),
-		MergePasses:      sp.mergePasses.Load(),
-		Retries:          c.stats.retriesFor(sp.name),
-		Goroutines:       runtime.NumGoroutine(),
+		Name:              sp.name,
+		StartMS:           float64(sp.start.Sub(c.epoch).Nanoseconds()) / 1e6,
+		WallMS:            float64(wall.Nanoseconds()) / 1e6,
+		RecordsIn:         in,
+		RecordsOut:        recordsOut,
+		MaxWorkerRecords:  max,
+		PerWorker:         append([]int64(nil), perWorker...),
+		FusedOps:          sp.fusedOps,
+		ShuffleBytes:      sp.shuffleBytes,
+		CombinerIn:        sp.combinerIn,
+		CombinerOut:       sp.combinerOut,
+		MaterializedBytes: sp.materializedBytes,
+		SpilledBytes:      sp.spilledBytes.Load(),
+		SpilledRuns:       sp.spilledRuns.Load(),
+		MergePasses:       sp.mergePasses.Load(),
+		Retries:           c.stats.retriesFor(sp.name),
+		Goroutines:        runtime.NumGoroutine(),
 	}
 	reg := c.stats.Metrics()
 	if sp.memSampled {
@@ -114,6 +122,9 @@ func (c *Context) finish(sp *activeSpan, perWorker []int64, recordsOut int64) {
 	if span.MergePasses > 0 {
 		reg.Counter("dataflow.spill.merge_passes").Add(span.MergePasses)
 	}
+	if span.MaterializedBytes > 0 {
+		reg.Counter("dataflow.materialized.bytes").Add(span.MaterializedBytes)
+	}
 	c.stats.endStage(StageStat{Name: sp.name, PerWorker: append([]int64(nil), perWorker...)}, span)
 }
 
@@ -133,6 +144,37 @@ func sumCounts(counts []int64) int64 {
 		n += c
 	}
 	return n
+}
+
+// estimateMaterializedBytes estimates the bytes a narrow stage's output
+// partitions occupy, one sample record per partition extrapolated like the
+// shuffle estimate below. Fused chains materialize only their final output,
+// so this is the footprint the fusion layer saves relative to eager per-op
+// stages; benchdiff gates on its regression.
+func estimateMaterializedBytes[T any](parts [][]T) int64 {
+	var total int64
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		total += metrics.EstimateSize(p[0]) * int64(len(p))
+	}
+	return total
+}
+
+// fusedOpCounts folds the per-worker chain tallies into one per-operator
+// input-record count each, in chain order.
+func fusedOpCounts(ops []string, tallies [][]int64) []metrics.FusedOp {
+	out := make([]metrics.FusedOp, len(ops))
+	for i, name := range ops {
+		out[i].Name = name
+	}
+	for _, tally := range tallies {
+		for i, n := range tally {
+			out[i].RecordsIn += n
+		}
+	}
+	return out
 }
 
 // estimateCrossingBytes estimates the bytes a shuffle moved across

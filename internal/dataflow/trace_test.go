@@ -280,7 +280,7 @@ func TestFailedStageRecordsNoSpan(t *testing.T) {
 	plan := NewFaultPlan(Fault{Stage: "boom", Worker: 0, Kind: FaultTransient})
 	c := NewContext(2, WithFaultPlan(plan)) // no retries: first fault is terminal
 	d := Parallelize(c, "input", []int{1, 2, 3})
-	_ = Map(d, "boom", func(x int) int { return x })
+	Map(d, "boom", func(x int) int { return x }).Materialize()
 	if c.Err() == nil {
 		t.Fatal("fault did not surface")
 	}

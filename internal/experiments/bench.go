@@ -39,9 +39,14 @@ type PipelineRun struct {
 	// SpilledBytes/SpilledRuns are the engine's out-of-core activity
 	// (core.RunStats); additive within schema v1 like Mallocs, zero in
 	// unbudgeted runs and in records from before spilling existed.
-	SpilledBytes int64          `json:"spilled_bytes,omitempty"`
-	SpilledRuns  int64          `json:"spilled_runs,omitempty"`
-	Spans        []metrics.Span `json:"spans,omitempty"`
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
+	SpilledRuns  int64 `json:"spilled_runs,omitempty"`
+	// MaterializedBytes estimates the bytes buffered into partition slices by
+	// narrow-operator stages (core.RunStats.MaterializedBytes); additive within
+	// schema v1, zero in records from before the counter existed. Fusion
+	// lowers it, and benchdiff gates on regressions when both sides measured.
+	MaterializedBytes int64          `json:"materialized_bytes,omitempty"`
+	Spans             []metrics.Span `json:"spans,omitempty"`
 }
 
 // BenchRecord is the machine-readable result of one experiment: the rendered
@@ -63,12 +68,15 @@ type BenchRecord struct {
 	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 	// SpilledBytes/SpilledRuns sum the runs' out-of-core activity (zero when
 	// nothing spilled).
-	SpilledBytes int64         `json:"spilled_bytes,omitempty"`
-	SpilledRuns  int64         `json:"spilled_runs,omitempty"`
-	Runs         []PipelineRun `json:"runs"`
-	Header       []string      `json:"header,omitempty"`
-	Rows         [][]string    `json:"rows,omitempty"`
-	Notes        []string      `json:"notes,omitempty"`
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
+	SpilledRuns  int64 `json:"spilled_runs,omitempty"`
+	// MaterializedBytes sums the runs' narrow-stage buffering estimates (zero
+	// when no run measured them).
+	MaterializedBytes int64         `json:"materialized_bytes,omitempty"`
+	Runs              []PipelineRun `json:"runs"`
+	Header            []string      `json:"header,omitempty"`
+	Rows              [][]string    `json:"rows,omitempty"`
+	Notes             []string      `json:"notes,omitempty"`
 }
 
 // The collector gathers the PipelineRuns of the experiment currently running
@@ -120,6 +128,7 @@ func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Res
 		run.AllocBytes = stats.AllocBytes
 		run.SpilledBytes = stats.SpilledBytes
 		run.SpilledRuns = stats.SpilledRuns
+		run.MaterializedBytes = stats.MaterializedBytes
 	}
 	if stats != nil && stats.Dataflow != nil {
 		run.TotalWork = stats.Dataflow.TotalWork()
@@ -181,6 +190,7 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 		rec.AllocBytes += r.AllocBytes
 		rec.SpilledBytes += r.SpilledBytes
 		rec.SpilledRuns += r.SpilledRuns
+		rec.MaterializedBytes += r.MaterializedBytes
 	}
 	if rec.CriticalPath > 0 {
 		rec.Speedup = float64(rec.TotalWork) / float64(rec.CriticalPath)

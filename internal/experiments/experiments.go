@@ -110,6 +110,7 @@ var registry = []struct {
 	{"fig14", RunFig14, "Query minimization, LUBM Q2 (Figure 14)"},
 	{"appB", RunAppB, "Use-case CINDs and ARs (Appendix B)"},
 	{"ablation", RunAblation, "Candidate-set Bloom size ablation (§7.2)"},
+	{"fusion", RunFusion, "Narrow-operator fusion vs. eager execution"},
 }
 
 // IDs returns the registered experiment identifiers in order.

@@ -149,7 +149,10 @@ func BroadCINDsOutcome(groups *dataflow.Dataset[capture.Group], cfg Config) ([]c
 
 	// Expand every group to its implication closure so that Lemma 3's
 	// membership test sees subsumed unary captures (see DESIGN.md).
-	closed := dataflow.Map(groups, "ext/close", capture.Close)
+	// Materialize pins the closure: pruneBySupport consumes it through two
+	// separate narrow chains (the capture counters and the group pruning),
+	// which would otherwise each replay the closure map under lazy fusion.
+	closed := dataflow.Map(groups, "ext/close", capture.Close).Materialize()
 
 	// Capture-support pruning (steps 1–3): captures occurring in fewer than
 	// h groups cannot take part in any broad CIND — neither as dependent

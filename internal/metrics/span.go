@@ -30,9 +30,21 @@ type Span struct {
 	MaxWorkerRecords int64   `json:"max_worker_records"`
 	PerWorker        []int64 `json:"per_worker,omitempty"`
 
+	// FusedOps attributes per-operator input-record counts inside a fused
+	// narrow-operator chain (dataflow plan.go). Empty for unfused stages;
+	// fused stages carry composite names joining the chained ops with '+'.
+	// RecordsIn counts the chain's source records once, so the per-op counts
+	// here are attribution detail on top of — not part of — the
+	// TotalRecordsIn == TotalWork reconciliation.
+	FusedOps []FusedOp `json:"fused_ops,omitempty"`
+
 	// ShuffleBytes estimates the bytes that crossed partitions during this
 	// stage's shuffle (zero for partition-preserving operators).
 	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
+	// MaterializedBytes estimates the output partitions a narrow stage (or a
+	// fused chain, which materializes only its final output) wrote; zero for
+	// wide operators and sources.
+	MaterializedBytes int64 `json:"materialized_bytes,omitempty"`
 	// CombinerIn/CombinerOut are the record counts before and after combiner
 	// pre-aggregation (ReduceByKey's early aggregation); zero when the stage
 	// has no combiner.
@@ -60,6 +72,13 @@ type Span struct {
 	// in; like ShuffleBytes, they are for relative comparisons between runs.
 	MallocsDelta    uint64 `json:"mallocs_delta,omitempty"`
 	AllocBytesDelta uint64 `json:"alloc_bytes_delta,omitempty"`
+}
+
+// FusedOp is one operator's attribution inside a fused chain span: its name
+// and how many records entered it as the chain streamed.
+type FusedOp struct {
+	Name      string `json:"name"`
+	RecordsIn int64  `json:"records_in"`
 }
 
 // CombinerHitRate is the fraction of records the combiner eliminated before
@@ -134,6 +153,9 @@ func writeSpanNodes(w io.Writer, nodes []*spanNode, depth int) error {
 			s := n.span
 			line := fmt.Sprintf("%s%-*s  %8s  in=%-9d out=%-9d max=%d",
 				indent, 32-2*depth, n.segment, fmtMS(s.WallMS), s.RecordsIn, s.RecordsOut, s.MaxWorkerRecords)
+			if len(s.FusedOps) > 0 {
+				line += fmt.Sprintf("  fused=%d", len(s.FusedOps))
+			}
 			if s.ShuffleBytes > 0 {
 				line += fmt.Sprintf("  shuffle=%s", fmtBytes(s.ShuffleBytes))
 			}
