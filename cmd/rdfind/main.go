@@ -5,6 +5,8 @@
 //
 //	rdfind [-support N] [-workers N] [-ingest-workers N] [-variant rdfind|de|nf|mf]
 //	       [-pred-only-conditions] [-lenient] [-timeout D] [-stats] [-json] file.nt
+//	rdfind -cluster N [-cluster-network tcp|unix] [-chaos SPEC] [flags] file.nt
+//	rdfind worker -addr ADDR -rank N [-network tcp|unix]
 //
 // The result is printed one statement per line, CINDs and ARs sorted by
 // descending support. With -stats, run statistics (frequent conditions,
@@ -12,6 +14,16 @@
 // trace) go to stderr. With -json, stdout instead carries one JSON document
 // holding the result plus the run's metrics snapshot — trace spans, registry
 // counters, work accounting (see internal/core.RunSnapshot).
+//
+// -cluster N runs discovery as a coordinator with N worker processes: the
+// process listens on a socket, spawns N copies of itself in worker mode, and
+// supervises them with heartbeats; a worker process that dies is respawned
+// and recovers through the engine's lineage replay, with output identical to
+// a single-process run. -chaos injects deterministic process faults for
+// robustness testing, as a comma-separated list of kind:rank@seq entries
+// (kinds kill, drop, dup, delay[:duration]), e.g. -chaos 'kill:1@4,drop:0@7'.
+// The worker subcommand is spawned by the coordinator and is not normally
+// invoked by hand; the job's parameters travel in the coordinator's welcome.
 //
 // Exit codes distinguish failure classes for scripting:
 //
@@ -30,7 +42,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
+	"strings"
+	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -50,6 +67,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "worker" {
+		return runWorker(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("rdfind", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	support := fs.Int("support", 100, "support threshold h (minimum distinct included values)")
@@ -65,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "abort discovery after this duration (0 = no limit), exit code 4")
 	memBudget := fs.String("mem-budget", "", "memory budget for keyed shuffle state, e.g. 512M or 2G; overflow spills to disk (empty = unlimited, no spilling)")
 	spillDir := fs.String("spill-dir", "", "directory for spill files (empty = system temp dir; implies a 256M budget if -mem-budget is unset)")
+	clusterN := fs.Int("cluster", 0, "run as coordinator of N worker processes (0 = single-process); overrides -workers")
+	clusterNet := fs.String("cluster-network", "unix", "coordinator listen network: unix or tcp")
+	chaos := fs.String("chaos", "", "inject process faults, comma-separated kind:rank@seq entries (kinds kill, drop, dup, delay:DUR), e.g. 'kill:1@4'")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -92,6 +115,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budget, err := parseByteSize(*memBudget)
 	if err != nil {
 		fmt.Fprintf(stderr, "rdfind: bad -mem-budget: %v\n", err)
+		return exitUsage
+	}
+	if *clusterN > 0 {
+		// The network shuffle and the spill path are mutually exclusive, and
+		// -check never runs the engine at all.
+		switch {
+		case budget > 0 || *spillDir != "":
+			fmt.Fprintln(stderr, "rdfind: -cluster is incompatible with -mem-budget/-spill-dir (distributed shuffles do not spill)")
+			return exitUsage
+		case *check != "":
+			fmt.Fprintln(stderr, "rdfind: -check does not use -cluster")
+			return exitUsage
+		case *clusterNet != "unix" && *clusterNet != "tcp":
+			fmt.Fprintf(stderr, "rdfind: unknown -cluster-network %q\n", *clusterNet)
+			return exitUsage
+		}
+	} else if *chaos != "" {
+		fmt.Fprintln(stderr, "rdfind: -chaos requires -cluster")
 		return exitUsage
 	}
 
@@ -124,6 +165,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var cl *rdfind.Cluster
+	if *clusterN > 0 {
+		spec := jobSpec{
+			Input:         fs.Arg(0),
+			Support:       *support,
+			Variant:       *variantName,
+			PredOnly:      *predOnly,
+			IngestWorkers: *ingestWorkers,
+			Lenient:       *lenient,
+		}
+		var code int
+		cl, code = startCluster(*clusterN, *clusterNet, *chaos, spec, stderr)
+		if code != exitOK {
+			return code
+		}
+		defer cl.Close()
+	}
 	res, runStats, err := rdfind.DiscoverContext(ctx, ds, rdfind.Config{
 		Support:                    *support,
 		Workers:                    *workers,
@@ -131,6 +189,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PredicatesOnlyInConditions: *predOnly,
 		MemoryBudget:               budget,
 		SpillDir:                   *spillDir,
+		Cluster:                    cl,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind:", err)
@@ -177,6 +236,212 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printStats(stderr, runStats)
 	}
 	return exitOK
+}
+
+// jobSpec carries the coordinator's discovery parameters to the worker
+// processes through the welcome message, so the replicated drivers are
+// guaranteed to run the same pipeline over the same input.
+type jobSpec struct {
+	Input         string `json:"input"`
+	Support       int    `json:"support"`
+	Variant       string `json:"variant"`
+	PredOnly      bool   `json:"predOnly,omitempty"`
+	IngestWorkers int    `json:"ingestWorkers"`
+	Lenient       bool   `json:"lenient,omitempty"`
+}
+
+// startCluster opens the coordinator listener and arranges for N copies of
+// this executable to be spawned in worker mode (again after every loss). The
+// unix network listens on a socket in a fresh temp directory; tcp listens on
+// a kernel-assigned localhost port.
+func startCluster(n int, network, chaos string, spec jobSpec, stderr io.Writer) (*rdfind.Cluster, int) {
+	faults, err := parseChaos(chaos)
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind: bad -chaos:", err)
+		return nil, exitUsage
+	}
+	if abs, err := filepath.Abs(spec.Input); err == nil {
+		spec.Input = abs // workers may not share our cwd resolution
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind: resolving executable for worker spawn:", err)
+		return nil, exitDiscovery
+	}
+	addr := "127.0.0.1:0"
+	if network == "unix" {
+		dir, err := os.MkdirTemp("", "rdfind-cluster-")
+		if err != nil {
+			fmt.Fprintln(stderr, "rdfind:", err)
+			return nil, exitDiscovery
+		}
+		addr = filepath.Join(dir, "coord.sock")
+	}
+	cfg := rdfind.ClusterConfig{
+		Workers:    n,
+		Network:    network,
+		Addr:       addr,
+		JobSpec:    mustJSON(spec),
+		ProcFaults: faults,
+	}
+	// The listener knows its final address (tcp picks a port) only after
+	// StartCluster, and Spawn fires during it — hand the address to the
+	// closure through a channel, resolved exactly once.
+	addrCh := make(chan string, 1)
+	var addrOnce sync.Once
+	var dialAddr string
+	cfg.Spawn = func(rank int) error {
+		addrOnce.Do(func() { dialAddr = <-addrCh })
+		cmd := exec.Command(exe, "worker",
+			"-network", network, "-addr", dialAddr, "-rank", strconv.Itoa(rank))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		go cmd.Wait() // reap; a worker's exit status is judged by heartbeats, not wait
+		return nil
+	}
+	cl, err := rdfind.StartCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind:", err)
+		return nil, exitDiscovery
+	}
+	addrCh <- cl.Addr().String()
+	return cl, exitOK
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// parseChaos reads a -chaos schedule: comma-separated kind:rank@seq entries,
+// where kind is kill, drop, dup, or delay[:duration].
+func parseChaos(s string) ([]rdfind.ProcFault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []rdfind.ProcFault
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		kindSpec, at, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("want kind:rank@seq, got %q", entry)
+		}
+		f := rdfind.ProcFault{}
+		switch {
+		case kindSpec == "kill":
+			f.Kind = rdfind.ProcKill
+		case kindSpec == "drop":
+			f.Kind = rdfind.ProcDisconnect
+		case kindSpec == "dup":
+			f.Kind = rdfind.ProcDuplicate
+		case kindSpec == "delay":
+			f.Kind = rdfind.ProcDelay
+			f.Delay = 50 * time.Millisecond
+		default:
+			return nil, fmt.Errorf("unknown fault kind %q in %q", kindSpec, entry)
+		}
+		rankStr, seqStr, ok := strings.Cut(at, "@")
+		if !ok {
+			return nil, fmt.Errorf("want kind:rank@seq, got %q", entry)
+		}
+		// delay admits a duration suffix after the seq: delay:rank@seq:200ms.
+		if f.Kind == rdfind.ProcDelay {
+			if seq, dur, ok := strings.Cut(seqStr, ":"); ok {
+				d, err := time.ParseDuration(dur)
+				if err != nil {
+					return nil, fmt.Errorf("bad delay duration in %q: %v", entry, err)
+				}
+				f.Delay, seqStr = d, seq
+			}
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil || rank < 0 {
+			return nil, fmt.Errorf("bad rank in %q", entry)
+		}
+		seq, err := strconv.Atoi(seqStr)
+		if err != nil || seq < 0 {
+			return nil, fmt.Errorf("bad seq in %q", entry)
+		}
+		f.Rank, f.Seq = rank, seq
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// runWorker is the worker-mode entry point: dial the coordinator, receive the
+// job parameters in the welcome, load the same input, and run the same driver
+// — executing only this rank's partitions. Spawned by -cluster; the exit
+// status is irrelevant to the coordinator, which judges workers by heartbeat.
+func runWorker(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdfind worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	network := fs.String("network", "unix", "coordinator network: unix or tcp")
+	addr := fs.String("addr", "", "coordinator address (socket path or host:port)")
+	rank := fs.Int("rank", -1, "worker rank in [0, workers)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *addr == "" || *rank < 0 {
+		fmt.Fprintln(stderr, "rdfind worker: -addr and -rank are required")
+		return exitUsage
+	}
+	w, err := rdfind.DialWorker(*network, *addr, *rank)
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind worker:", err)
+		return exitDiscovery
+	}
+	defer w.Close()
+	spec, err := decodeJobSpec(w.JobSpec())
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind worker:", err)
+		return exitUsage
+	}
+	variant, ok := map[string]rdfind.Variant{
+		"rdfind": rdfind.Standard,
+		"de":     rdfind.DirectExtraction,
+		"nf":     rdfind.NoFrequentConditions,
+		"mf":     rdfind.MinimalFirst,
+	}[spec.Variant]
+	if !ok {
+		fmt.Fprintf(stderr, "rdfind worker: unknown variant %q in job spec\n", spec.Variant)
+		return exitUsage
+	}
+	ds, code := readInput(spec.Input, spec.IngestWorkers, spec.Lenient, stderr)
+	if code != exitOK {
+		return code
+	}
+	_, _, err = rdfind.DiscoverContext(context.Background(), ds, rdfind.Config{
+		Support:                    spec.Support,
+		Variant:                    variant,
+		PredicatesOnlyInConditions: spec.PredOnly,
+		WorkerConn:                 w,
+	})
+	if err != nil {
+		// An injected kill simulates sudden process death: exit silently so
+		// the coordinator sees only the vanished heartbeat.
+		if !w.Killed() {
+			fmt.Fprintln(stderr, "rdfind worker:", err)
+		}
+		return exitDiscovery
+	}
+	w.Goodbye()
+	return exitOK
+}
+
+func decodeJobSpec(b []byte) (jobSpec, error) {
+	var spec jobSpec
+	if len(b) == 0 {
+		return spec, errors.New("coordinator sent no job spec (started outside rdfind -cluster?)")
+	}
+	if err := json.Unmarshal(b, &spec); err != nil {
+		return spec, fmt.Errorf("bad job spec: %v", err)
+	}
+	return spec, nil
 }
 
 // parseByteSize parses a byte count with an optional K/M/G suffix (powers of
@@ -244,6 +509,12 @@ func printStats(w io.Writer, s *core.RunStats) {
 	fmt.Fprintf(w, "duration:            %v\n", s.Duration)
 	if s.StageRetries > 0 {
 		fmt.Fprintf(w, "stage retries:       %d\n", s.StageRetries)
+	}
+	if s.WorkerLosses > 0 || s.WorkerRespawns > 0 {
+		fmt.Fprintf(w, "worker losses:       %d (%d respawned)\n", s.WorkerLosses, s.WorkerRespawns)
+	}
+	if s.Reconnects > 0 {
+		fmt.Fprintf(w, "worker reconnects:   %d\n", s.Reconnects)
 	}
 	if s.Degraded {
 		fmt.Fprintf(w, "degraded:            extraction re-planned with Bloom work units (load %d)\n", s.ExtractionLoad)

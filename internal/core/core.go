@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/extract"
 	"repro/internal/fcdetect"
+	"repro/internal/metrics"
 	"repro/internal/rdf"
 )
 
@@ -109,6 +110,21 @@ type Config struct {
 	// either way — the differential suites pin that — so this exists for
 	// those suites and for debugging per-operator spans.
 	DisableFusion bool
+	// Cluster makes this run the coordinator of a multi-process job: stages
+	// execute on the cluster's worker processes and this driver consumes the
+	// collective results. Overrides Workers with the cluster's worker count
+	// and disables the in-process spill path (distributed shuffles move data
+	// over the network instead). Mutually exclusive with WorkerConn.
+	Cluster *dataflow.Cluster
+	// WorkerConn makes this run one worker rank of a multi-process job: the
+	// driver replays the same pipeline as the coordinator but executes only
+	// its rank's partition of every stage. Worker count, partitioning seed,
+	// and injected fault schedules come from the coordinator's welcome.
+	WorkerConn *dataflow.WorkerConn
+	// RetryJitter spreads the stage-retry backoff by ±RetryJitter (a fraction
+	// in [0, 1]), decorrelating retry storms when several workers fail
+	// together. 0 keeps the deterministic exponential backoff.
+	RetryJitter float64
 }
 
 func (c Config) normalized() Config {
@@ -126,6 +142,17 @@ func (c Config) normalized() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = time.Millisecond
+	}
+	// Distributed runs take their worker count from the cluster and keep
+	// shuffle state in memory: the network shuffle and the spill path are
+	// mutually exclusive (the CLI rejects the combination up front).
+	if c.Cluster != nil {
+		c.Workers = c.Cluster.Workers()
+		c.MemoryBudget, c.SpillDir = 0, ""
+	}
+	if c.WorkerConn != nil {
+		c.Workers = c.WorkerConn.Workers()
+		c.MemoryBudget, c.SpillDir = 0, ""
 	}
 	return c
 }
@@ -168,6 +195,14 @@ type RunStats struct {
 	// StageRetries is the total number of worker re-executions after
 	// transient faults, summed over all stages (see dataflow.Stats.Retries).
 	StageRetries int
+	// WorkerLosses, WorkerRespawns, and Reconnects report the distributed
+	// engine's fault handling: worker processes declared lost (heartbeat
+	// deadline or injected kill), replacement processes spawned, and worker
+	// connections re-established after transient drops. All zero in a
+	// single-process run.
+	WorkerLosses   int64
+	WorkerRespawns int64
+	Reconnects     int64
 	// Mallocs and AllocBytes are the process-wide allocation deltas
 	// (runtime.MemStats Mallocs and TotalAlloc) across the run — the
 	// whole-pipeline counterpart of the per-span deltas, letting the
@@ -220,6 +255,15 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	if cfg.DisableFusion {
 		dfOpts = append(dfOpts, dataflow.WithFusion(false))
 	}
+	if cfg.RetryJitter > 0 {
+		dfOpts = append(dfOpts, dataflow.WithRetryJitter(cfg.RetryJitter))
+	}
+	if cfg.Cluster != nil {
+		dfOpts = append(dfOpts, dataflow.WithCluster(cfg.Cluster))
+	}
+	if cfg.WorkerConn != nil {
+		dfOpts = append(dfOpts, dataflow.WithWorkerConn(cfg.WorkerConn))
+	}
 	dfctx := dataflow.NewContext(cfg.Workers, dfOpts...)
 	stats := &RunStats{Triples: ds.Size(), Dataflow: dfctx.Stats()}
 	recordAllocs := func() {
@@ -236,6 +280,9 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		stats.SpilledRuns = counters["dataflow.spill.runs"]
 		stats.MergePasses = counters["dataflow.spill.merge_passes"]
 		stats.MaterializedBytes = counters["dataflow.materialized.bytes"]
+		stats.WorkerLosses = counters[metrics.ClusterLosses]
+		stats.WorkerRespawns = counters[metrics.ClusterRespawns]
+		stats.Reconnects = counters[metrics.ClusterReconnects]
 	}
 	finish := func(err error) (*cind.Result, *RunStats, error) {
 		stats.StageRetries = dfctx.Stats().TotalRetries()

@@ -30,6 +30,11 @@ type RunSnapshot struct {
 	// MaterializedBytes estimates the bytes buffered into partition slices by
 	// narrow-operator stages (RunStats.MaterializedBytes); fusion lowers it.
 	MaterializedBytes int64 `json:"materialized_bytes,omitempty"`
+	// Cluster fault accounting (RunStats.WorkerLosses/WorkerRespawns/
+	// Reconnects); all zero in a single-process run.
+	WorkerLosses   int64 `json:"worker_losses,omitempty"`
+	WorkerRespawns int64 `json:"worker_respawns,omitempty"`
+	Reconnects     int64 `json:"reconnects,omitempty"`
 	// Mallocs/AllocBytes are the run's process-wide allocation deltas
 	// (RunStats.Mallocs/AllocBytes); zero on snapshots from before the
 	// counters existed, so readers treat zero as "not measured".
@@ -61,6 +66,9 @@ func (s *RunStats) Snapshot() *RunSnapshot {
 		SpilledRuns:       s.SpilledRuns,
 		MergePasses:       s.MergePasses,
 		MaterializedBytes: s.MaterializedBytes,
+		WorkerLosses:      s.WorkerLosses,
+		WorkerRespawns:    s.WorkerRespawns,
+		Reconnects:        s.Reconnects,
 		Mallocs:           s.Mallocs,
 		AllocBytes:        s.AllocBytes,
 		Speedup:           1,

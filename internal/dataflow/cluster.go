@@ -1,0 +1,743 @@
+// Multi-process distributed execution: the coordinator side.
+//
+// The engine distributes by SPMD replication rather than by shipping
+// closures (Go cannot serialize functions): the coordinator and every worker
+// process run the same deterministic driver program over the same input.
+// Worker rank r executes only partition r of every stage; the coordinator
+// executes no partitions at all and instead consumes the collective results
+// that drive control flow (Collect, Len, GlobalReduce), so it ends the run
+// holding the final output.
+//
+// All cross-process data moves through collectives executed in deterministic
+// program order. Each collective has a sequence number that every process
+// derives independently by counting (Context.nextSeq); the coordinator
+// validates that name and kind agree across processes, which turns any
+// divergence of the replicated drivers into an immediate typed error instead
+// of silent corruption.
+//
+// Fault tolerance is lineage-based: the coordinator retains every completed
+// collective's contributions. Because the driver is deterministic, a lost
+// worker's entire partition state is re-derivable by replaying the program —
+// a respawned replacement starts the driver from the beginning, and its
+// contributions to already-complete collectives are answered instantly from
+// the retained originals (the originals win, preserving byte identity), so
+// the replay fast-forwards to the frontier where the rest of the job is
+// waiting. This is the coarse-grained equivalent of Flink's
+// restart-from-consistent-inputs recovery that RDFind's evaluation relies on.
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Cluster timing defaults; tests and the CLI override via ClusterConfig.
+const (
+	defaultHeartbeatInterval = 200 * time.Millisecond
+	defaultHeartbeatDeadline = 2 * time.Second
+	defaultWriteTimeout      = 10 * time.Second
+	defaultReconnectBase     = 25 * time.Millisecond
+	defaultMaxReconnects     = 5
+	defaultMaxRespawns       = 2
+	defaultDistSeed          = 0x9e3779b97f4a7c15 // fixed job seed when none is given
+	goodbyeWait              = 5 * time.Second
+)
+
+// ClusterConfig parameterizes a coordinator.
+type ClusterConfig struct {
+	// Workers is the number of worker processes (= logical workers).
+	Workers int
+	// Network and Addr are passed to net.Listen ("tcp" or "unix").
+	Network, Addr string
+	// Seed is the job-wide key-partitioning hash seed distributed to all
+	// processes; 0 selects a fixed default.
+	Seed uint64
+	// JobSpec is an opaque job description relayed to workers in the welcome
+	// message (the CLI ships its flag set through it).
+	JobSpec []byte
+	// Spawn launches the worker process for a rank. It is called once per
+	// rank at startup and again after every loss; it must return promptly
+	// (launch asynchronously or from a goroutine-friendly exec).
+	Spawn func(rank int) error
+
+	// HeartbeatInterval is the cadence of liveness traffic in both
+	// directions; HeartbeatDeadline is how stale a worker's last heartbeat
+	// may grow before the coordinator declares the process lost.
+	HeartbeatInterval, HeartbeatDeadline time.Duration
+	// WriteTimeout bounds every message write (the per-RPC timeout).
+	WriteTimeout time.Duration
+	// ReconnectBase is the base of the workers' jittered exponential
+	// reconnect backoff; MaxReconnects bounds their attempts per drop.
+	ReconnectBase time.Duration
+	MaxReconnects int
+	// MaxRespawns bounds how many times one rank may be respawned before
+	// its loss is terminal; 0 selects the default, negative disables
+	// respawning (every loss is terminal).
+	MaxRespawns int
+
+	// Faults is a stage-level fault schedule shipped to the workers (each
+	// fault fires on the process owning its worker index). ProcFaults are
+	// process-level faults fired at collective barriers.
+	Faults     []Fault
+	ProcFaults []ProcFault
+}
+
+func (cfg *ClusterConfig) withDefaults() {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = defaultDistSeed
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = defaultHeartbeatInterval
+	}
+	if cfg.HeartbeatDeadline <= 0 {
+		cfg.HeartbeatDeadline = defaultHeartbeatDeadline
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = defaultWriteTimeout
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = defaultReconnectBase
+	}
+	if cfg.MaxReconnects <= 0 {
+		cfg.MaxReconnects = defaultMaxReconnects
+	}
+	if cfg.MaxRespawns == 0 {
+		cfg.MaxRespawns = defaultMaxRespawns
+	} else if cfg.MaxRespawns < 0 {
+		cfg.MaxRespawns = 0 // negative: disable respawns entirely
+	}
+}
+
+// coordConn wraps one accepted connection with write serialization, so
+// release broadcasts, heartbeats, and abort notices from different
+// goroutines never interleave frames.
+type coordConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (cc *coordConn) send(timeout time.Duration, typ byte, payload []byte) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return sendMsg(cc.conn, timeout, typ, payload)
+}
+
+// rankState tracks one worker rank across process generations.
+type rankState struct {
+	gen         int // increments on every (re)connection of this rank
+	lostGen     int // generation already declared lost; equal to gen ⇒ loss handled
+	cc          *coordConn
+	lastSeen    time.Time // last liveness evidence; initialized with a boot grace
+	losses      int       // processes of this rank declared lost so far
+	lastLossSeq int       // collective frontier at the previous loss (-1: none)
+	goodbye     bool      // current generation completed the job cleanly
+}
+
+// collective is one barrier of the deterministic collective program. The
+// contributions of completed collectives are retained for the lifetime of
+// the job: they are the lineage from which respawned workers fast-forward.
+type collective struct {
+	seq      int
+	kind     byte
+	name     string
+	contribs [][]byte // per-rank contribution bodies; nil = absent
+	have     int
+	rawBytes int64
+	releases [][]byte // per-rank release bodies, computed once at completion
+	done     chan struct{}
+}
+
+// Cluster is the coordinator of a distributed job. Create one with
+// StartCluster, attach it to the driver Context with WithCluster, run the
+// job, then Close.
+type Cluster struct {
+	cfg ClusterConfig
+	ln  net.Listener
+
+	mu          sync.Mutex
+	ctx         *Context // attached by WithCluster
+	ranks       []*rankState
+	colls       map[int]*collective
+	highSeq     int
+	trace       []CollectiveSite
+	spentFaults []bool
+	err         error
+	aborted     chan struct{}
+	done        chan struct{}
+	wg          sync.WaitGroup
+}
+
+// StartCluster opens the coordinator listener, spawns every rank via
+// cfg.Spawn, and starts the accept, heartbeat, and loss-monitor loops.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.withDefaults()
+	ln, err := net.Listen(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: coordinator listen: %w", err)
+	}
+	cl := &Cluster{
+		cfg:         cfg,
+		ln:          ln,
+		ranks:       make([]*rankState, cfg.Workers),
+		colls:       make(map[int]*collective),
+		highSeq:     -1,
+		spentFaults: make([]bool, len(cfg.ProcFaults)),
+		aborted:     make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	now := time.Now()
+	for r := range cl.ranks {
+		cl.ranks[r] = &rankState{lastSeen: now.Add(cfg.HeartbeatDeadline), lastLossSeq: -1}
+	}
+	cl.wg.Add(2)
+	go cl.acceptLoop()
+	go cl.superviseLoop()
+	if cfg.Spawn != nil {
+		for r := 0; r < cfg.Workers; r++ {
+			r := r
+			cl.wg.Add(1)
+			go func() {
+				defer cl.wg.Done()
+				if err := cfg.Spawn(r); err != nil {
+					cl.Abort(&StageError{Stage: "cluster/spawn", Worker: r, Attempt: 1,
+						Cause: fmt.Errorf("spawning rank %d: %w", r, err)})
+				}
+			}()
+		}
+	}
+	return cl, nil
+}
+
+// Addr returns the coordinator's listen address for worker dials.
+func (cl *Cluster) Addr() net.Addr { return cl.ln.Addr() }
+
+// Workers returns the job's worker-process count.
+func (cl *Cluster) Workers() int { return cl.cfg.Workers }
+
+// Err returns the job's terminal failure, if any.
+func (cl *Cluster) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
+// CollectiveTrace returns the collective barriers executed so far in program
+// order. Tests derive deterministic ProcFault schedules from a fault-free
+// run's trace.
+func (cl *Cluster) CollectiveTrace() []CollectiveSite {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]CollectiveSite, len(cl.trace))
+	copy(out, cl.trace)
+	return out
+}
+
+// attach binds the driver Context (called by WithCluster).
+func (cl *Cluster) attach(c *Context) {
+	cl.mu.Lock()
+	cl.ctx = c
+	cl.mu.Unlock()
+}
+
+// count feeds a cluster counter into the attached job's metric registry.
+// Callers may hold cl.mu (lock order: cl.mu → stats.mu).
+func (cl *Cluster) countLocked(name string, n int64) {
+	if cl.ctx != nil {
+		cl.ctx.stats.Metrics().Counter(name).Add(n)
+	}
+}
+
+// Abort latches a terminal failure, wakes every collective waiter, notifies
+// all workers, and fails the attached driver context.
+func (cl *Cluster) Abort(err error) {
+	cl.mu.Lock()
+	cl.abortLocked(err)
+	cl.mu.Unlock()
+}
+
+func (cl *Cluster) abortLocked(err error) {
+	if cl.err != nil {
+		return
+	}
+	cl.err = err
+	close(cl.aborted)
+	ccs := make([]*coordConn, 0, len(cl.ranks))
+	for _, rs := range cl.ranks {
+		if rs.cc != nil {
+			ccs = append(ccs, rs.cc)
+		}
+	}
+	ctx := cl.ctx
+	payload := encodeWireError(err)
+	// The broadcast and the driver-side fail run outside cl.mu: Context.fail
+	// calls back into Cluster.Abort (to cover driver-originated failures),
+	// and conn writes must not stall the coordinator state machine.
+	cl.wg.Add(1)
+	go func() {
+		defer cl.wg.Done()
+		for _, cc := range ccs {
+			cc.send(cl.cfg.WriteTimeout, msgAbort, payload)
+		}
+		if ctx != nil {
+			ctx.fail(err)
+		}
+	}()
+}
+
+// Close shuts the coordinator down. On a healthy job it first waits briefly
+// for all workers' goodbyes, so final releases drain before connections drop.
+func (cl *Cluster) Close() error {
+	if cl.Err() == nil {
+		deadline := time.Now().Add(goodbyeWait)
+		for time.Now().Before(deadline) {
+			cl.mu.Lock()
+			all := true
+			for _, rs := range cl.ranks {
+				if !rs.goodbye {
+					all = false
+					break
+				}
+			}
+			cl.mu.Unlock()
+			if all {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	cl.mu.Lock()
+	select {
+	case <-cl.done:
+	default:
+		close(cl.done)
+	}
+	for _, rs := range cl.ranks {
+		if rs.cc != nil {
+			rs.cc.conn.Close()
+		}
+	}
+	cl.mu.Unlock()
+	cl.ln.Close()
+	cl.wg.Wait()
+	return cl.Err()
+}
+
+func (cl *Cluster) closed() bool {
+	select {
+	case <-cl.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// acceptLoop admits worker connections until the coordinator closes.
+func (cl *Cluster) acceptLoop() {
+	defer cl.wg.Done()
+	for {
+		conn, err := cl.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		cl.wg.Add(1)
+		go func() {
+			defer cl.wg.Done()
+			cl.serve(conn)
+		}()
+	}
+}
+
+// serve handles one worker connection: hello/welcome handshake, then the
+// message loop. Read errors do not declare the worker lost — connection
+// drops are recoverable (the worker reconnects); only the heartbeat deadline
+// or an observed kill does.
+func (cl *Cluster) serve(conn net.Conn) {
+	defer conn.Close()
+	r := newWireReader(conn)
+	conn.SetReadDeadline(time.Now().Add(cl.cfg.HeartbeatDeadline))
+	typ, payload, err := readMsg(r)
+	if err != nil || typ != msgHello {
+		return
+	}
+	hello, err := decodeJSON[helloMsg](payload)
+	if err != nil || hello.Rank < 0 || hello.Rank >= cl.cfg.Workers {
+		return
+	}
+	rank := hello.Rank
+	cc := &coordConn{conn: conn}
+
+	cl.mu.Lock()
+	if cl.closed() {
+		cl.mu.Unlock()
+		return
+	}
+	rs := cl.ranks[rank]
+	if old := rs.cc; old != nil && old != cc {
+		old.conn.Close()
+	}
+	// A second hello from a rank that was never declared lost is a reconnect
+	// after a transient drop (a respawn's hello follows a loss, which marked
+	// the previous generation in lostGen).
+	if rs.gen > 0 && rs.lostGen != rs.gen {
+		cl.countLocked(metrics.ClusterReconnects, 1)
+	}
+	rs.gen++
+	gen := rs.gen
+	rs.cc = cc
+	rs.lastSeen = time.Now()
+	welcome := welcomeMsg{
+		Rank:            rank,
+		Workers:         cl.cfg.Workers,
+		Seed:            cl.cfg.Seed,
+		JobSpec:         cl.cfg.JobSpec,
+		HeartbeatMS:     cl.cfg.HeartbeatInterval.Milliseconds(),
+		DeadlineMS:      cl.cfg.HeartbeatDeadline.Milliseconds(),
+		WriteTimeoutMS:  cl.cfg.WriteTimeout.Milliseconds(),
+		ReconnectBaseMS: cl.cfg.ReconnectBase.Milliseconds(),
+		MaxReconnects:   cl.cfg.MaxReconnects,
+		Faults:          cl.cfg.Faults,
+		ProcFaults:      cl.cfg.ProcFaults,
+	}
+	for i, spent := range cl.spentFaults {
+		if spent {
+			welcome.Spent = append(welcome.Spent, i)
+		}
+	}
+	cl.mu.Unlock()
+
+	if err := cc.send(cl.cfg.WriteTimeout, msgWelcome, encodeJSON(welcome)); err != nil {
+		return
+	}
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(cl.cfg.HeartbeatDeadline))
+		typ, payload, err := readMsg(r)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case msgHeartbeat:
+			cl.mu.Lock()
+			if rs.gen == gen {
+				rs.lastSeen = time.Now()
+				cl.countLocked(metrics.ClusterHeartbeats, 1)
+			}
+			cl.mu.Unlock()
+		case msgContribute:
+			cl.handleContribute(rank, cc, payload)
+		case msgFaultFired:
+			cl.handleFaultFired(rank, payload)
+		case msgFailJob:
+			cl.Abort(decodeWireError(payload))
+		case msgGoodbye:
+			cl.mu.Lock()
+			if rs.gen == gen {
+				rs.goodbye = true
+				rs.lastSeen = time.Now().Add(24 * time.Hour) // done; never declare lost
+			}
+			cl.mu.Unlock()
+			return
+		}
+	}
+}
+
+// handleContribute implements the idempotent collective protocol. The first
+// complete contribution per (seq, rank) wins; duplicates are absorbed; a
+// contribution to an already-complete collective (a respawned worker
+// replaying the program) is answered immediately from the retained lineage.
+func (cl *Cluster) handleContribute(rank int, cc *coordConn, payload []byte) {
+	seq, kind, name, body, err := decodeContribute(payload)
+	if err != nil {
+		cl.Abort(&StageError{Stage: "cluster", Worker: rank, Attempt: 1, Cause: err})
+		return
+	}
+	cl.mu.Lock()
+	if cl.err != nil {
+		reply := encodeRelease(seq, releaseFailed, encodeWireError(cl.err))
+		cl.mu.Unlock()
+		cc.send(cl.cfg.WriteTimeout, msgRelease, reply)
+		return
+	}
+	coll, err := cl.collLocked(seq, kind, name)
+	if err != nil {
+		cl.abortLocked(err)
+		cl.mu.Unlock()
+		return
+	}
+	if coll.contribs[rank] != nil {
+		// Duplicate (ProcDuplicate injection, a reconnect re-send racing its
+		// original, or a replaying respawned worker).
+		cl.countLocked(metrics.ClusterDupContribs, 1)
+		if coll.have < cl.cfg.Workers {
+			cl.mu.Unlock()
+			return // incomplete: the release will reach this rank on completion
+		}
+		cl.countLocked(metrics.ClusterReplayedReleases, 1)
+		reply := encodeRelease(seq, releaseOK, coll.releases[rank])
+		cl.mu.Unlock()
+		cc.send(cl.cfg.WriteTimeout, msgRelease, reply)
+		return
+	}
+	coll.contribs[rank] = body
+	coll.have++
+	coll.rawBytes += int64(len(body))
+	cl.countLocked(metrics.ClusterShuffleBytes, int64(len(body)))
+	if coll.have < cl.cfg.Workers {
+		cl.mu.Unlock()
+		return
+	}
+	// Complete: derive the per-rank releases, retain everything as lineage,
+	// and broadcast to the current generation of every rank.
+	if err := coll.completeLocked(cl.cfg.Workers); err != nil {
+		cl.abortLocked(&StageError{Stage: name, Worker: rank, Attempt: 1, Cause: err})
+		cl.mu.Unlock()
+		return
+	}
+	cl.countLocked(metrics.ClusterCollectives, 1)
+	close(coll.done)
+	type dst struct {
+		cc      *coordConn
+		payload []byte
+	}
+	sends := make([]dst, 0, cl.cfg.Workers)
+	for r, rs := range cl.ranks {
+		if rs.cc != nil {
+			sends = append(sends, dst{rs.cc, encodeRelease(seq, releaseOK, coll.releases[r])})
+		}
+	}
+	cl.mu.Unlock()
+	for _, s := range sends {
+		s.cc.send(cl.cfg.WriteTimeout, msgRelease, s.payload)
+	}
+}
+
+// collLocked finds or creates the collective for seq, validating that every
+// process describes the same barrier — a mismatch means the replicated
+// drivers diverged, which is terminal.
+func (cl *Cluster) collLocked(seq int, kind byte, name string) (*collective, error) {
+	if coll, ok := cl.colls[seq]; ok {
+		if coll.kind != kind || coll.name != name {
+			return nil, &StageError{Stage: name, Worker: -1, Attempt: 1, Deterministic: true,
+				Cause: fmt.Errorf("collective %d diverged across processes: %s %q vs %s %q",
+					seq, kindName(kind), name, kindName(coll.kind), coll.name)}
+		}
+		return coll, nil
+	}
+	coll := &collective{
+		seq:      seq,
+		kind:     kind,
+		name:     name,
+		contribs: make([][]byte, cl.cfg.Workers),
+		done:     make(chan struct{}),
+	}
+	cl.colls[seq] = coll
+	if seq > cl.highSeq {
+		cl.highSeq = seq
+	}
+	cl.trace = append(cl.trace, CollectiveSite{Seq: seq, Name: name, Kind: kind})
+	return coll, nil
+}
+
+// completeLocked derives the release bodies. A gather releases all
+// contributions in rank order to everyone; a shuffle transposes the per-rank
+// bucket lists so rank t receives bucket t of every source in rank order.
+func (coll *collective) completeLocked(workers int) error {
+	coll.releases = make([][]byte, workers)
+	if coll.kind == kindGather {
+		var rel []byte
+		for _, body := range coll.contribs {
+			rel = appendBlob(rel, body)
+		}
+		for r := range coll.releases {
+			coll.releases[r] = rel
+		}
+		return nil
+	}
+	buckets := make([][][]byte, workers) // [source][target]
+	for s, body := range coll.contribs {
+		bs, err := splitBlobs(body)
+		if err != nil || len(bs) != workers {
+			return fmt.Errorf("corrupt shuffle contribution from rank %d: %d buckets, want %d", s, len(bs), workers)
+		}
+		buckets[s] = bs
+	}
+	for t := 0; t < workers; t++ {
+		var rel []byte
+		for s := 0; s < workers; s++ {
+			rel = appendBlob(rel, buckets[s][t])
+		}
+		coll.releases[t] = rel
+	}
+	return nil
+}
+
+// handleFaultFired marks an injected process fault spent, and fast-paths the
+// loss declaration for kills so recovery does not wait out the deadline.
+func (cl *Cluster) handleFaultFired(rank int, payload []byte) {
+	idx, _, ok := uvarintAt(payload)
+	if !ok || idx >= len(cl.cfg.ProcFaults) {
+		return
+	}
+	cl.mu.Lock()
+	cl.spentFaults[idx] = true
+	pf := cl.cfg.ProcFaults[idx]
+	if pf.Kind == ProcKill && pf.Rank == rank {
+		// The notice names the fault, so no loss inference: inferring here
+		// would spend the NEXT kill scheduled for this rank too, silently
+		// disarming a repeated-kill schedule.
+		cl.loseRankLocked(rank, ErrWorkerKilled, false)
+	}
+	cl.mu.Unlock()
+}
+
+// superviseLoop sends coordinator→worker heartbeats and enforces the
+// heartbeat deadline, declaring stale workers lost.
+func (cl *Cluster) superviseLoop() {
+	defer cl.wg.Done()
+	tick := time.NewTicker(cl.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-cl.done:
+			return
+		case <-tick.C:
+		}
+		cl.mu.Lock()
+		if cl.err != nil {
+			cl.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		ccs := make([]*coordConn, 0, len(cl.ranks))
+		for r, rs := range cl.ranks {
+			if rs.cc != nil {
+				ccs = append(ccs, rs.cc)
+			}
+			if now.Sub(rs.lastSeen) > cl.cfg.HeartbeatDeadline {
+				cl.loseRankLocked(r, fmt.Errorf("heartbeat deadline exceeded (last seen %v ago)", now.Sub(rs.lastSeen).Round(time.Millisecond)), true)
+			}
+		}
+		cl.mu.Unlock()
+		for _, cc := range ccs {
+			cc.send(cl.cfg.WriteTimeout, msgHeartbeat, nil)
+		}
+	}
+}
+
+// frontierLocked is the smallest incomplete collective barrier — the point
+// lineage replay must re-reach. With no incomplete barrier it is the next
+// unseen one.
+func (cl *Cluster) frontierLocked() (int, string) {
+	frontier, name := cl.highSeq+1, "cluster"
+	for seq, coll := range cl.colls {
+		if coll.have < cl.cfg.Workers && seq < frontier {
+			frontier, name = seq, coll.name
+		}
+	}
+	return frontier, name
+}
+
+// loseRankLocked declares one worker process lost and decides between
+// respawn-and-replay and terminal failure. The classification mirrors the
+// in-process retry path: a loss is transient (ErrProcessLoss wrapped
+// Transient inside a StageError naming the frontier stage) unless the rank
+// died twice at the same barrier — then the loss is deterministic — or its
+// respawn budget is exhausted. inferSpent is set by detection paths that
+// carry no fault-fired notice (the heartbeat deadline): the killed worker may
+// have died before its notice got out, so the first unspent kill scheduled
+// for this rank is assumed to be the one that fired.
+func (cl *Cluster) loseRankLocked(rank int, cause error, inferSpent bool) {
+	rs := cl.ranks[rank]
+	if rs.lostGen == rs.gen || rs.goodbye || cl.err != nil || cl.closed() {
+		return // this generation is already handled (or the job is over)
+	}
+	rs.lostGen = rs.gen
+	if rs.cc != nil {
+		rs.cc.conn.Close()
+	}
+	rs.losses++
+	cl.countLocked(metrics.ClusterLosses, 1)
+	// Loss inference: a killed worker may not have gotten its fault-fired
+	// notice out. Mark the first unspent kill scheduled for this rank spent,
+	// so the replayed replacement is not re-killed at the same barrier.
+	if inferSpent {
+		for i, pf := range cl.cfg.ProcFaults {
+			if pf.Kind == ProcKill && pf.Rank == rank && !cl.spentFaults[i] {
+				cl.spentFaults[i] = true
+				break
+			}
+		}
+	}
+	frontierSeq, frontierName := cl.frontierLocked()
+	deterministic := rs.lastLossSeq >= 0 && rs.lastLossSeq == frontierSeq
+	rs.lastLossSeq = frontierSeq
+	if deterministic || rs.losses > cl.cfg.MaxRespawns {
+		cl.abortLocked(&StageError{Stage: frontierName, Worker: rank, Attempt: rs.losses,
+			Deterministic: deterministic,
+			Cause:         Transient(fmt.Errorf("%w: rank %d (%v)", ErrProcessLoss, rank, cause))})
+		return
+	}
+	if cl.ctx != nil {
+		cl.ctx.stats.recordRetries(frontierName, 1)
+	}
+	cl.countLocked(metrics.ClusterRespawns, 1)
+	rs.lastSeen = time.Now().Add(cl.cfg.HeartbeatDeadline) // boot grace for the replacement
+	if cl.cfg.Spawn == nil {
+		cl.abortLocked(&StageError{Stage: frontierName, Worker: rank, Attempt: rs.losses,
+			Cause: fmt.Errorf("%w: rank %d (%v); no respawn hook configured", ErrProcessLoss, rank, cause)})
+		return
+	}
+	spawn := cl.cfg.Spawn
+	cl.wg.Add(1)
+	go func() {
+		defer cl.wg.Done()
+		if err := spawn(rank); err != nil {
+			cl.Abort(&StageError{Stage: frontierName, Worker: rank, Attempt: rs.losses,
+				Cause: fmt.Errorf("respawning rank %d: %w", rank, err)})
+		}
+	}()
+}
+
+// await blocks the coordinator driver at one collective barrier until the
+// workers complete it (or the job dies), and returns the completed barrier.
+func (cl *Cluster) await(c *Context, seq int, kind byte, name string) (*collective, error) {
+	cl.mu.Lock()
+	if cl.err != nil {
+		err := cl.err
+		cl.mu.Unlock()
+		return nil, err
+	}
+	coll, err := cl.collLocked(seq, kind, name)
+	if err != nil {
+		cl.abortLocked(err)
+		cl.mu.Unlock()
+		return nil, err
+	}
+	cl.mu.Unlock()
+	var cancel <-chan struct{}
+	if c.job != nil {
+		cancel = c.job.Done()
+	}
+	select {
+	case <-coll.done:
+		return coll, nil
+	case <-cl.aborted:
+		return nil, cl.Err()
+	case <-cancel:
+		err := &StageError{Stage: name, Worker: -1, Attempt: 1,
+			Cause: fmt.Errorf("cancelled: %w", c.job.Err())}
+		cl.Abort(err)
+		return nil, err
+	}
+}
+
+// errIsProcessLoss reports whether err traces to a lost worker process.
+func errIsProcessLoss(err error) bool { return errors.Is(err, ErrProcessLoss) }

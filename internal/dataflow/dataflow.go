@@ -69,6 +69,17 @@ type Context struct {
 	spillDir    string          // directory for spill files; "": the OS temp dir
 	fuse        bool            // lazy narrow-operator fusion (plan.go); false: eager per-op stages
 
+	jitter  float64                  // retry-backoff jitter fraction in [0, 1]
+	sleepFn func(time.Duration) bool // inter-attempt wait; overridable for timing-free tests
+
+	// Distributed-mode state (cluster.go / worker.go / dist.go). At most one
+	// of cluster and worker is set; both nil means single-process.
+	cluster  *Cluster    // set on the coordinator driver
+	worker   *WorkerConn // set on a worker rank's driver replica
+	rank     int         // this process's worker rank (-1: coordinator or single-process)
+	distSeed uint64      // cluster-wide key-partitioning seed
+	distSeq  int         // next collective barrier number (deterministic counting)
+
 	mu  sync.Mutex
 	err error // first terminal failure; latches the whole pipeline
 }
@@ -161,7 +172,9 @@ func NewContext(workers int, opts ...Option) *Context {
 		maxAttempts: 1,
 		backoff:     time.Millisecond,
 		fuse:        fusionDefault(),
+		rank:        -1,
 	}
+	c.sleepFn = c.sleep
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -189,13 +202,26 @@ func (c *Context) Err() error {
 	return c.err
 }
 
-// fail latches the first terminal failure.
+// fail latches the first terminal failure. In distributed mode the first
+// failure also propagates across the process boundary — the coordinator
+// aborts the whole cluster, a worker notifies its coordinator — and the
+// resulting echoes are absorbed by the latch on each side.
 func (c *Context) fail(err error) {
 	c.mu.Lock()
-	if c.err == nil {
+	first := c.err == nil
+	if first {
 		c.err = err
 	}
 	c.mu.Unlock()
+	if !first {
+		return
+	}
+	if c.cluster != nil {
+		c.cluster.Abort(err)
+	}
+	if c.worker != nil {
+		c.worker.Fail(err)
+	}
 }
 
 func (c *Context) failed() bool { return c.Err() != nil }
@@ -244,6 +270,11 @@ type Dataset[T any] struct {
 	// use it to pre-size downstream aggregation maps; record-subset operators
 	// (Filter) propagate it, since a subset cannot add keys.
 	distinct int64
+	// glen memoizes the cluster-wide Len in distributed mode, where computing
+	// it is a collective barrier: repeated Len calls must not consume extra
+	// barrier sequence numbers.
+	glen   int
+	glenOK bool
 }
 
 // Context returns the context the dataset belongs to.
@@ -258,9 +289,25 @@ func (d *Dataset[T]) Partitions() [][]T {
 }
 
 // Len returns the total number of records across all partitions, forcing any
-// pending chain first.
+// pending chain first. In distributed mode it is a collective: every process
+// receives the cluster-wide count (memoized, so repeated calls are free and
+// barrier-aligned).
 func (d *Dataset[T]) Len() int {
 	d.force()
+	if d.ctx.distributed() {
+		if d.glenOK {
+			return d.glen
+		}
+		if d.ctx.failed() {
+			return 0
+		}
+		n, ok := distLen(d)
+		if !ok {
+			return 0
+		}
+		d.glen, d.glenOK = n, true
+		return n
+	}
 	n := 0
 	for _, p := range d.parts {
 		n += len(p)
@@ -290,9 +337,16 @@ func (c *Context) runStage(name string, f func(worker int) error) bool {
 	if c.failed() {
 		return false
 	}
-	pending := make([]int, c.workers)
-	for w := range pending {
-		pending[w] = w
+	pending := c.pendingWorkers()
+	if len(pending) == 0 {
+		// Coordinator driver: partitions execute on the worker processes;
+		// the stage is a control-flow no-op here beyond the cancel check.
+		if err := c.cancelErr(); err != nil {
+			c.fail(&StageError{Stage: name, Worker: -1, Attempt: 1,
+				Cause: fmt.Errorf("cancelled: %w", err)})
+			return false
+		}
+		return true
 	}
 	// lastErr remembers each worker's failure message from the previous
 	// attempt. Inputs are immutable retained partitions, so a transient
@@ -354,7 +408,7 @@ func (c *Context) runStage(name string, f func(worker int) error) bool {
 			lastErr[wf.worker] = wf.err.Error()
 		}
 		c.stats.recordRetries(name, len(failures))
-		if !c.sleep(c.backoff << (attempt - 1)) {
+		if !c.sleepFn(retryDelay(c.backoff, attempt, c.jitter)) {
 			c.fail(&StageError{Stage: name, Worker: first.worker, Attempt: attempt,
 				Cause: fmt.Errorf("cancelled during retry backoff: %w", c.cancelErr())})
 			return false
@@ -657,9 +711,15 @@ func shuffleParts[T any](c *Context, name string, parts [][]T, target func(T) in
 }
 
 // shuffleByKey hash-partitions keyed records so that all records with equal
-// keys land in the same output partition.
+// keys land in the same output partition. In distributed mode the shuffle
+// crosses processes through the coordinator, routed by the seeded hash of
+// the codec's key encoding instead of maphash (whose seed cannot leave the
+// process).
 func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][]Pair[K, V], int64, bool) {
 	c := d.ctx
+	if c.distributed() {
+		return distShufflePairs(c, name, d.parts)
+	}
 	return shuffleParts(c, name, d.parts, func(kv Pair[K, V]) int {
 		return hashPartition(c, kv.Key)
 	})
@@ -673,7 +733,10 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) ([][
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combine func(V, V) V) *Dataset[Pair[K, V]] {
 	c := d.ctx
 	d.force()
-	if c.memBudget > 0 {
+	// Spilling and the network shuffle are mutually exclusive (the spill
+	// scatter assumes all routes are process-local); distributed runs stay in
+	// memory per rank.
+	if c.memBudget > 0 && !c.distributed() {
 		if codec, ok := pairCodecFor[K, V](); ok {
 			return reduceByKeySpill(d, name, combine, codec)
 		}
@@ -756,7 +819,7 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Dataset[Pair[K, []V]] {
 	c := d.ctx
 	d.force()
-	if c.memBudget > 0 {
+	if c.memBudget > 0 && !c.distributed() {
 		if codec, ok := pairCodecFor[K, V](); ok {
 			return groupByKeySpill(d, name, codec)
 		}
@@ -919,9 +982,20 @@ func Distinct[T comparable](d *Dataset[T], name string) *Dataset[T] {
 	}
 	sp.combinerIn = sumCounts(counts)
 	sp.combinerOut = totalLen(pre)
-	shuffled, bytes, ok := shuffleParts(c, name, pre, func(t T) int {
-		return hashPartition(c, t)
-	})
+	var (
+		shuffled [][]T
+		bytes    int64
+		ok       bool
+	)
+	if c.distributed() {
+		// Route each record by the seeded hash of its own encoding, so equal
+		// records meet on one rank cluster-wide.
+		shuffled, bytes, ok = distShuffleRecords(c, name, pre, nil)
+	} else {
+		shuffled, bytes, ok = shuffleParts(c, name, pre, func(t T) int {
+			return hashPartition(c, t)
+		})
+	}
 	if !ok {
 		return empty[T](c)
 	}
@@ -962,13 +1036,25 @@ func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T
 	for w, p := range d.parts {
 		counts[w] = int64(len(p))
 	}
-	out, bytes, ok := shuffleParts(c, name, d.parts, func(t T) int {
+	wrap := func(t T) int {
 		p := part(t) % c.workers
 		if p < 0 {
 			p += c.workers
 		}
 		return p
-	})
+	}
+	var (
+		out   [][]T
+		bytes int64
+		ok    bool
+	)
+	if c.distributed() {
+		// part must be a pure function of the record; the replicated drivers
+		// all compute the same placement.
+		out, bytes, ok = distShuffleRecords(c, name, d.parts, wrap)
+	} else {
+		out, bytes, ok = shuffleParts(c, name, d.parts, wrap)
+	}
 	if !ok {
 		return empty[T](c)
 	}
@@ -985,6 +1071,17 @@ func Collect[T any](d *Dataset[T]) []T {
 	d.force()
 	if d.ctx.failed() {
 		return nil
+	}
+	if d.ctx.distributed() {
+		// A gather collective: every process receives all records in (rank,
+		// partition-order) — the same order the single-process concatenation
+		// produces — so driver control flow built on Collect results stays
+		// identical across the replicated drivers.
+		all, ok := distCollect(d)
+		if !ok {
+			return nil
+		}
+		return all
 	}
 	var all []T
 	for _, p := range d.parts {
@@ -1028,6 +1125,27 @@ func GlobalReduce[T any](d *Dataset[T], name string, f func(T, T) T) (T, bool) {
 		return nil
 	}) {
 		return zero, false
+	}
+	if c.distributed() {
+		// Cross-process merge: gather the per-rank partials and fold them in
+		// rank order on every process. The linear fold equals the merge tree
+		// below by associativity, and decoding fresh copies per process keeps
+		// accumulator-mutating f (Bloom union) safe.
+		var partial T
+		had := false
+		if c.worker != nil {
+			partial, had = partials[c.rank], have[c.rank]
+		}
+		acc, got, ok := distMergePartials(c, name, f, partial, had)
+		if !ok {
+			return zero, false
+		}
+		var out int64
+		if got {
+			out = 1
+		}
+		c.finish(sp, counts, out)
+		return acc, got
 	}
 	// Each round halves the live slots: merge worker w combines slot
 	// i = w·2·stride with its partner at i+stride. Rounds write into fresh

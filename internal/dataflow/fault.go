@@ -23,6 +23,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 )
 
 // StageError reports the failure of one stage execution: which stage, which
@@ -247,4 +248,90 @@ func recoverWorker(r any) error {
 		return err
 	}
 	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// Process-level fault model for the distributed mode (cluster.go). These
+// extend the in-process FaultPlan: where a Fault perturbs one worker
+// goroutine of one stage, a ProcFault perturbs a whole worker process or its
+// coordinator connection at a chosen collective barrier.
+
+// Sentinel errors classifying process-level failures into the StageError
+// model. They compose with Transient: a recoverable worker loss surfaces (and
+// is retried via respawn) as a Transient(ErrProcessLoss)-wrapped StageError.
+var (
+	// ErrProcessLoss marks a worker process declared dead by the coordinator
+	// (missed heartbeat deadline or observed kill).
+	ErrProcessLoss = errors.New("worker process lost")
+	// ErrWorkerKilled is the local error a worker's RunJob returns when an
+	// injected ProcKill terminates it (in-process harness mode; a real
+	// subprocess just exits).
+	ErrWorkerKilled = errors.New("worker process killed by injected fault")
+	// ErrCoordinatorLost is returned by a worker that exhausted its reconnect
+	// budget against an unreachable coordinator.
+	ErrCoordinatorLost = errors.New("coordinator unreachable")
+	// ErrRemoteFailure wraps a terminal failure that originated on another
+	// process and was propagated over the wire.
+	ErrRemoteFailure = errors.New("remote failure")
+)
+
+// procKillPanic terminates a worker goroutine in the in-process harness; a
+// subprocess worker exits instead. RunJob recovers it into ErrWorkerKilled.
+type procKillPanic struct{}
+
+// ProcFaultKind selects how an injected process-level fault manifests.
+type ProcFaultKind uint8
+
+const (
+	// ProcKill terminates the worker process at the chosen collective. The
+	// coordinator detects the loss, respawns the rank, and re-derives its
+	// partitions by lineage replay.
+	ProcKill ProcFaultKind = iota
+	// ProcDisconnect drops the worker's coordinator connection at the chosen
+	// collective; the worker reconnects with jittered backoff and re-sends
+	// its in-flight contribution.
+	ProcDisconnect
+	// ProcDuplicate sends the worker's contribution twice; the coordinator's
+	// idempotent contribution protocol must absorb the duplicate.
+	ProcDuplicate
+	// ProcDelay stalls the worker's contribution by Delay before sending.
+	ProcDelay
+)
+
+func (k ProcFaultKind) String() string {
+	switch k {
+	case ProcKill:
+		return "kill"
+	case ProcDisconnect:
+		return "disconnect"
+	case ProcDuplicate:
+		return "duplicate"
+	default:
+		return "delay"
+	}
+}
+
+// ProcFault schedules one process-level fault: when worker Rank reaches
+// collective barrier Seq (0-based position in the deterministic collective
+// program; see Cluster.CollectiveTrace), Kind fires before the contribution
+// is sent. The struct is JSON-serializable — plans ship to workers inside the
+// welcome message.
+type ProcFault struct {
+	// Seq is the collective sequence number the fault fires at.
+	Seq int `json:"seq"`
+	// Rank is the worker rank the fault fires on.
+	Rank int `json:"rank"`
+	// Kind selects the manifestation.
+	Kind ProcFaultKind `json:"kind"`
+	// Delay is the stall duration for ProcDelay (ignored otherwise).
+	Delay time.Duration `json:"delay,omitempty"`
+}
+
+// CollectiveSite is one entry of the coordinator's collective trace: the
+// barrier's position in program order, the stage name it served, and its
+// kind. Tests derive deterministic ProcFault schedules from a fault-free
+// run's trace, mirroring the FaultPlan Trace → RandomFaultPlan workflow.
+type CollectiveSite struct {
+	Seq  int
+	Name string
+	Kind byte
 }

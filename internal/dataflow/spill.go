@@ -64,8 +64,13 @@ var pairCodecs sync.Map
 // over Pair[K, V]. Packages register their record types in init; the latest
 // registration for a type wins. Operators whose record type has no codec run
 // in memory regardless of the budget.
+//
+// Registration also derives and registers the matching ValueCodec[Pair[K, V]]
+// (each pair encoded as one spill frame), so every spillable pair type can
+// cross the network in distributed mode with no extra registration.
 func RegisterPairCodec[K comparable, V any](codec PairCodec[K, V]) {
 	pairCodecs.Store(reflect.TypeOf(Pair[K, V]{}), codec)
+	RegisterValueCodec[Pair[K, V]](pairValueCodec[K, V]{pc: codec})
 }
 
 // pairCodecFor looks up the codec for Pair[K, V].
@@ -298,10 +303,35 @@ func flushChunk(cl *chunkList, file **spillFile, dir string, sp *activeSpan) err
 	return nil
 }
 
+// cancelCheckEvery bounds how many spill frames stream between cancellation
+// checks: a cancelled job stops its replay and merge loops within a bounded
+// amount of work, so the deferred file closes run promptly instead of after
+// a full external merge.
+const cancelCheckEvery = 1024
+
+// cancelCounter polls the job's cancellation every cancelCheckEvery events.
+type cancelCounter struct {
+	c *Context
+	n int
+}
+
+func (cc *cancelCounter) check() error {
+	cc.n++
+	if cc.n%cancelCheckEvery != 0 {
+		return nil
+	}
+	if err := cc.c.cancelErr(); err != nil {
+		return fmt.Errorf("dataflow: spill stream cancelled: %w", err)
+	}
+	return nil
+}
+
 // replayChunks streams every frame routed from all sources to target t, in
-// source-worker order, into ingest.
-func replayChunks(files []*spillFile, chunks [][]chunkList, t int, ingest func(kb, vb []byte) error) error {
+// source-worker order, into ingest, aborting early when the job is
+// cancelled.
+func replayChunks(c *Context, files []*spillFile, chunks [][]chunkList, t int, ingest func(kb, vb []byte) error) error {
 	var segbuf []byte
+	cancel := cancelCounter{c: c}
 	consume := func(buf []byte) error {
 		for len(buf) > 0 {
 			kb, vb, n, err := decodeFrame(buf)
@@ -310,6 +340,9 @@ func replayChunks(files []*spillFile, chunks [][]chunkList, t int, ingest func(k
 			}
 			if n == 0 {
 				return nil
+			}
+			if err := cancel.check(); err != nil {
+				return err
 			}
 			if err := ingest(kb, vb); err != nil {
 				return err
@@ -417,8 +450,8 @@ func (h mergeHeap) Less(i, j int) bool {
 	}
 	return h[i].idx < h[j].idx
 }
-func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(*mergeCursor)) }
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*mergeCursor)) }
 func (h *mergeHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -430,8 +463,11 @@ func (h *mergeHeap) Pop() any {
 // mergeRunGroup k-way merges a group of key-sorted runs from file, invoking
 // emit once per frame in (key, run index) order. Equal keys arrive
 // consecutively; last reports whether this frame is the group's final frame
-// for its key.
-func mergeRunGroup(file *spillFile, runs []segment, base int, emit func(kb, vb []byte, last bool) error) error {
+// for its key. A cancelled job aborts the merge mid-stream, so the merge
+// readers (section readers over the unlinked spill file) are dropped and the
+// deferred file closes release the descriptors promptly.
+func mergeRunGroup(c *Context, file *spillFile, runs []segment, base int, emit func(kb, vb []byte, last bool) error) error {
+	cancel := cancelCounter{c: c}
 	h := make(mergeHeap, 0, len(runs))
 	for i, seg := range runs {
 		cur := &mergeCursor{fr: file.frames(seg), idx: base + i}
@@ -446,6 +482,9 @@ func mergeRunGroup(file *spillFile, runs []segment, base int, emit func(kb, vb [
 	heap.Init(&h)
 	var kb, vb []byte
 	for h.Len() > 0 {
+		if err := cancel.check(); err != nil {
+			return err
+		}
 		cur := h[0]
 		// Copy the frame out before advancing: next() reuses the reader's
 		// key/value buffers, and the heap comparison needs the new frame.
@@ -478,7 +517,7 @@ func reduceByKeySpill[K comparable, V any](d *Dataset[Pair[K, V]], name string, 
 	sp := c.begin(name)
 	params := c.spillParams(samplePairSize(d.parts))
 
-	files := make([]*spillFile, c.workers)  // per source worker, combine-phase chunks
+	files := make([]*spillFile, c.workers)   // per source worker, combine-phase chunks
 	chunks := make([][]chunkList, c.workers) // [source][target]
 	counts := make([]int64, c.workers)
 	emitted := make([]int64, c.workers)  // combiner output records
@@ -565,7 +604,7 @@ func reduceByKeySpill[K comparable, V any](d *Dataset[Pair[K, V]], name string, 
 			runs = append(runs, seg)
 			return nil
 		}
-		if err := replayChunks(files, chunks, t, func(kb, vb []byte) error {
+		if err := replayChunks(c, files, chunks, t, func(kb, vb []byte) error {
 			k := codec.DecodeKey(kb)
 			v := codec.DecodeValue(vb)
 			if cur, ok := agg[k]; ok {
@@ -600,7 +639,7 @@ func reduceByKeySpill[K comparable, V any](d *Dataset[Pair[K, V]], name string, 
 			return err
 		}
 		local := out[t][:0]
-		local, err := mergeReduceRuns(runFiles[t], runs, codec, combine, params, c.spillDir, sp, local)
+		local, err := mergeReduceRuns(c, runFiles[t], runs, codec, combine, params, sp, local)
 		if err != nil {
 			return err
 		}
@@ -617,7 +656,7 @@ func reduceByKeySpill[K comparable, V any](d *Dataset[Pair[K, V]], name string, 
 // mergeReduceRuns external-merges key-sorted runs into one Pair per key.
 // Above mergeFanIn runs, intermediate passes merge fan-in-sized groups into
 // new combined runs until one final pass can read everything.
-func mergeReduceRuns[K comparable, V any](file *spillFile, runs []segment, codec PairCodec[K, V], combine func(V, V) V, params spillParams, dir string, sp *activeSpan, dst []Pair[K, V]) ([]Pair[K, V], error) {
+func mergeReduceRuns[K comparable, V any](c *Context, file *spillFile, runs []segment, codec PairCodec[K, V], combine func(V, V) V, params spillParams, sp *activeSpan, dst []Pair[K, V]) ([]Pair[K, V], error) {
 	for len(runs) > mergeFanIn {
 		sp.mergePasses.Add(1)
 		var next []segment
@@ -630,7 +669,7 @@ func mergeReduceRuns[K comparable, V any](file *spillFile, runs []segment, codec
 			var accV V
 			var accK []byte
 			have := false
-			err := mergeRunGroup(file, runs[lo:hi], lo, func(kb, vb []byte, last bool) error {
+			err := mergeRunGroup(c, file, runs[lo:hi], lo, func(kb, vb []byte, last bool) error {
 				v := codec.DecodeValue(vb)
 				if have && bytes.Equal(accK, kb) {
 					accV = combine(accV, v)
@@ -662,7 +701,7 @@ func mergeReduceRuns[K comparable, V any](file *spillFile, runs []segment, codec
 	var accV V
 	var accK []byte
 	have := false
-	err := mergeRunGroup(file, runs, 0, func(kb, vb []byte, last bool) error {
+	err := mergeRunGroup(c, file, runs, 0, func(kb, vb []byte, last bool) error {
 		v := codec.DecodeValue(vb)
 		if have && bytes.Equal(accK, kb) {
 			accV = combine(accV, v)
@@ -756,7 +795,7 @@ func groupByKeySpill[K comparable, V any](d *Dataset[Pair[K, V]], name string, c
 			runs = append(runs, seg)
 			return nil
 		}
-		if err := replayChunks(files, chunks, t, func(kb, vb []byte) error {
+		if err := replayChunks(c, files, chunks, t, func(kb, vb []byte) error {
 			if buffered >= params.maxEntries {
 				if err := flushRun(); err != nil {
 					return err
@@ -785,7 +824,7 @@ func groupByKeySpill[K comparable, V any](d *Dataset[Pair[K, V]], name string, c
 		var vs []V
 		var curK []byte
 		have := false
-		err := mergeRunGroup(runFiles[t], runs, 0, func(kb, vb []byte, last bool) error {
+		err := mergeRunGroup(c, runFiles[t], runs, 0, func(kb, vb []byte, last bool) error {
 			if !have || !bytes.Equal(curK, kb) {
 				curK = append(curK[:0], kb...)
 				vs = nil

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cind"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/rdf"
+)
+
+// RunDist measures the multi-process execution mode against the
+// single-process engine on one dataset: the coordinator plus in-process
+// worker replicas connected over a unix socket, across worker counts, plus
+// one run with an injected worker kill that must finish through lineage
+// re-execution. Correctness is asserted (every distributed run must be
+// byte-identical to the single-process result); the interesting columns are
+// the coordination overhead and the fault-recovery accounting.
+func RunDist(opts Options) (*Report, error) {
+	ds := dataset("Diseasome", opts.Scale)
+	const h = 10
+	rep := &Report{
+		ID:     "dist",
+		Title:  fmt.Sprintf("Distributed execution and fault recovery, Diseasome analogue (%s triples), h=%d", fmtCount(ds.Size()), h),
+		Header: []string{"Mode", "Runtime", "Losses", "Respawns", "Retries", "CINDs+ARs"},
+		Notes: []string{
+			"workers are in-process replicas over a unix socket; every distributed result is byte-identical to the single-process run",
+			"the chaos row injects one worker kill mid-pipeline and recovers by respawn + lineage replay",
+		},
+	}
+
+	res, stats, elapsed := timedDiscover("dist-single", ds, core.Config{Support: h, Workers: opts.Workers})
+	want := res.Format(ds.Dict)
+	n := len(res.CINDs) + len(res.ARs)
+	rep.Rows = append(rep.Rows, []string{
+		"single-process", fmtDuration(elapsed), "0", "0",
+		fmtCount(stats.StageRetries), fmtCount(n),
+	})
+
+	modes := []struct {
+		label   string
+		workers int
+		faults  []dataflow.ProcFault
+	}{
+		{"cluster w=1", 1, nil},
+		{"cluster w=2", 2, nil},
+		{"cluster w=4", 4, nil},
+		{"cluster w=2 +kill", 2, []dataflow.ProcFault{{Seq: 4, Rank: 1, Kind: dataflow.ProcKill}}},
+	}
+	for _, mode := range modes {
+		res, stats, elapsed, err := distDiscover("dist-"+mode.label, ds, h, mode.workers, mode.faults)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %s: %w", mode.label, err)
+		}
+		if got := res.Format(ds.Dict); got != want {
+			return nil, fmt.Errorf("dist: %s diverged from the single-process result (%d vs %d bytes)",
+				mode.label, len(got), len(want))
+		}
+		rep.Rows = append(rep.Rows, []string{
+			mode.label,
+			fmtDuration(elapsed),
+			fmtCount(stats.WorkerLosses),
+			fmtCount(stats.WorkerRespawns),
+			fmtCount(stats.StageRetries),
+			fmtCount(len(res.CINDs) + len(res.ARs)),
+		})
+	}
+	return rep, nil
+}
+
+// distDiscover runs one discovery on an in-process cluster and records it in
+// the bench collector like timedTryDiscover does for local runs.
+func distDiscover(label string, ds *rdf.Dataset, h, workers int, faults []dataflow.ProcFault) (res *cind.Result, stats *core.RunStats, elapsed time.Duration, err error) {
+	dir, err := os.MkdirTemp("", "rdfind-dist-")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	addr := filepath.Join(dir, "coord.sock")
+	var wg sync.WaitGroup
+	cl, err := dataflow.StartCluster(dataflow.ClusterConfig{
+		Workers:    workers,
+		Network:    "unix",
+		Addr:       addr,
+		ProcFaults: faults,
+		Spawn: func(rank int) error {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w, err := dataflow.DialWorker("unix", addr, rank)
+				if err != nil {
+					return
+				}
+				defer w.Close()
+				cfg := core.Config{Support: h, WorkerConn: w}
+				if _, _, err := core.TryDiscover(ds, cfg); err == nil {
+					w.Goodbye()
+				}
+			}()
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer wg.Wait()
+	defer cl.Close()
+	res, stats, elapsed, err = timedTryDiscover(label, ds, core.Config{Support: h, Cluster: cl})
+	return res, stats, elapsed, err
+}

@@ -111,6 +111,7 @@ var registry = []struct {
 	{"appB", RunAppB, "Use-case CINDs and ARs (Appendix B)"},
 	{"ablation", RunAblation, "Candidate-set Bloom size ablation (§7.2)"},
 	{"fusion", RunFusion, "Narrow-operator fusion vs. eager execution"},
+	{"dist", RunDist, "Distributed execution and fault recovery"},
 }
 
 // IDs returns the registered experiment identifiers in order.

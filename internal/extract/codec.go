@@ -130,8 +130,48 @@ func (captureSetCodec) DecodeValue(src []byte) map[cind.Capture]struct{} {
 	return set
 }
 
+// workUnitCodec carries Pair[int, workUnit] (the ext/place-units shuffle that
+// spreads dominant-group slices across workers): each side of the unit is a
+// uvarint-counted list of 11-byte captures.
+type workUnitCodec struct{}
+
+func (workUnitCodec) AppendKey(dst []byte, k int) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(int64(k)))
+}
+func (workUnitCodec) DecodeKey(src []byte) int { return int(int64(binary.BigEndian.Uint64(src))) }
+
+func (workUnitCodec) AppendValue(dst []byte, v workUnit) []byte {
+	dst = appendCaptures(dst, v.Deps)
+	return appendCaptures(dst, v.All)
+}
+
+func (workUnitCodec) DecodeValue(src []byte) workUnit {
+	deps, n := capturesAt(src)
+	all, _ := capturesAt(src[n:])
+	return workUnit{Deps: deps, All: all}
+}
+
+func appendCaptures(dst []byte, cs []cind.Capture) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(cs)))
+	for _, c := range cs {
+		dst = cind.AppendCapture(dst, c)
+	}
+	return dst
+}
+
+func capturesAt(src []byte) ([]cind.Capture, int) {
+	sz, n := binary.Uvarint(src)
+	cs := make([]cind.Capture, 0, sz)
+	for i := uint64(0); i < sz; i++ {
+		cs = append(cs, cind.CaptureAt(src[n:]))
+		n += cind.CaptureWireSize
+	}
+	return cs, n
+}
+
 func init() {
 	dataflow.RegisterPairCodec[cind.Capture, int](captureIntCodec{})
+	dataflow.RegisterPairCodec[int, workUnit](workUnitCodec{})
 	dataflow.RegisterPairCodec[cind.Capture, *candSet](candSetCodec{})
 	dataflow.RegisterPairCodec[cind.Capture, map[cind.Capture]struct{}](captureSetCodec{})
 }

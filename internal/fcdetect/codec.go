@@ -2,7 +2,9 @@ package fcdetect
 
 import (
 	"encoding/binary"
+	"fmt"
 
+	"repro/internal/bloom"
 	"repro/internal/cind"
 	"repro/internal/dataflow"
 )
@@ -43,7 +45,56 @@ func (intCountCodec) DecodeValue(src []byte) int {
 	return int(v)
 }
 
+// conditionBinCodec carries Pair[cind.Condition, bin] (the exploded binary
+// counters of the fcd/ar-join co-group) across spill files and the network.
+type conditionBinCodec struct{}
+
+func (conditionBinCodec) AppendKey(dst []byte, k cind.Condition) []byte {
+	return cind.AppendCondition(dst, k)
+}
+func (conditionBinCodec) DecodeKey(src []byte) cind.Condition { return cind.ConditionAt(src) }
+func (conditionBinCodec) AppendValue(dst []byte, v bin) []byte {
+	dst = cind.AppendCondition(dst, v.other)
+	return binary.AppendVarint(dst, int64(v.count))
+}
+func (conditionBinCodec) DecodeValue(src []byte) bin {
+	other := cind.ConditionAt(src)
+	count, _ := binary.Varint(src[cind.ConditionWireSize:])
+	return bin{other: other, count: int(count)}
+}
+
+// bloomCodec ships partial Bloom filters to the coordinator for the
+// fcd/*-bloom-union global reduces.
+type bloomCodec struct{}
+
+func (bloomCodec) AppendValue(dst []byte, v *bloom.Filter) []byte { return v.AppendBinary(dst) }
+func (bloomCodec) DecodeValue(src []byte) *bloom.Filter {
+	f, _, err := bloom.FromBinary(src)
+	if err != nil {
+		panic(fmt.Sprintf("fcdetect: corrupt Bloom filter on the wire: %v", err))
+	}
+	return f
+}
+
+// arCodec ships collected association rules (fcd/ar-extract) to the driver.
+type arCodec struct{}
+
+func (arCodec) AppendValue(dst []byte, v cind.AR) []byte {
+	dst = cind.AppendCondition(dst, v.If)
+	dst = cind.AppendCondition(dst, v.Then)
+	return binary.AppendVarint(dst, int64(v.Support))
+}
+func (arCodec) DecodeValue(src []byte) cind.AR {
+	ifc := cind.ConditionAt(src)
+	then := cind.ConditionAt(src[cind.ConditionWireSize:])
+	sup, _ := binary.Varint(src[2*cind.ConditionWireSize:])
+	return cind.AR{If: ifc, Then: then, Support: int(sup)}
+}
+
 func init() {
 	dataflow.RegisterPairCodec[cind.Condition, int](conditionCountCodec{})
 	dataflow.RegisterPairCodec[int, int](intCountCodec{})
+	dataflow.RegisterPairCodec[cind.Condition, bin](conditionBinCodec{})
+	dataflow.RegisterValueCodec[*bloom.Filter](bloomCodec{})
+	dataflow.RegisterValueCodec[cind.AR](arCodec{})
 }

@@ -134,6 +134,15 @@ func Detect(triples *dataflow.Dataset[rdf.Triple], h int, opts Options) *Output 
 
 func addInts(a, b int) int { return a + b }
 
+// bin keys a frequent binary condition by one of its embedded unary
+// conditions, remembering the complementary part and the shared frequency.
+// Package-level (rather than local to extractARs) so codec.go can register a
+// wire codec for the fcd/ar-join shuffle.
+type bin struct {
+	other cind.Condition
+	count int
+}
+
 // abortedOutput is a well-formed, empty detector output for a failed engine:
 // empty counter datasets and empty (never-matching) Bloom filters, so
 // downstream stages — which all short-circuit anyway — see no nils.
@@ -181,12 +190,6 @@ func buildConditionBloom(conds *dataflow.Dataset[dataflow.Pair[cind.Condition, i
 func extractARs(
 	unary, binary *dataflow.Dataset[dataflow.Pair[cind.Condition, int]],
 ) []cind.AR {
-	// Key binary counters by each embedded unary condition, remembering the
-	// complementary part.
-	type bin struct {
-		other cind.Condition
-		count int
-	}
 	exploded := dataflow.FlatMap(binary, "fcd/ar-explode",
 		func(p dataflow.Pair[cind.Condition, int], emit func(dataflow.Pair[cind.Condition, bin])) {
 			parts := p.Key.UnaryParts()

@@ -82,6 +82,20 @@ type (
 	// FaultSite identifies one worker execution of one stage.
 	FaultSite = dataflow.Site
 
+	// Cluster is the coordinator of a multi-process distributed run; attach
+	// one via Config.Cluster.
+	Cluster = dataflow.Cluster
+	// ClusterConfig parameterizes StartCluster.
+	ClusterConfig = dataflow.ClusterConfig
+	// WorkerConn is one worker rank's connection to the coordinator; attach
+	// one via Config.WorkerConn.
+	WorkerConn = dataflow.WorkerConn
+	// ProcFault schedules one injected process-level fault (kill, connection
+	// drop, duplicated or delayed contribution) at a collective barrier.
+	ProcFault = dataflow.ProcFault
+	// ProcFaultKind selects the process-level fault kind.
+	ProcFaultKind = dataflow.ProcFaultKind
+
 	// SyntaxError describes one malformed N-Triples line (with line number).
 	SyntaxError = rdf.SyntaxError
 )
@@ -93,6 +107,34 @@ const (
 	// FaultPanic makes a worker goroutine panic (recovered and retried).
 	FaultPanic = dataflow.FaultPanic
 )
+
+// Injected process-level fault kinds (ProcFault.Kind).
+const (
+	// ProcKill terminates the worker process at the scheduled barrier.
+	ProcKill = dataflow.ProcKill
+	// ProcDisconnect drops the worker's connection (it reconnects).
+	ProcDisconnect = dataflow.ProcDisconnect
+	// ProcDuplicate sends the scheduled contribution twice.
+	ProcDuplicate = dataflow.ProcDuplicate
+	// ProcDelay stalls the scheduled contribution by ProcFault.Delay.
+	ProcDelay = dataflow.ProcDelay
+)
+
+// StartCluster opens a coordinator for a multi-process run: it listens for
+// worker connections, spawns every rank via cfg.Spawn, and supervises
+// heartbeats, losses, and respawns. Attach the cluster via Config.Cluster.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) { return dataflow.StartCluster(cfg) }
+
+// DialWorker connects a worker process to its coordinator and performs the
+// rank handshake. Attach the connection via Config.WorkerConn; the job's
+// worker count, partitioning seed, and fault schedule arrive with it.
+func DialWorker(network, addr string, rank int) (*WorkerConn, error) {
+	return dataflow.DialWorker(network, addr, rank)
+}
+
+// ErrProcessLoss marks errors caused by a worker process declared lost; it
+// appears (wrapped in a StageError) when a loss becomes terminal.
+var ErrProcessLoss = dataflow.ErrProcessLoss
 
 // Triple element constants.
 const (
