@@ -135,11 +135,23 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		}
 		checkAt(label, "", float64(oldV), float64(newV), threshold)
 	}
+	// Batch counts follow the both-sides-measured rule: zero means the record
+	// ran record-at-a-time (or predates the columnar path). Batch counts for a
+	// fixed configuration are deterministic in partition sizes, but retries and
+	// variant mixes shift them a little, so they get the wall-time threshold
+	// rather than an exact comparison.
+	checkBatches := func(label string, oldV, newV int64) {
+		if oldV == 0 || newV == 0 {
+			return // at least one record ran without columnar execution
+		}
+		checkAt(label, "", float64(oldV), float64(newV), threshold)
+	}
 	check("wall", "ms", oldRec.WallMS, newRec.WallMS)
 	check("total work", "", float64(oldRec.TotalWork), float64(newRec.TotalWork))
 	checkAllocs("mallocs", oldRec.Mallocs, newRec.Mallocs)
 	checkSpill("spilled bytes", oldRec.SpilledBytes, newRec.SpilledBytes)
 	checkMaterialized("materialized bytes", oldRec.MaterializedBytes, newRec.MaterializedBytes)
+	checkBatches("batches", oldRec.Batches, newRec.Batches)
 
 	newRuns := indexRuns(newRec.Runs)
 	for _, or := range oldRec.Runs {
@@ -156,6 +168,7 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		checkAllocs("mallocs "+k, or.Mallocs, nr.Mallocs)
 		checkSpill("spill "+k, or.SpilledBytes, nr.SpilledBytes)
 		checkMaterialized("materialized "+k, or.MaterializedBytes, nr.MaterializedBytes)
+		checkBatches("batches "+k, or.Batches, nr.Batches)
 	}
 	for k, queue := range newRuns {
 		for range queue {

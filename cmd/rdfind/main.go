@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rdfind [-support N] [-workers N] [-ingest-workers N] [-variant rdfind|de|nf|mf]
-//	       [-pred-only-conditions] [-lenient] [-timeout D] [-stats] [-json] file.nt
+//	       [-pred-only-conditions] [-no-columnar] [-lenient] [-timeout D] [-stats] [-json] file.nt
 //	rdfind -cluster N [-cluster-network tcp|unix] [-chaos SPEC] [flags] file.nt
 //	rdfind worker -addr ADDR -rank N [-network tcp|unix]
 //
@@ -83,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print run statistics and the operator trace to stderr")
 	lenient := fs.Bool("lenient", false, "skip malformed N-Triples lines (reported to stderr) instead of aborting")
 	timeout := fs.Duration("timeout", 0, "abort discovery after this duration (0 = no limit), exit code 4")
+	noColumnar := fs.Bool("no-columnar", false, "disable columnar batch execution of fused chains (record-at-a-time; identical results)")
 	memBudget := fs.String("mem-budget", "", "memory budget for keyed shuffle state, e.g. 512M or 2G; overflow spills to disk (empty = unlimited, no spilling)")
 	spillDir := fs.String("spill-dir", "", "directory for spill files (empty = system temp dir; implies a 256M budget if -mem-budget is unset)")
 	clusterN := fs.Int("cluster", 0, "run as coordinator of N worker processes (0 = single-process); overrides -workers")
@@ -174,6 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			PredOnly:      *predOnly,
 			IngestWorkers: *ingestWorkers,
 			Lenient:       *lenient,
+			NoColumnar:    *noColumnar,
 		}
 		var code int
 		cl, code = startCluster(*clusterN, *clusterNet, *chaos, spec, stderr)
@@ -190,6 +192,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MemoryBudget:               budget,
 		SpillDir:                   *spillDir,
 		Cluster:                    cl,
+		DisableColumnar:            *noColumnar,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind:", err)
@@ -248,6 +251,11 @@ type jobSpec struct {
 	PredOnly      bool   `json:"predOnly,omitempty"`
 	IngestWorkers int    `json:"ingestWorkers"`
 	Lenient       bool   `json:"lenient,omitempty"`
+	// NoColumnar replicates the coordinator's -no-columnar setting so every
+	// rank executes fused chains in the same mode. (The candidate-set wire
+	// format is mode-independent, but replaying the same path everywhere keeps
+	// the per-rank traces comparable.)
+	NoColumnar bool `json:"noColumnar,omitempty"`
 }
 
 // startCluster opens the coordinator listener and arranges for N copies of
@@ -420,6 +428,7 @@ func runWorker(args []string, stdout, stderr io.Writer) int {
 		Variant:                    variant,
 		PredicatesOnlyInConditions: spec.PredOnly,
 		WorkerConn:                 w,
+		DisableColumnar:            spec.NoColumnar,
 	})
 	if err != nil {
 		// An injected kill simulates sudden process death: exit silently so
@@ -525,6 +534,9 @@ func printStats(w io.Writer, s *core.RunStats) {
 	if s.SpilledBytes > 0 {
 		fmt.Fprintf(w, "spilled:             %d bytes in %d runs, %d merge passes\n",
 			s.SpilledBytes, s.SpilledRuns, s.MergePasses)
+	}
+	if s.Batches > 0 {
+		fmt.Fprintf(w, "column batches:      %d (%.0f%% lanes live)\n", s.Batches, s.BatchFill*100)
 	}
 	fmt.Fprintf(w, "work-balance speedup: %.2f\n", s.Dataflow.Speedup())
 	fmt.Fprintf(w, "operator trace:\n%s", s.Dataflow.SpanTree())

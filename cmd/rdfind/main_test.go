@@ -59,6 +59,15 @@ var droppedKeys = map[string]bool{
 	"alloc_bytes":       true,
 	"mallocs_delta":     true, // per-span allocation deltas
 	"alloc_bytes_delta": true,
+	// Columnar batch accounting (per-span, run-level, and the registry
+	// counters), added after the goldens were recorded. Batch counts depend on
+	// the execution mode (zero with DATAFLOW_COLUMNAR=off), so dropping — not
+	// zeroing — keeps one golden valid across both CI legs.
+	"batches":              true,
+	"batch_fill":           true,
+	"dataflow.batches":     true,
+	"dataflow.batch.lanes": true,
+	"dataflow.batch.live":  true,
 }
 
 func normalize(v any) any {
@@ -163,6 +172,49 @@ func TestGoldenFusionOff(t *testing.T) {
 		t.Fatalf("exit %d: %s", code, errOut)
 	}
 	goldenCompare(t, "museums_result_json", []byte(out))
+}
+
+// TestGoldenColumnarOff pins the columnar path's central promise at the CLI
+// boundary: with column-batch execution disabled — via the environment or the
+// -no-columnar flag — the discovered results are byte-identical to the
+// (default columnar) goldens. Unlike fusion, even the trace snapshot golden
+// holds in both modes, because the batch accounting fields are dropped by
+// normalizeJSON and everything else (span names, record counts) is identical.
+func TestGoldenColumnarOff(t *testing.T) {
+	t.Setenv("DATAFLOW_FUSION", "on")
+	t.Setenv("DATAFLOW_COLUMNAR", "off")
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_text", []byte(out))
+	code, out, errOut = runCLI(t, "-support", "2", "-workers", "1", "-format", "json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_result_json", []byte(out))
+	code, out, errOut = runCLI(t, "-support", "2", "-workers", "1", "-json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_snapshot_json", normalizeJSON(t, []byte(out)))
+}
+
+// TestNoColumnarFlag checks the -no-columnar escape hatch end to end: results
+// match the goldens and the snapshot carries no batch accounting.
+func TestNoColumnarFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-no-columnar", "-support", "2", "-workers", "1", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_text", []byte(out))
+	code, out, _ = runCLI(t, "-no-columnar", "-support", "2", "-workers", "1", "-json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, `"batches"`) {
+		t.Errorf("-no-columnar snapshot still carries batch accounting:\n%s", out)
+	}
 }
 
 // TestSnapshotJSONReconciles re-checks the accounting invariant end to end,

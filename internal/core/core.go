@@ -110,6 +110,13 @@ type Config struct {
 	// either way — the differential suites pin that — so this exists for
 	// those suites and for debugging per-operator spans.
 	DisableFusion bool
+	// DisableColumnar switches the dataflow engine's fused narrow chains back
+	// to record-at-a-time execution (dataflow.WithColumnar(false)) instead of
+	// the default column-batch path, and with it the bitmap-backed candidate
+	// sets that ride on it (extract.Config.BitmapSets). Results are
+	// byte-identical either way — the differential suites pin that — so this
+	// exists for those suites and for debugging.
+	DisableColumnar bool
 	// Cluster makes this run the coordinator of a multi-process job: stages
 	// execute on the cluster's worker processes and this driver consumes the
 	// collective results. Overrides Workers with the cluster's worker count
@@ -192,6 +199,12 @@ type RunStats struct {
 	// shrinks it by eliding the intermediate partitions between chained
 	// narrow operators.
 	MaterializedBytes int64
+	// Batches counts the column batches the engine's columnar execution
+	// delivered to fused-chain sinks across all stages; BatchFill is the
+	// fraction of their lanes still selected when they arrived (1.0 = no
+	// Filter cleared anything). Both zero with Config.DisableColumnar.
+	Batches   int64
+	BatchFill float64
 	// StageRetries is the total number of worker re-executions after
 	// transient faults, summed over all stages (see dataflow.Stats.Retries).
 	StageRetries int
@@ -255,6 +268,9 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	if cfg.DisableFusion {
 		dfOpts = append(dfOpts, dataflow.WithFusion(false))
 	}
+	if cfg.DisableColumnar {
+		dfOpts = append(dfOpts, dataflow.WithColumnar(false))
+	}
 	if cfg.RetryJitter > 0 {
 		dfOpts = append(dfOpts, dataflow.WithRetryJitter(cfg.RetryJitter))
 	}
@@ -280,6 +296,10 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		stats.SpilledRuns = counters["dataflow.spill.runs"]
 		stats.MergePasses = counters["dataflow.spill.merge_passes"]
 		stats.MaterializedBytes = counters["dataflow.materialized.bytes"]
+		stats.Batches = counters["dataflow.batches"]
+		if lanes := counters["dataflow.batch.lanes"]; lanes > 0 {
+			stats.BatchFill = float64(counters["dataflow.batch.live"]) / float64(lanes)
+		}
 		stats.WorkerLosses = counters[metrics.ClusterLosses]
 		stats.WorkerRespawns = counters[metrics.ClusterRespawns]
 		stats.Reconnects = counters[metrics.ClusterReconnects]
@@ -325,6 +345,7 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		LoadLimit:          cfg.LoadLimit,
 		DegradeOnLoadLimit: true,
 		SpillOnLoadLimit:   cfg.MemoryBudget > 0,
+		BitmapSets:         dfctx.Columnar(),
 	}
 	var pertinent []cind.CIND
 	if cfg.Variant == MinimalFirst {

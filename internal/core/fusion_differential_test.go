@@ -19,7 +19,7 @@ func TestPropertyDifferentialFusionModes(t *testing.T) {
 	// regardless of the process-wide default (CI runs a DATAFLOW_FUSION=off leg).
 	t.Setenv("DATAFLOW_FUSION", "on")
 	seeds := 200
-	if testing.Short() {
+	if testing.Short() || raceDetectorEnabled {
 		seeds = 30
 	}
 	variants := []Variant{Standard, DirectExtraction, NoFrequentConditions, MinimalFirst}

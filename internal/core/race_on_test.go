@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled trims the seed sweeps of the heaviest differential
+// suites under the race detector: race-mode CI legs are after data races in
+// the engine kernels, which a few dozen seeds expose as well as 200, and the
+// full sweep would push the package past go test's per-package timeout.
+const raceDetectorEnabled = true

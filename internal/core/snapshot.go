@@ -30,6 +30,10 @@ type RunSnapshot struct {
 	// MaterializedBytes estimates the bytes buffered into partition slices by
 	// narrow-operator stages (RunStats.MaterializedBytes); fusion lowers it.
 	MaterializedBytes int64 `json:"materialized_bytes,omitempty"`
+	// Batches/BatchFill account the columnar batch path across all fused
+	// chains (RunStats.Batches/BatchFill); zero on record-at-a-time runs.
+	Batches   int64   `json:"batches,omitempty"`
+	BatchFill float64 `json:"batch_fill,omitempty"`
 	// Cluster fault accounting (RunStats.WorkerLosses/WorkerRespawns/
 	// Reconnects); all zero in a single-process run.
 	WorkerLosses   int64 `json:"worker_losses,omitempty"`
@@ -66,6 +70,8 @@ func (s *RunStats) Snapshot() *RunSnapshot {
 		SpilledRuns:       s.SpilledRuns,
 		MergePasses:       s.MergePasses,
 		MaterializedBytes: s.MaterializedBytes,
+		Batches:           s.Batches,
+		BatchFill:         s.BatchFill,
 		WorkerLosses:      s.WorkerLosses,
 		WorkerRespawns:    s.WorkerRespawns,
 		Reconnects:        s.Reconnects,

@@ -113,23 +113,29 @@ func benchChain(d *Dataset[int], ops int) *Dataset[int] {
 	return out.Materialize()
 }
 
-// BenchmarkNarrowChain measures 2-, 4-, and 6-operator narrow chains with
-// fusion on and off. Fused chains stream each record through every operator
-// into a single output buffer; unfused chains materialize a full intermediate
-// partition set per operator, so allocs/op and ns/op grow with chain length.
+// BenchmarkNarrowChain measures 2-, 4-, and 6-operator narrow chains across
+// the three execution modes. Fused chains stream each record through every
+// operator into a single output buffer; the columnar path additionally moves
+// 1024-lane column batches through batch kernels instead of per-record
+// closure calls; unfused chains materialize a full intermediate partition set
+// per operator, so allocs/op and ns/op grow with chain length.
 func BenchmarkNarrowChain(b *testing.B) {
 	data := make([]int, 100000)
 	for i := range data {
 		data[i] = i
 	}
+	modes := []struct {
+		name            string
+		fused, columnar bool
+	}{
+		{"fused-columnar", true, true},
+		{"fused-record", true, false},
+		{"unfused", false, false},
+	}
 	for _, ops := range []int{2, 4, 6} {
-		for _, fused := range []bool{true, false} {
-			mode := "fused"
-			if !fused {
-				mode = "unfused"
-			}
-			b.Run(fmt.Sprintf("ops=%d/%s", ops, mode), func(b *testing.B) {
-				c := NewContext(4, WithFusion(fused))
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("ops=%d/%s", ops, mode.name), func(b *testing.B) {
+				c := NewContext(4, WithFusion(mode.fused), WithColumnar(mode.columnar))
 				d := Parallelize(c, "in", data).Materialize()
 				b.ReportAllocs()
 				b.ResetTimer()

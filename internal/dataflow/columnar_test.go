@@ -1,0 +1,240 @@
+package dataflow
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Tests for the columnar batch execution path (batch.go): toggle plumbing,
+// batch/fill accounting, span parity with the record path, and fault retry
+// over batched fused chains. Everything columnar-dependent pins the mode with
+// an explicit WithColumnar so the suite is meaningful under either value of
+// the DATAFLOW_COLUMNAR environment default (CI runs both).
+
+func TestColumnarEnvDefault(t *testing.T) {
+	t.Setenv("DATAFLOW_COLUMNAR", "off")
+	if NewContext(1).Columnar() {
+		t.Error("DATAFLOW_COLUMNAR=off: context still columnar")
+	}
+	// An explicit option always wins over the environment.
+	if !NewContext(1, WithColumnar(true)).Columnar() {
+		t.Error("WithColumnar(true) under env off ignored")
+	}
+	t.Setenv("DATAFLOW_COLUMNAR", "on")
+	if !NewContext(1).Columnar() {
+		t.Error("DATAFLOW_COLUMNAR=on: context not columnar")
+	}
+	if NewContext(1, WithColumnar(false)).Columnar() {
+		t.Error("WithColumnar(false) under env on ignored")
+	}
+}
+
+// chainRun executes one Map→Filter fused chain over n records on w workers
+// and returns the sorted output plus the chain's span.
+func chainRun(t *testing.T, n, w int, columnar bool) ([]int, []int64) {
+	t.Helper()
+	c := NewContext(w, WithFusion(true), WithColumnar(columnar))
+	d := Parallelize(c, "in", ints(n))
+	doubled := Map(d, "double", func(x int) int { return 2 * x })
+	kept := Filter(doubled, "small", func(x int) bool { return x < n })
+	got := Collect(kept)
+	sort.Ints(got)
+	if c.Err() != nil {
+		t.Fatalf("n=%d w=%d columnar=%v: %v", n, w, columnar, c.Err())
+	}
+	var sp *[3]int64
+	for _, s := range c.Stats().Spans() {
+		if s.Name == "double+small" {
+			sp = &[3]int64{s.Batches, s.RecordsIn, s.RecordsOut}
+		}
+	}
+	if sp == nil {
+		t.Fatalf("no fused span recorded")
+	}
+	return got, sp[:]
+}
+
+// TestColumnarBatchAccounting pins the batch math: partitions are sliced into
+// batchSize-lane dense batches, Map and Filter preserve the batch count, and
+// the fill rate is the Filter's survivor fraction.
+func TestColumnarBatchAccounting(t *testing.T) {
+	const n, w = 2500, 2
+	c := NewContext(w, WithFusion(true), WithColumnar(true))
+	d := Parallelize(c, "in", ints(n))
+	doubled := Map(d, "double", func(x int) int { return 2 * x })
+	kept := Filter(doubled, "small", func(x int) bool { return x < n })
+	out := Collect(kept)
+	if len(out) != n/2 {
+		t.Fatalf("chain output %d records, want %d", len(out), n/2)
+	}
+
+	// 1250 records per worker → 2 root batches each (1024 + 226); Filter
+	// clears bits in place, so the same 4 batches reach the sink.
+	var fused *int
+	for _, sp := range c.Stats().Spans() {
+		if sp.Name != "double+small" {
+			continue
+		}
+		fused = new(int)
+		if sp.Batches != 4 {
+			t.Errorf("span batches = %d, want 4", sp.Batches)
+		}
+		// Fill: 2500 lanes delivered, 1250 still selected.
+		if want := 0.5; sp.BatchFill != want {
+			t.Errorf("span batch fill = %v, want %v", sp.BatchFill, want)
+		}
+	}
+	if fused == nil {
+		t.Fatal("no fused span recorded")
+	}
+	counters := c.Stats().Metrics().Snapshot().Counters
+	if counters["dataflow.batches"] != 4 {
+		t.Errorf("dataflow.batches = %d, want 4", counters["dataflow.batches"])
+	}
+	if counters["dataflow.batch.lanes"] != n {
+		t.Errorf("dataflow.batch.lanes = %d, want %d", counters["dataflow.batch.lanes"], n)
+	}
+	if counters["dataflow.batch.live"] != n/2 {
+		t.Errorf("dataflow.batch.live = %d, want %d", counters["dataflow.batch.live"], n/2)
+	}
+}
+
+// TestColumnarDisabledNoBatchAccounting: the record path must leave no batch
+// trace — spans and registry both stay clean, so snapshots diff cleanly
+// across modes.
+func TestColumnarDisabledNoBatchAccounting(t *testing.T) {
+	c := NewContext(2, WithFusion(true), WithColumnar(false))
+	d := Parallelize(c, "in", ints(2500))
+	Map(d, "double", func(x int) int { return 2 * x }).Materialize()
+	for _, sp := range c.Stats().Spans() {
+		if sp.Batches != 0 || sp.BatchFill != 0 {
+			t.Errorf("record-path span %q carries batch accounting: %+v", sp.Name, sp)
+		}
+	}
+	counters := c.Stats().Metrics().Snapshot().Counters
+	for _, k := range []string{"dataflow.batches", "dataflow.batch.lanes", "dataflow.batch.live"} {
+		if counters[k] != 0 {
+			t.Errorf("counter %s = %d on the record path", k, counters[k])
+		}
+	}
+}
+
+// TestColumnarSpanParity compares full span records between the two modes:
+// names, record counts, per-worker attribution, and per-fused-op tallies are
+// identical; only the batch fields differ (set on one side, zero on the
+// other). This is the trace-level half of the differential contract — the
+// record counts the benchmark harness reconciles must not move.
+func TestColumnarSpanParity(t *testing.T) {
+	run := func(columnar bool) (out []int, spans []struct {
+		name    string
+		in, out int64
+		per     []int64
+		fused   []int64
+	}) {
+		c := NewContext(3, WithFusion(true), WithColumnar(columnar))
+		d := Parallelize(c, "in", ints(5000))
+		m := Map(d, "widen", func(x int) int { return x * 3 })
+		fl := FlatMap(m, "dup-odd", func(x int, emit func(int)) {
+			emit(x)
+			if x%2 != 0 {
+				emit(-x)
+			}
+		})
+		kept := Filter(fl, "bound", func(x int) bool { return x > -9000 })
+		out = Collect(kept)
+		sort.Ints(out)
+		for _, sp := range c.Stats().Spans() {
+			rec := struct {
+				name    string
+				in, out int64
+				per     []int64
+				fused   []int64
+			}{name: sp.Name, in: sp.RecordsIn, out: sp.RecordsOut, per: sp.PerWorker}
+			for _, op := range sp.FusedOps {
+				rec.fused = append(rec.fused, op.RecordsIn)
+			}
+			spans = append(spans, rec)
+			if columnar && sp.Name == "widen+dup-odd+bound" && sp.Batches == 0 {
+				t.Error("columnar fused span recorded no batches")
+			}
+			if !columnar && sp.Batches != 0 {
+				t.Errorf("record-path span %q recorded batches", sp.Name)
+			}
+		}
+		return out, spans
+	}
+	batchOut, batchSpans := run(true)
+	recOut, recSpans := run(false)
+	if !reflect.DeepEqual(batchOut, recOut) {
+		t.Fatal("columnar and record outputs differ")
+	}
+	if !reflect.DeepEqual(batchSpans, recSpans) {
+		t.Errorf("span accounting diverged:\ncolumnar: %+v\nrecord:   %+v", batchSpans, recSpans)
+	}
+}
+
+// TestFusedChainFaultRetryColumnar is the columnar twin of
+// TestFusedChainFaultRetry: a transient fault at the composite site must be
+// retried under the same span name, the replayed worker's per-op tallies and
+// batch counts must reset (one clean pass), and the output must match the
+// record path.
+func TestFusedChainFaultRetryColumnar(t *testing.T) {
+	plan := NewFaultPlan(Fault{Stage: "double+small", Worker: 1, Kind: FaultTransient})
+	c := NewContext(2, WithFusion(true), WithColumnar(true), WithFaultPlan(plan), WithRetries(2))
+	d := Parallelize(c, "in", ints(10))
+	got := Collect(Filter(Map(d, "double", func(x int) int { return 2 * x }), "small", func(x int) bool { return x < 10 }))
+	if err := c.Err(); err != nil {
+		t.Fatalf("columnar fused chain did not recover from transient fault: %v", err)
+	}
+	sort.Ints(got)
+	if want := []int{0, 2, 4, 6, 8}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("retried columnar chain output %v, want %v", got, want)
+	}
+	if fired := plan.Fired(); len(fired) != 1 {
+		t.Fatalf("fault did not fire at the composite site: %+v", fired)
+	}
+	if r := c.Stats().Retries()["double+small"]; r != 1 {
+		t.Errorf("retries[double+small] = %d, want 1", r)
+	}
+	for _, sp := range c.Stats().Spans() {
+		if sp.Name != "double+small" {
+			continue
+		}
+		// Tallies reset on replay: per-op counts reflect one clean pass.
+		for _, op := range sp.FusedOps {
+			if op.RecordsIn != 10 {
+				t.Errorf("fused op %q counted %d records after retry, want 10", op.Name, op.RecordsIn)
+			}
+		}
+		// Batch counts reset too: 5 records per worker → 1 batch each.
+		if sp.Batches != 2 {
+			t.Errorf("span batches = %d after retry, want 2 (reset on replay)", sp.Batches)
+		}
+		if sp.BatchFill != 0.5 {
+			t.Errorf("span batch fill = %v after retry, want 0.5", sp.BatchFill)
+		}
+	}
+}
+
+// TestColumnarEquivalenceAcrossWorkers sweeps worker counts and chain shapes
+// the quick-check cannot pin deterministically: batch-boundary sizes around
+// batchSize and multiples, with outputs required byte-equal per partition
+// (not just as a sorted multiset) so partition boundaries round-trip too.
+func TestColumnarEquivalenceAcrossWorkers(t *testing.T) {
+	for _, n := range []int{0, 1, batchSize - 1, batchSize, batchSize + 1, 3*batchSize + 17} {
+		for _, w := range []int{1, 2, 4} {
+			run := func(columnar bool) [][]int {
+				c := NewContext(w, WithFusion(true), WithColumnar(columnar))
+				d := Parallelize(c, "in", ints(n))
+				m := Map(d, "inc", func(x int) int { return x + 1 })
+				f := Filter(m, "odd", func(x int) bool { return x%2 == 1 })
+				fl := FlatMap(f, "dup", func(x int, emit func(int)) { emit(x); emit(x * 10) })
+				return fl.Partitions()
+			}
+			if got, want := run(true), run(false); !reflect.DeepEqual(got, want) {
+				t.Errorf("n=%d w=%d: columnar partitions diverge from record path", n, w)
+			}
+		}
+	}
+}

@@ -68,6 +68,7 @@ type Context struct {
 	memBudget   int64           // bytes of keyed-operator state before spilling; 0: in-memory only
 	spillDir    string          // directory for spill files; "": the OS temp dir
 	fuse        bool            // lazy narrow-operator fusion (plan.go); false: eager per-op stages
+	columnar    bool            // batch-at-a-time fused-chain execution (batch.go); false: record path
 
 	jitter  float64                  // retry-backoff jitter fraction in [0, 1]
 	sleepFn func(time.Duration) bool // inter-attempt wait; overridable for timing-free tests
@@ -157,6 +158,26 @@ func fusionDefault() bool {
 	}
 }
 
+// WithColumnar toggles columnar batch-at-a-time execution of fused chains
+// (see batch.go). It is on by default and only takes effect while fusion is
+// on — the record path and the batch path produce byte-identical partitions,
+// which the batch-vs-record differential suites pin. The DATAFLOW_COLUMNAR
+// environment variable ("off"/"0"/"false" disables, "on"/"1"/"true" enables)
+// sets the process-wide default; an explicit WithColumnar always wins.
+func WithColumnar(enabled bool) Option {
+	return func(c *Context) { c.columnar = enabled }
+}
+
+// columnarDefault reads the DATAFLOW_COLUMNAR environment toggle.
+func columnarDefault() bool {
+	switch os.Getenv("DATAFLOW_COLUMNAR") {
+	case "off", "0", "false":
+		return false
+	default:
+		return true
+	}
+}
+
 // NewContext returns a context with the given number of logical workers.
 // Worker counts below 1 are clamped to 1. Without options the context is not
 // cancellable, does not retry (one attempt per stage), and injects no faults.
@@ -172,6 +193,7 @@ func NewContext(workers int, opts ...Option) *Context {
 		maxAttempts: 1,
 		backoff:     time.Millisecond,
 		fuse:        fusionDefault(),
+		columnar:    columnarDefault(),
 		rank:        -1,
 	}
 	c.sleepFn = c.sleep
@@ -189,6 +211,12 @@ func (c *Context) Workers() int { return c.workers }
 
 // MemoryBudget returns the configured spill budget in bytes (0: unbudgeted).
 func (c *Context) MemoryBudget() int64 { return c.memBudget }
+
+// Columnar reports whether fused chains execute batch-at-a-time (the
+// resolved value of WithColumnar and the DATAFLOW_COLUMNAR default). Domain
+// layers use it to select companion columnar data structures — the bitmap
+// candidate sets of internal/extract — alongside the engine's batch kernels.
+func (c *Context) Columnar() bool { return c.columnar }
 
 // Stats returns the accumulated work accounting.
 func (c *Context) Stats() *Stats { return c.stats }

@@ -34,11 +34,15 @@ import "strings"
 // srcLens holds the root's per-worker partition lengths (the fused stage's
 // input accounting), ops the chained operator names in application order, and
 // feed streams worker w's root partition through every chained function,
-// incrementing tally[i] for each record entering the i-th operator.
+// incrementing tally[i] for each record entering the i-th operator. bfeed is
+// the columnar twin of feed (batch.go): the same chain as batch-at-a-time
+// column kernels, producing identical output records and identical tallies.
+// Every constructor builds both; force picks one per Context.columnar.
 type chain[T any] struct {
 	srcLens []int64
 	ops     []string
 	feed    func(w int, tally []int64, emit func(T))
+	bfeed   batchFeed[T]
 }
 
 // chainOf returns d's pending chain, or a fresh zero-op chain rooted at its
@@ -59,6 +63,7 @@ func chainOf[T any](d *Dataset[T]) *chain[T] {
 				emit(t)
 			}
 		},
+		bfeed: rootBatchFeed(parts),
 	}
 }
 
@@ -83,6 +88,7 @@ func chainMap[T, U any](p *chain[T], name string, f func(T) U) *chain[U] {
 				emit(f(t))
 			})
 		},
+		bfeed: batchMap(p.bfeed, idx, f),
 	}
 }
 
@@ -99,6 +105,7 @@ func chainFlatMap[T, U any](p *chain[T], name string, f func(T, func(U))) *chain
 				f(t, emit)
 			})
 		},
+		bfeed: batchFlatMap(p.bfeed, idx, f),
 	}
 }
 
@@ -117,6 +124,7 @@ func chainFilter[T any](p *chain[T], name string, pred func(T) bool) *chain[T] {
 				}
 			})
 		},
+		bfeed: batchFilter(p.bfeed, idx, pred),
 	}
 }
 
@@ -136,6 +144,7 @@ func chainMapPartitions[T, U any](parts [][]T, name string, f func(worker int, i
 			tally[0] += int64(len(parts[w]))
 			f(w, parts[w], emit)
 		},
+		bfeed: batchMapPartitions(parts, f),
 	}
 }
 
@@ -200,6 +209,14 @@ func (d *Dataset[T]) force() {
 	sp := c.begin(name)
 	out := make([][]T, c.workers)
 	tallies := make([][]int64, c.workers)
+	// Per-worker batch accounting for the columnar path: batches emitted into
+	// the sink, total lanes they carried, and lanes still live (selected).
+	var batches, lanes, live []int64
+	if c.columnar {
+		batches = make([]int64, c.workers)
+		lanes = make([]int64, c.workers)
+		live = make([]int64, c.workers)
+	}
 	if !c.runStage(name, func(w int) error {
 		tally := tallies[w]
 		if tally == nil {
@@ -216,7 +233,24 @@ func (d *Dataset[T]) force() {
 		} else {
 			res = res[:0]
 		}
-		p.feed(w, tally, func(t T) { res = append(res, t) })
+		if c.columnar {
+			batches[w], lanes[w], live[w] = 0, 0, 0 // retried workers restart cleanly
+			p.bfeed(w, tally, func(b colBatch[T]) {
+				batches[w]++
+				lanes[w] += int64(len(b.vals))
+				if b.dense() {
+					live[w] += int64(len(b.vals))
+					res = append(res, b.vals...)
+				} else {
+					b.sel.ForEach(func(i int) {
+						live[w]++
+						res = append(res, b.vals[i])
+					})
+				}
+			})
+		} else {
+			p.feed(w, tally, func(t T) { res = append(res, t) })
+		}
 		out[w] = res
 		return nil
 	}) {
@@ -225,6 +259,11 @@ func (d *Dataset[T]) force() {
 	}
 	if len(p.ops) > 1 {
 		sp.fusedOps = fusedOpCounts(p.ops, tallies)
+	}
+	if c.columnar {
+		sp.batches = sumCounts(batches)
+		sp.batchLanes = sumCounts(lanes)
+		sp.batchLive = sumCounts(live)
 	}
 	sp.materializedBytes = estimateMaterializedBytes(out)
 	c.finish(sp, p.srcLens, totalLen(out))

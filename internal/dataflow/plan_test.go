@@ -327,13 +327,15 @@ func TestFusedStageRecordsMaterializedBytes(t *testing.T) {
 }
 
 // Property: any chain of narrow operators produces identical output fused
-// and unfused, across worker counts. (TotalWork legitimately differs: a
-// fused chain's records count once, eager stages count per operator.)
+// and unfused, and — within fused execution — columnar (batch-at-a-time)
+// and record-at-a-time, across worker counts. (TotalWork legitimately
+// differs between fused and eager: a fused chain's records count once,
+// eager stages count per operator.)
 func TestQuickFusedUnfusedEquivalence(t *testing.T) {
 	f := func(data []int16, workers uint8) bool {
 		w := int(workers)%4 + 1
-		run := func(fused bool) []int {
-			c := NewContext(w, WithFusion(fused))
+		run := func(fused, columnar bool) []int {
+			c := NewContext(w, WithFusion(fused), WithColumnar(columnar))
 			d := Parallelize(c, "in", data)
 			m := Map(d, "widen", func(x int16) int { return int(x) * 3 })
 			fl := FlatMap(m, "dup-odd", func(x int, emit func(int)) {
@@ -345,7 +347,9 @@ func TestQuickFusedUnfusedEquivalence(t *testing.T) {
 			kept := Filter(fl, "bound", func(x int) bool { return x > -50000 })
 			return Collect(kept)
 		}
-		return reflect.DeepEqual(run(true), run(false))
+		batch := run(true, true)
+		return reflect.DeepEqual(batch, run(true, false)) &&
+			reflect.DeepEqual(batch, run(false, false))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

@@ -41,6 +41,12 @@ type activeSpan struct {
 	// materializedBytes estimates the output partitions a narrow stage (or
 	// fused chain) wrote — the quantity fusion exists to shrink.
 	materializedBytes int64
+	// batches/batchLanes/batchLive account the columnar path of a fused
+	// chain (batch.go): column batches that reached the sink, the lanes they
+	// carried, and the lanes still selected. All zero on the record path.
+	batches    int64
+	batchLanes int64
+	batchLive  int64
 	// Spill accounting, written concurrently by the workers of a budgeted
 	// keyed operator (see spill.go), hence atomic.
 	spilledBytes atomic.Int64
@@ -92,6 +98,8 @@ func (c *Context) finish(sp *activeSpan, perWorker []int64, recordsOut int64) {
 		CombinerIn:        sp.combinerIn,
 		CombinerOut:       sp.combinerOut,
 		MaterializedBytes: sp.materializedBytes,
+		Batches:           sp.batches,
+		BatchFill:         batchFillRate(sp.batchLive, sp.batchLanes),
 		SpilledBytes:      sp.spilledBytes.Load(),
 		SpilledRuns:       sp.spilledRuns.Load(),
 		MergePasses:       sp.mergePasses.Load(),
@@ -125,7 +133,21 @@ func (c *Context) finish(sp *activeSpan, perWorker []int64, recordsOut int64) {
 	if span.MaterializedBytes > 0 {
 		reg.Counter("dataflow.materialized.bytes").Add(span.MaterializedBytes)
 	}
+	if span.Batches > 0 {
+		reg.Counter("dataflow.batches").Add(span.Batches)
+		reg.Counter("dataflow.batch.lanes").Add(sp.batchLanes)
+		reg.Counter("dataflow.batch.live").Add(sp.batchLive)
+	}
 	c.stats.endStage(StageStat{Name: sp.name, PerWorker: append([]int64(nil), perWorker...)}, span)
+}
+
+// batchFillRate is the fraction of sink-visible batch lanes still selected
+// (live/lanes); zero when no batches ran.
+func batchFillRate(live, lanes int64) float64 {
+	if lanes <= 0 {
+		return 0
+	}
+	return float64(live) / float64(lanes)
 }
 
 // totalLen sums the partition lengths of an operator's output.

@@ -45,8 +45,13 @@ type PipelineRun struct {
 	// narrow-operator stages (core.RunStats.MaterializedBytes); additive within
 	// schema v1, zero in records from before the counter existed. Fusion
 	// lowers it, and benchdiff gates on regressions when both sides measured.
-	MaterializedBytes int64          `json:"materialized_bytes,omitempty"`
-	Spans             []metrics.Span `json:"spans,omitempty"`
+	MaterializedBytes int64 `json:"materialized_bytes,omitempty"`
+	// Batches/BatchFill account the columnar batch path across the run's fused
+	// chains (core.RunStats.Batches/BatchFill); additive within schema v1, zero
+	// on record-at-a-time runs and in records from before the counters existed.
+	Batches   int64          `json:"batches,omitempty"`
+	BatchFill float64        `json:"batch_fill,omitempty"`
+	Spans     []metrics.Span `json:"spans,omitempty"`
 }
 
 // BenchRecord is the machine-readable result of one experiment: the rendered
@@ -72,8 +77,12 @@ type BenchRecord struct {
 	SpilledRuns  int64 `json:"spilled_runs,omitempty"`
 	// MaterializedBytes sums the runs' narrow-stage buffering estimates (zero
 	// when no run measured them).
-	MaterializedBytes int64         `json:"materialized_bytes,omitempty"`
-	Runs              []PipelineRun `json:"runs"`
+	MaterializedBytes int64 `json:"materialized_bytes,omitempty"`
+	// Batches sums the runs' columnar batch counts; BatchFill averages their
+	// fill rates over the runs that measured one (zero when none did).
+	Batches   int64         `json:"batches,omitempty"`
+	BatchFill float64       `json:"batch_fill,omitempty"`
+	Runs      []PipelineRun `json:"runs"`
 	Header            []string      `json:"header,omitempty"`
 	Rows              [][]string    `json:"rows,omitempty"`
 	Notes             []string      `json:"notes,omitempty"`
@@ -129,6 +138,8 @@ func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Res
 		run.SpilledBytes = stats.SpilledBytes
 		run.SpilledRuns = stats.SpilledRuns
 		run.MaterializedBytes = stats.MaterializedBytes
+		run.Batches = stats.Batches
+		run.BatchFill = stats.BatchFill
 	}
 	if stats != nil && stats.Dataflow != nil {
 		run.TotalWork = stats.Dataflow.TotalWork()
@@ -183,6 +194,7 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 		Rows:       rep.Rows,
 		Notes:      rep.Notes,
 	}
+	batchRuns := 0
 	for _, r := range runs {
 		rec.TotalWork += r.TotalWork
 		rec.CriticalPath += r.CriticalPath
@@ -191,6 +203,14 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 		rec.SpilledBytes += r.SpilledBytes
 		rec.SpilledRuns += r.SpilledRuns
 		rec.MaterializedBytes += r.MaterializedBytes
+		rec.Batches += r.Batches
+		if r.Batches > 0 {
+			rec.BatchFill += r.BatchFill
+			batchRuns++
+		}
+	}
+	if batchRuns > 0 {
+		rec.BatchFill /= float64(batchRuns)
 	}
 	if rec.CriticalPath > 0 {
 		rec.Speedup = float64(rec.TotalWork) / float64(rec.CriticalPath)

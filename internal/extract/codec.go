@@ -41,10 +41,14 @@ const (
 // candSetCodec spills Pair[cind.Capture, *candSet]. The value layout is a
 // varint group count, one flags byte, then either a uvarint-counted list of
 // 11-byte captures (exact sets) or a bloom.Filter binary image (approximate
-// sets). Exact-set iteration order is nondeterministic, so two encodings of
-// the same set may differ byte-wise — harmless, because the spill path only
-// compares key bytes, never value bytes. Decoding always allocates fresh
-// objects, which keeps mergeCandSets' in-place mutation safe.
+// sets). Bitmap-backed exact sets (Config.BitmapSets) encode under the same
+// exact flag as their live captures in sorted universe order, so the wire
+// format is identical to the map representation's — and, unlike map
+// iteration, byte-deterministic. Map iteration order is nondeterministic, so
+// two encodings of the same map set may differ byte-wise — harmless, because
+// the spill path only compares key bytes, never value bytes. Decoding always
+// allocates fresh objects (bitmap sets decode to the map form; mergeCandSets
+// handles every mixed pairing), which keeps in-place mutation safe.
 type candSetCodec struct{}
 
 func (candSetCodec) AppendKey(dst []byte, k cind.Capture) []byte {
@@ -58,18 +62,18 @@ func (candSetCodec) AppendValue(dst []byte, v *candSet) []byte {
 	if v.lineage {
 		flags |= candSetLineage
 	}
-	if v.exact != nil {
+	if v.hasExact() {
 		flags |= candSetHasExact
 	}
 	if v.approx != nil {
 		flags |= candSetHasBloom
 	}
 	dst = append(dst, flags)
-	if v.exact != nil {
-		dst = binary.AppendUvarint(dst, uint64(len(v.exact)))
-		for c := range v.exact {
+	if v.hasExact() {
+		dst = binary.AppendUvarint(dst, uint64(v.liveLen()))
+		v.liveRefs(func(c cind.Capture) {
 			dst = cind.AppendCapture(dst, c)
-		}
+		})
 	}
 	if v.approx != nil {
 		dst = v.approx.AppendBinary(dst)

@@ -14,6 +14,7 @@ package extract
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/bloom"
 	"repro/internal/capture"
@@ -87,6 +88,16 @@ type Config struct {
 	// DirectExtraction, since spilling does not change the plan and therefore
 	// cannot violate the exact-only definition of RDFind-DE.
 	SpillOnLoadLimit bool
+	// BitmapSets selects the columnar representation for exact candidate
+	// sets: one sorted referenced-capture universe shared by all dependent
+	// captures of a group, plus a per-dependent selection bitmap over it —
+	// |G|/64 words per candidate instead of a |G|-entry hash map. Merging
+	// clears bits instead of deleting keys, and the wire/spill codec encodes
+	// the live captures under the same exact-set flag as the map
+	// representation, so encodings stay format-compatible (and become
+	// deterministic: universe order is sorted). Results are identical; core
+	// enables it whenever the engine's columnar batch execution is on.
+	BitmapSets bool
 }
 
 // Outcome reports how an extraction ran: the estimated load of the executed
@@ -113,15 +124,81 @@ func (c Config) bloomBytes() int {
 
 // candSet is a CIND candidate set: a dependent capture's referenced captures
 // plus the number of capture groups seen so far (which sums to the support).
-// Exactly one of exact/approx is set. The lineage flag records whether any
-// Bloom filter took part in building the set; such candidates are uncertain
-// and require validation (Algorithm 3 — we track lineage with OR rather than
-// the paper's AND so that Bloom false positives can never leak into results).
+// Exactly one representation is set: an exact hash map, an exact bitmap
+// (refs+bits: the sorted capture universe of the originating group, shared by
+// all of its dependents, with bit i live meaning refs[i] is a candidate — the
+// columnar form selected by Config.BitmapSets), or a Bloom filter. The
+// lineage flag records whether any Bloom filter took part in building the
+// set; such candidates are uncertain and require validation (Algorithm 3 —
+// we track lineage with OR rather than the paper's AND so that Bloom false
+// positives can never leak into results).
 type candSet struct {
 	exact   map[cind.Capture]struct{}
+	refs    []cind.Capture
+	bits    dataflow.Bitmap
 	approx  *bloom.Filter
 	count   int
 	lineage bool
+}
+
+// liveRefs iterates the exact referenced captures, whichever representation
+// holds them (never called on pure-Bloom sets). Bitmap sets iterate in sorted
+// universe order; map sets in map order — consumers are order-insensitive.
+func (cs *candSet) liveRefs(f func(cind.Capture)) {
+	if cs.refs != nil {
+		cs.bits.ForEach(func(i int) { f(cs.refs[i]) })
+		return
+	}
+	for r := range cs.exact {
+		f(r)
+	}
+}
+
+// liveLen returns the exact-set cardinality (0 for pure-Bloom sets).
+func (cs *candSet) liveLen() int {
+	if cs.refs != nil {
+		return cs.bits.Count()
+	}
+	return len(cs.exact)
+}
+
+// hasExact reports whether the set carries an exact representation (map or
+// bitmap) rather than only a Bloom filter.
+func (cs *candSet) hasExact() bool { return cs.exact != nil || cs.refs != nil }
+
+// containsRef reports exact-set membership (map lookup or binary search over
+// the sorted universe plus a bit probe).
+func (cs *candSet) containsRef(r cind.Capture) bool {
+	if cs.refs != nil {
+		i := searchCapture(cs.refs, r)
+		return i < len(cs.refs) && cs.refs[i] == r && cs.bits.Get(i)
+	}
+	_, ok := cs.exact[r]
+	return ok
+}
+
+// captureLess orders captures by (projection, condition attributes, condition
+// values) — the total order of the bitmap universes.
+func captureLess(a, b cind.Capture) bool {
+	if a.Proj != b.Proj {
+		return a.Proj < b.Proj
+	}
+	if a.Cond.A1 != b.Cond.A1 {
+		return a.Cond.A1 < b.Cond.A1
+	}
+	if a.Cond.A2 != b.Cond.A2 {
+		return a.Cond.A2 < b.Cond.A2
+	}
+	if a.Cond.V1 != b.Cond.V1 {
+		return a.Cond.V1 < b.Cond.V1
+	}
+	return a.Cond.V2 < b.Cond.V2
+}
+
+// searchCapture returns the first index i with !captureLess(refs[i], c),
+// i.e. the binary-search insertion point of c in a sorted universe.
+func searchCapture(refs []cind.Capture, c cind.Capture) int {
+	return sort.Search(len(refs), func(i int) bool { return !captureLess(refs[i], c) })
 }
 
 // workUnit is a slice of a dominant capture group: the dependent captures
@@ -199,6 +276,24 @@ func BroadCINDsOutcome(groups *dataflow.Dataset[capture.Group], cfg Config) ([]c
 	bloomBytes := cfg.bloomBytes()
 	normalCands := dataflow.FlatMap(normal, "ext/candidates-exact",
 		func(g capture.Group, emit func(dataflow.Pair[cind.Capture, *candSet])) {
+			if cfg.BitmapSets {
+				// One sorted universe per group, shared by every dependent;
+				// each dependent's set is an all-ones bitmap with its own
+				// capture cleared — |G|/64 words instead of a |G|-entry map.
+				universe := sortedUniverse(g.Captures, cfg.RefArity)
+				for _, dep := range g.Captures {
+					if !cfg.DepArity.matches(dep) {
+						continue
+					}
+					bits := dataflow.NewBitmap(len(universe))
+					bits.SetAll()
+					if i := searchCapture(universe, dep); i < len(universe) && universe[i] == dep {
+						bits.Clear(i)
+					}
+					emit(dataflow.Pair[cind.Capture, *candSet]{Key: dep, Val: &candSet{refs: universe, bits: bits, count: 1}})
+				}
+				return
+			}
 			for _, dep := range g.Captures {
 				if !cfg.DepArity.matches(dep) {
 					continue
@@ -245,14 +340,14 @@ func BroadCINDsOutcome(groups *dataflow.Dataset[capture.Group], cfg Config) ([]c
 			continue // not broad (only reachable in direct extraction)
 		}
 		if !cs.lineage {
-			for r := range cs.exact {
+			cs.liveRefs(func(r cind.Capture) {
 				if r != dep {
 					out = append(out, cind.CIND{Inclusion: cind.Inclusion{Dep: dep, Ref: r}, Support: cs.count})
 				}
-			}
+			})
 			continue
 		}
-		if cs.exact != nil && len(cs.exact) == 0 {
+		if cs.hasExact() && cs.liveLen() == 0 {
 			continue // dead: no candidate referenced captures remain
 		}
 		uncertain[dep] = cs
@@ -418,15 +513,17 @@ func emptyGroups(d *dataflow.Dataset[capture.Group]) *dataflow.Dataset[capture.G
 }
 
 // mergeCandSets is Algorithm 3: intersect two candidate sets, distinguishing
-// exact/exact, Bloom/Bloom, and mixed cases, summing the group counts and
-// propagating Bloom lineage. The intersection is associative and commutative
-// — probing an element against two Bloom filters succeeds exactly when it
-// passes their bit-wise AND — so reduction order does not matter.
+// exact/exact, Bloom/Bloom, bitmap, and mixed cases, summing the group counts
+// and propagating Bloom lineage. The intersection is associative and
+// commutative — probing an element against two Bloom filters succeeds exactly
+// when it passes their bit-wise AND — so reduction order does not matter.
 func mergeCandSets(a, b *candSet) *candSet {
 	count := a.count + b.count
 	lineage := a.lineage || b.lineage
 	var res *candSet
 	switch {
+	case a.refs != nil || b.refs != nil:
+		res = mergeIntoBits(a, b)
 	case a.exact != nil && b.exact != nil:
 		// Intersect the smaller into the larger for speed.
 		small, large := a, b
@@ -461,6 +558,52 @@ func mergeCandSets(a, b *candSet) *candSet {
 	return res
 }
 
+// mergeIntoBits intersects when at least one side is bitmap-backed: the
+// bitmap side (the smaller-cardinality one if both are) probes each live
+// capture against the other representation and clears misses. Clearing bits
+// never touches the shared universe slice, so siblings of the originating
+// group are unaffected. The caller overwrites count/lineage.
+func mergeIntoBits(a, b *candSet) *candSet {
+	if a.refs == nil || (b.refs != nil && a.bits.Count() > b.bits.Count()) {
+		a, b = b, a
+	}
+	switch {
+	case b.refs != nil:
+		a.bits.ForEach(func(i int) {
+			if !b.containsRef(a.refs[i]) {
+				a.bits.Clear(i)
+			}
+		})
+	case b.exact != nil:
+		a.bits.ForEach(func(i int) {
+			if _, ok := b.exact[a.refs[i]]; !ok {
+				a.bits.Clear(i)
+			}
+		})
+	default:
+		a.bits.ForEach(func(i int) {
+			if !b.approx.Test(a.refs[i].Key()) {
+				a.bits.Clear(i)
+			}
+		})
+	}
+	return a
+}
+
+// sortedUniverse filters a group's captures by the referenced arity and
+// sorts a fresh copy (the group's own slice is shared with work units and
+// must not be reordered) — the capture universe bitmap sets index into.
+func sortedUniverse(captures []cind.Capture, ref Arity) []cind.Capture {
+	universe := make([]cind.Capture, 0, len(captures))
+	for _, c := range captures {
+		if ref.matches(c) {
+			universe = append(universe, c)
+		}
+	}
+	sort.Slice(universe, func(i, j int) bool { return captureLess(universe[i], universe[j]) })
+	return universe
+}
+
 // validate resolves uncertain candidate sets (step 9–10): the uncertain map
 // is broadcast, every work unit emits the exact intersection of its group
 // with the candidate's referenced captures, and intersecting those
@@ -483,8 +626,8 @@ func validate(units *dataflow.Dataset[workUnit], uncertain map[cind.Capture]*can
 					if r == dep || !refArity.matches(r) {
 						continue
 					}
-					if cs.exact != nil {
-						if _, ok := cs.exact[r]; ok {
+					if cs.hasExact() {
+						if cs.containsRef(r) {
 							refs[r] = struct{}{}
 						}
 					} else if cs.approx.Test(r.Key()) {

@@ -45,6 +45,12 @@ type Span struct {
 	// fused chain, which materializes only its final output) wrote; zero for
 	// wide operators and sources.
 	MaterializedBytes int64 `json:"materialized_bytes,omitempty"`
+	// Batches counts the column batches a fused chain's columnar execution
+	// (dataflow batch.go) delivered to its sink; BatchFill is the fraction of
+	// their lanes still selected (1.0 = no Filter cleared anything). Both zero
+	// on record-at-a-time execution.
+	Batches   int64   `json:"batches,omitempty"`
+	BatchFill float64 `json:"batch_fill,omitempty"`
 	// CombinerIn/CombinerOut are the record counts before and after combiner
 	// pre-aggregation (ReduceByKey's early aggregation); zero when the stage
 	// has no combiner.
@@ -155,6 +161,9 @@ func writeSpanNodes(w io.Writer, nodes []*spanNode, depth int) error {
 				indent, 32-2*depth, n.segment, fmtMS(s.WallMS), s.RecordsIn, s.RecordsOut, s.MaxWorkerRecords)
 			if len(s.FusedOps) > 0 {
 				line += fmt.Sprintf("  fused=%d", len(s.FusedOps))
+			}
+			if s.Batches > 0 {
+				line += fmt.Sprintf("  batches=%d/%.0f%%", s.Batches, s.BatchFill*100)
 			}
 			if s.ShuffleBytes > 0 {
 				line += fmt.Sprintf("  shuffle=%s", fmtBytes(s.ShuffleBytes))
