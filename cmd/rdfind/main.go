@@ -4,7 +4,8 @@
 // Usage:
 //
 //	rdfind [-support N] [-workers N] [-ingest-workers N] [-variant rdfind|de|nf|mf]
-//	       [-pred-only-conditions] [-no-columnar] [-lenient] [-timeout D] [-stats] [-json] file.nt
+//	       [-pred-only-conditions] [-no-columnar] [-no-optimizer] [-profile-dir DIR]
+//	       [-explain] [-lenient] [-timeout D] [-stats] [-json] file.nt
 //	rdfind -cluster N [-cluster-network tcp|unix] [-chaos SPEC] [flags] file.nt
 //	rdfind worker -addr ADDR -rank N [-network tcp|unix]
 //
@@ -14,6 +15,14 @@
 // trace) go to stderr. With -json, stdout instead carries one JSON document
 // holding the result plus the run's metrics snapshot — trace spans, registry
 // counters, work accounting (see internal/core.RunSnapshot).
+//
+// The engine plans each run with a cost-based optimizer (rewrites like
+// shared-prefix materialization and pushdown through shuffles, plus per-stage
+// worker/budget policies); results are byte-identical with it on or off.
+// -no-optimizer disables it, -explain replaces the result on stdout with the
+// optimized plan — per-stage cost estimates and the rules that fired — and
+// -profile-dir persists per-stage span statistics across runs so later runs
+// plan against observed behavior instead of defaults.
 //
 // -cluster N runs discovery as a coordinator with N worker processes: the
 // process listens on a socket, spawns N copies of itself in worker mode, and
@@ -51,6 +60,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/dataflow/opt"
 )
 
 // Exit codes (documented above).
@@ -84,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lenient := fs.Bool("lenient", false, "skip malformed N-Triples lines (reported to stderr) instead of aborting")
 	timeout := fs.Duration("timeout", 0, "abort discovery after this duration (0 = no limit), exit code 4")
 	noColumnar := fs.Bool("no-columnar", false, "disable columnar batch execution of fused chains (record-at-a-time; identical results)")
+	noOptimizer := fs.Bool("no-optimizer", false, "disable the cost-based plan optimizer (no rewrites or policies; identical results)")
+	profileDir := fs.String("profile-dir", "", "directory for the optimizer's span-statistics profile: read before the run, updated after, tuning later runs")
+	explain := fs.Bool("explain", false, "print the optimized plan (stages, cost estimates, fired rules) to stdout instead of the result")
 	memBudget := fs.String("mem-budget", "", "memory budget for keyed shuffle state, e.g. 512M or 2G; overflow spills to disk (empty = unlimited, no spilling)")
 	spillDir := fs.String("spill-dir", "", "directory for spill files (empty = system temp dir; implies a 256M budget if -mem-budget is unset)")
 	clusterN := fs.Int("cluster", 0, "run as coordinator of N worker processes (0 = single-process); overrides -workers")
@@ -128,12 +141,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case *check != "":
 			fmt.Fprintln(stderr, "rdfind: -check does not use -cluster")
 			return exitUsage
+		case *profileDir != "" || *explain:
+			fmt.Fprintln(stderr, "rdfind: -profile-dir and -explain need the plan optimizer, which is inert under -cluster")
+			return exitUsage
 		case *clusterNet != "unix" && *clusterNet != "tcp":
 			fmt.Fprintf(stderr, "rdfind: unknown -cluster-network %q\n", *clusterNet)
 			return exitUsage
 		}
 	} else if *chaos != "" {
 		fmt.Fprintln(stderr, "rdfind: -chaos requires -cluster")
+		return exitUsage
+	}
+	if *explain && *jsonDump {
+		fmt.Fprintln(stderr, "rdfind: -explain replaces the result on stdout and cannot combine with -json")
 		return exitUsage
 	}
 
@@ -193,6 +213,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SpillDir:                   *spillDir,
 		Cluster:                    cl,
 		DisableColumnar:            *noColumnar,
+		DisableOptimizer:           *noOptimizer,
+		ProfileDir:                 *profileDir,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind:", err)
@@ -206,6 +228,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *explain:
+		opt.WriteExplain(stdout, runStats.Dataflow.Spans(), runStats.Optimizer, *workers)
 	case *jsonDump:
 		resJSON, err := rdfind.MarshalResultJSON(res, ds.Dict)
 		if err != nil {
@@ -537,6 +561,24 @@ func printStats(w io.Writer, s *core.RunStats) {
 	}
 	if s.Batches > 0 {
 		fmt.Fprintf(w, "column batches:      %d (%.0f%% lanes live)\n", s.Batches, s.BatchFill*100)
+	}
+	// Per-stage policies the plan optimizer chose (worker counts, budget
+	// bypasses, fusion/materialization boundaries). Absent when the optimizer
+	// is off or inert (distributed runs), so the block never perturbs the
+	// fixed-format accounting lines above that scripts grep for.
+	if rep := s.Optimizer; rep != nil && rep.Enabled {
+		model := "cold, default cost model"
+		if rep.Profiled {
+			model = "profile-tuned cost model"
+		}
+		fmt.Fprintf(w, "plan optimizer:      on (%s), %d decisions\n", model, len(rep.Decisions))
+		for _, d := range rep.Decisions {
+			if d.Detail != "" {
+				fmt.Fprintf(w, "  %-26s %s (%s)\n", d.Rule, d.Stage, d.Detail)
+			} else {
+				fmt.Fprintf(w, "  %-26s %s\n", d.Rule, d.Stage)
+			}
+		}
 	}
 	fmt.Fprintf(w, "work-balance speedup: %.2f\n", s.Dataflow.Speedup())
 	fmt.Fprintf(w, "operator trace:\n%s", s.Dataflow.SpanTree())

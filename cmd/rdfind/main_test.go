@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -145,10 +146,13 @@ func TestGoldenResultJSON(t *testing.T) {
 }
 
 func TestGoldenSnapshotJSON(t *testing.T) {
-	// The snapshot's spans carry fused-chain composite names, so this golden
-	// is recorded in (default) fused mode; pin it against the CI leg that
-	// sets DATAFLOW_FUSION=off process-wide.
+	// The snapshot's spans carry fused-chain composite names and the plan
+	// optimizer's report (its rewrites move work between spans), so this
+	// golden is recorded in (default) fused+optimized mode; pin it against
+	// the CI legs that set DATAFLOW_FUSION=off or DATAFLOW_OPTIMIZER=off
+	// process-wide.
 	t.Setenv("DATAFLOW_FUSION", "on")
+	t.Setenv("DATAFLOW_OPTIMIZER", "on")
 	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "-json", "testdata/museums.nt")
 	if code != exitOK {
 		t.Fatalf("exit %d: %s", code, errOut)
@@ -183,6 +187,7 @@ func TestGoldenFusionOff(t *testing.T) {
 func TestGoldenColumnarOff(t *testing.T) {
 	t.Setenv("DATAFLOW_FUSION", "on")
 	t.Setenv("DATAFLOW_COLUMNAR", "off")
+	t.Setenv("DATAFLOW_OPTIMIZER", "on") // the snapshot golden is recorded with the optimizer on
 	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "testdata/museums.nt")
 	if code != exitOK {
 		t.Fatalf("exit %d: %s", code, errOut)
@@ -214,6 +219,102 @@ func TestNoColumnarFlag(t *testing.T) {
 	}
 	if strings.Contains(out, `"batches"`) {
 		t.Errorf("-no-columnar snapshot still carries batch accounting:\n%s", out)
+	}
+}
+
+// TestGoldenExplain pins the -explain rendering: the optimized plan tree with
+// the fired rules and per-stage cost estimates. Cost numbers are volatile
+// (the model's coefficients may be tuned), so the golden normalizes every
+// est_cost value; stage names, record counts, and fired rules are exact.
+func TestGoldenExplain(t *testing.T) {
+	t.Setenv("DATAFLOW_FUSION", "on")
+	t.Setenv("DATAFLOW_OPTIMIZER", "on")
+	code, out, errOut := runCLI(t, "-explain", "-support", "2", "-workers", "1", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	got := costRe.ReplaceAllString(out, "est_cost=?")
+	for _, want := range []string{"plan optimizer: enabled", "rewrites and policies", "plan:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("explain output lacks %q:\n%s", want, got)
+		}
+	}
+	goldenCompare(t, "museums_explain", []byte(got))
+}
+
+var costRe = regexp.MustCompile(`est_cost=\S+`)
+
+// TestNoOptimizerFlag checks the -no-optimizer escape hatch end to end:
+// results match the goldens byte for byte and the snapshot carries no
+// optimizer report.
+func TestNoOptimizerFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-no-optimizer", "-support", "2", "-workers", "1", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_text", []byte(out))
+	code, out, _ = runCLI(t, "-no-optimizer", "-support", "2", "-workers", "1", "-json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, `"optimizer"`) {
+		t.Errorf("-no-optimizer snapshot still carries an optimizer report:\n%s", out)
+	}
+	code, _, errOut = runCLI(t, "-no-optimizer", "-explain", "-support", "2", "-workers", "1", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("-no-optimizer -explain exit %d", code)
+	}
+}
+
+// TestProfileDirRoundTrip runs discovery twice against one -profile-dir: the
+// first run persists its span statistics, the second plans against them —
+// and both print the same golden text output.
+func TestProfileDirRoundTrip(t *testing.T) {
+	t.Setenv("DATAFLOW_OPTIMIZER", "on")
+	dir := t.TempDir()
+	for run := 0; run < 2; run++ {
+		code, out, errOut := runCLI(t, "-profile-dir", dir, "-support", "2", "-workers", "1", "testdata/museums.nt")
+		if code != exitOK {
+			t.Fatalf("run %d exit %d: %s", run, code, errOut)
+		}
+		goldenCompare(t, "museums_text", []byte(out))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "profile.json")); err != nil {
+		t.Fatalf("profile not persisted: %v", err)
+	}
+	// The second run planned warm: -explain against the same dir says so.
+	code, out, _ := runCLI(t, "-profile-dir", dir, "-explain", "-support", "2", "-workers", "1", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("explain exit %d", code)
+	}
+	if !strings.Contains(out, "profile-tuned cost model") {
+		t.Errorf("warm explain does not report a tuned model:\n%s", out)
+	}
+}
+
+// TestStatsOptimizerPolicies pins the -stats policy block: per-stage
+// decisions the planner made, rendered to stderr — and its absence when the
+// optimizer is off.
+func TestStatsOptimizerPolicies(t *testing.T) {
+	t.Setenv("DATAFLOW_OPTIMIZER", "on")
+	code, _, errOut := runCLI(t, "-support", "2", "-workers", "1", "-stats", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut, "plan optimizer:      on (cold, default cost model)") {
+		t.Errorf("stats output lacks the optimizer line:\n%s", errOut)
+	}
+	// Single-worker runs always choose the serial-stage policy somewhere, so
+	// at least one per-stage decision line renders.
+	if !strings.Contains(errOut, "serial-stage") {
+		t.Errorf("stats output lacks per-stage policy lines:\n%s", errOut)
+	}
+	code, _, errOut = runCLI(t, "-no-optimizer", "-support", "2", "-workers", "1", "-stats", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(errOut, "plan optimizer:") {
+		t.Errorf("-no-optimizer stats still render optimizer lines:\n%s", errOut)
 	}
 }
 
@@ -306,5 +407,14 @@ func TestExitCodes(t *testing.T) {
 	}
 	if code, _, _ := runCLI(t, "testdata/absent.nt"); code != exitParse {
 		t.Errorf("missing input exit %d, want %d", code, exitParse)
+	}
+	if code, _, _ := runCLI(t, "-explain", "-json", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("-explain -json exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-cluster", "2", "-explain", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("-cluster -explain exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-cluster", "2", "-profile-dir", "x", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("-cluster -profile-dir exit %d, want %d", code, exitUsage)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/cind"
 	"repro/internal/dataflow"
+	"repro/internal/dataflow/opt"
 	"repro/internal/extract"
 	"repro/internal/fcdetect"
 	"repro/internal/metrics"
@@ -132,6 +133,24 @@ type Config struct {
 	// in [0, 1]), decorrelating retry storms when several workers fail
 	// together. 0 keeps the deterministic exponential backoff.
 	RetryJitter float64
+	// DisableOptimizer switches off the cost-based plan optimizer
+	// (dataflow.WithOptimizer(false)): no shared-prefix materialization, no
+	// shuffle pushdown, and global worker/budget policies instead of
+	// per-stage ones. Results are byte-identical either way — the optimizer
+	// differential suites pin that — so this exists for those suites, for
+	// benchmark baselines, and for debugging.
+	DisableOptimizer bool
+	// ProfileDir persists the optimizer's per-stage observations across
+	// processes: the run loads profile.json from this directory (cold start
+	// when absent), and saves the updated observations back after the run.
+	// Empty disables persistence. Ignored when the optimizer is disabled and
+	// cleared for distributed runs, where the optimizer is inert.
+	ProfileDir string
+	// Profile shares optimizer observations in memory across runs in the
+	// same process (a benchmark sweep warming its own cost model). When set
+	// it wins over ProfileDir; nil without ProfileDir means each run starts
+	// cold.
+	Profile *opt.Profile
 }
 
 func (c Config) normalized() Config {
@@ -160,6 +179,11 @@ func (c Config) normalized() Config {
 	if c.WorkerConn != nil {
 		c.Workers = c.WorkerConn.Workers()
 		c.MemoryBudget, c.SpillDir = 0, ""
+	}
+	// The optimizer is inert in distributed mode (the engine never creates a
+	// planner for replicated drivers), so profile plumbing is dropped too.
+	if c.Cluster != nil || c.WorkerConn != nil {
+		c.Profile, c.ProfileDir = nil, ""
 	}
 	return c
 }
@@ -222,6 +246,11 @@ type RunStats struct {
 	// benchmark harness gate on allocation counts next to wall time.
 	Mallocs    uint64
 	AllocBytes uint64
+	// Optimizer reports the plan optimizer's run: whether it was enabled and
+	// profile-fed, its (possibly tuned) cost model, and every rewrite rule
+	// and per-stage policy it chose. Nil when the optimizer is disabled or
+	// the run is distributed.
+	Optimizer *opt.Report
 }
 
 // Discover runs the selected pipeline over the dataset and returns the
@@ -271,6 +300,20 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	if cfg.DisableColumnar {
 		dfOpts = append(dfOpts, dataflow.WithColumnar(false))
 	}
+	if cfg.DisableOptimizer {
+		dfOpts = append(dfOpts, dataflow.WithOptimizer(false))
+	}
+	// Profile feedback loop: a live handle wins; otherwise a profile directory
+	// is loaded (empty on first run, started fresh over a corrupt file) and
+	// saved back after the run. Errors are deliberately non-fatal — a broken
+	// profile must never break discovery, only un-tune it.
+	prof := cfg.Profile
+	if prof == nil && cfg.ProfileDir != "" && !cfg.DisableOptimizer {
+		prof, _ = opt.LoadProfile(cfg.ProfileDir)
+	}
+	if prof != nil {
+		dfOpts = append(dfOpts, dataflow.WithProfile(prof))
+	}
 	if cfg.RetryJitter > 0 {
 		dfOpts = append(dfOpts, dataflow.WithRetryJitter(cfg.RetryJitter))
 	}
@@ -304,11 +347,15 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		stats.WorkerRespawns = counters[metrics.ClusterRespawns]
 		stats.Reconnects = counters[metrics.ClusterReconnects]
 	}
+	recordOptimizer := func() {
+		stats.Optimizer = dfctx.OptimizerReport()
+	}
 	finish := func(err error) (*cind.Result, *RunStats, error) {
 		stats.StageRetries = dfctx.Stats().TotalRetries()
 		stats.Duration = time.Since(start)
 		recordAllocs()
 		recordSpill()
+		recordOptimizer()
 		return nil, stats, err
 	}
 
@@ -381,6 +428,15 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	stats.Duration = time.Since(start)
 	recordAllocs()
 	recordSpill()
+	recordOptimizer()
+	// Feed the run's spans back into the profile (successful runs only:
+	// partial traces would skew the averages) and persist it if asked to.
+	if prof != nil && dfctx.Optimizer() {
+		prof.Observe(dfctx.Stats().Spans())
+		if cfg.ProfileDir != "" {
+			_ = prof.Save(cfg.ProfileDir)
+		}
+	}
 	return res, stats, nil
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/metrics"
+import (
+	"repro/internal/dataflow/opt"
+	"repro/internal/metrics"
+)
 
 // RunSnapshot is the machine-readable form of a run's statistics: the scalar
 // counters of RunStats plus the engine's trace spans and metric registry,
@@ -45,6 +48,11 @@ type RunSnapshot struct {
 	Mallocs    uint64 `json:"mallocs,omitempty"`
 	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 
+	// Optimizer is the plan optimizer's run report (RunStats.Optimizer):
+	// enabled/profiled flags, the cost model used, and every rewrite rule and
+	// per-stage policy chosen. Absent when the optimizer was off.
+	Optimizer *opt.Report `json:"optimizer,omitempty"`
+
 	Spans   []metrics.Span           `json:"spans,omitempty"`
 	Metrics metrics.RegistrySnapshot `json:"metrics,omitzero"`
 }
@@ -77,6 +85,7 @@ func (s *RunStats) Snapshot() *RunSnapshot {
 		Reconnects:        s.Reconnects,
 		Mallocs:           s.Mallocs,
 		AllocBytes:        s.AllocBytes,
+		Optimizer:         s.Optimizer,
 		Speedup:           1,
 	}
 	if s.Dataflow != nil {

@@ -44,6 +44,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/dataflow/opt"
 )
 
 // Context carries the worker count, the hash seed that fixes the
@@ -69,6 +71,9 @@ type Context struct {
 	spillDir    string          // directory for spill files; "": the OS temp dir
 	fuse        bool            // lazy narrow-operator fusion (plan.go); false: eager per-op stages
 	columnar    bool            // batch-at-a-time fused-chain execution (batch.go); false: record path
+	optim       bool            // cost-based plan optimizer (opt package); false: structural defaults only
+	prof        *opt.Profile    // cross-run observations feeding the optimizer; nil: cold
+	planner     *opt.Planner    // per-job decision maker; nil when disabled or distributed
 
 	jitter  float64                  // retry-backoff jitter fraction in [0, 1]
 	sleepFn func(time.Duration) bool // inter-attempt wait; overridable for timing-free tests
@@ -178,6 +183,36 @@ func columnarDefault() bool {
 	}
 }
 
+// WithOptimizer toggles the cost-based plan optimizer (see the opt package).
+// It is on by default; disabling it restores the pre-optimizer structural
+// defaults (no shared-prefix materialization, no pushdown, global policies),
+// which the optimizer differential suites compare against — results are
+// byte-identical either way. The DATAFLOW_OPTIMIZER environment variable
+// ("off"/"0"/"false" disables, "on"/"1"/"true" enables) sets the
+// process-wide default; an explicit WithOptimizer always wins.
+func WithOptimizer(enabled bool) Option {
+	return func(c *Context) { c.optim = enabled }
+}
+
+// optimizerDefault reads the DATAFLOW_OPTIMIZER environment toggle.
+func optimizerDefault() bool {
+	switch os.Getenv("DATAFLOW_OPTIMIZER") {
+	case "off", "0", "false":
+		return false
+	default:
+		return true
+	}
+}
+
+// WithProfile attaches cross-run span observations (loaded from a profile
+// directory or shared in memory across a sweep) for the optimizer's
+// self-tuned cost model and history-driven rules. The same handle can be
+// passed to consecutive jobs; observations recorded after each run
+// accumulate there. Ignored while the optimizer is disabled.
+func WithProfile(p *opt.Profile) Option {
+	return func(c *Context) { c.prof = p }
+}
+
 // NewContext returns a context with the given number of logical workers.
 // Worker counts below 1 are clamped to 1. Without options the context is not
 // cancellable, does not retry (one attempt per stage), and injects no faults.
@@ -194,6 +229,7 @@ func NewContext(workers int, opts ...Option) *Context {
 		backoff:     time.Millisecond,
 		fuse:        fusionDefault(),
 		columnar:    columnarDefault(),
+		optim:       optimizerDefault(),
 		rank:        -1,
 	}
 	c.sleepFn = c.sleep
@@ -202,6 +238,14 @@ func NewContext(workers int, opts ...Option) *Context {
 	}
 	if c.maxAttempts < 1 {
 		c.maxAttempts = 1
+	}
+	// The planner exists only for single-process jobs: in distributed mode
+	// the driver is replicated across ranks, and profile- or consumer-count-
+	// driven decisions made from rank-local state could diverge between the
+	// replicas, desynchronizing the collective barrier sequence. Structural
+	// execution there stays on the (deterministic) global defaults.
+	if c.optim && c.cluster == nil && c.worker == nil {
+		c.planner = opt.NewPlanner(c.workers, c.prof)
 	}
 	return c
 }
@@ -217,6 +261,20 @@ func (c *Context) MemoryBudget() int64 { return c.memBudget }
 // layers use it to select companion columnar data structures — the bitmap
 // candidate sets of internal/extract — alongside the engine's batch kernels.
 func (c *Context) Columnar() bool { return c.columnar }
+
+// Optimizer reports whether the cost-based plan optimizer is active for this
+// context (enabled and not suppressed by distributed mode).
+func (c *Context) Optimizer() bool { return c.planner != nil }
+
+// OptimizerReport returns the optimizer's decisions so far (rewrite rules
+// fired and per-stage policies chosen), or nil when the optimizer is
+// inactive.
+func (c *Context) OptimizerReport() *opt.Report {
+	if c.planner == nil {
+		return nil
+	}
+	return c.planner.Report()
+}
 
 // Stats returns the accumulated work accounting.
 func (c *Context) Stats() *Stats { return c.stats }
@@ -292,6 +350,13 @@ type Dataset[T any] struct {
 	ctx   *Context
 	parts [][]T
 	plan  *chain[T] // pending narrow-operator chain; nil once materialized
+	// shuffle is a pending repartitioning (shuffleplan.go), the optimizer's
+	// pushdown site: while it is pending, Maps and Filters may move onto its
+	// scatter side. At most one of plan and shuffle is set; forcing clears
+	// both. consumers counts how many lazy consumers have taken plan, the
+	// shared-prefix rule's input.
+	shuffle   *shufflePlan[T]
+	consumers int
 	// distinct is an upper bound on the number of distinct shuffle keys in
 	// the dataset when one is known (0 = unknown). Operators that aggregate
 	// by key (ReduceByKey, GroupByKey, Distinct) set it on their outputs and
@@ -388,23 +453,37 @@ func (c *Context) runStage(name string, f func(worker int) error) bool {
 				Cause: fmt.Errorf("cancelled: %w", err)})
 			return false
 		}
-		var (
-			mu       sync.Mutex
-			failures []workerFailure
-			wg       sync.WaitGroup
-		)
-		wg.Add(len(pending))
-		for _, w := range pending {
-			go func(w int) {
-				defer wg.Done()
+		var failures []workerFailure
+		if c.planner != nil && c.planner.SerialStage(name, len(pending)) {
+			// Worker-count policy: the stage's profiled work is smaller than
+			// goroutine fan-out overhead, so its pending workers run
+			// sequentially on the driver goroutine. Fault injection still
+			// counts per (stage, worker) visit and failures still collect per
+			// worker, so retry semantics and determinism are unchanged —
+			// only the scheduling differs.
+			for _, w := range pending {
 				if err := c.runWorker(name, w, f); err != nil {
-					mu.Lock()
 					failures = append(failures, workerFailure{worker: w, err: err})
-					mu.Unlock()
 				}
-			}(w)
+			}
+		} else {
+			var (
+				mu sync.Mutex
+				wg sync.WaitGroup
+			)
+			wg.Add(len(pending))
+			for _, w := range pending {
+				go func(w int) {
+					defer wg.Done()
+					if err := c.runWorker(name, w, f); err != nil {
+						mu.Lock()
+						failures = append(failures, workerFailure{worker: w, err: err})
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
 		}
-		wg.Wait()
 		if len(failures) == 0 {
 			return true
 		}
@@ -515,6 +594,10 @@ func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 		if c.failed() {
 			return empty[U](c)
 		}
+		if s := d.shuffle; s != nil && c.planner != nil &&
+			c.planner.PushThroughShuffle(s.name, opt.Op{Kind: opt.KindMap, Name: name}) {
+			return &Dataset[U]{ctx: c, shuffle: shuffleMap(s, name, f)}
+		}
 		return &Dataset[U]{ctx: c, plan: chainMap(chainOf(d), name, f)}
 	}
 	d.force()
@@ -583,6 +666,10 @@ func Filter[T any](d *Dataset[T], name string, pred func(T) bool) *Dataset[T] {
 	if c.fuse {
 		if c.failed() {
 			return empty[T](c)
+		}
+		if s := d.shuffle; s != nil && c.planner != nil &&
+			c.planner.PushThroughShuffle(s.name, opt.Op{Kind: opt.KindFilter, Name: name}) {
+			return &Dataset[T]{ctx: c, shuffle: shuffleFilter(s, name, pred), distinct: d.distinct}
 		}
 		return &Dataset[T]{ctx: c, plan: chainFilter(chainOf(d), name, pred), distinct: d.distinct}
 	}
@@ -660,6 +747,21 @@ func mapSizeHint(n int, distinct int64) int {
 		return unknownKeyCap
 	}
 	return n
+}
+
+// mapSizeHintOpt is mapSizeHint with a profile-driven expected key count
+// (the optimizer's map-presize policy): where no semantic distinct-key bound
+// exists, the profile's observed output size replaces the speculative cap —
+// one allocation instead of log(n/cap) rehashes on stages the history knows.
+// A semantic bound still wins, and expected never sizes beyond n.
+func mapSizeHintOpt(n int, distinct, expected int64) int {
+	if distinct <= 0 && expected > 0 {
+		if expected < int64(n) {
+			return int(expected)
+		}
+		return n
+	}
+	return mapSizeHint(n, distinct)
 }
 
 // shuffleParts redistributes records to the partition chosen by target (which
@@ -766,40 +868,60 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 	// memory per rank.
 	if c.memBudget > 0 && !c.distributed() {
 		if codec, ok := pairCodecFor[K, V](); ok {
-			return reduceByKeySpill(d, name, combine, codec)
-		}
-	}
-	sp := c.begin(name)
-	// Combiner pass: partition-local aggregation.
-	pre := make([][]Pair[K, V], c.workers)
-	counts := make([]int64, c.workers)
-	if !c.runStage(name+"/combine", func(w int) error {
-		in := d.parts[w]
-		agg := make(map[K]V, mapSizeHint(len(in), d.distinct))
-		for _, kv := range in {
-			if cur, ok := agg[kv.Key]; ok {
-				agg[kv.Key] = combine(cur, kv.Val)
-			} else {
-				agg[kv.Key] = kv.Val
+			// Memory-budget policy: a stage whose profiled state sits far
+			// under the budget (and never spilled) keeps the in-memory path;
+			// cold or borderline stages honor the global budget as before.
+			if c.planner == nil || !c.planner.BypassSpill(name, c.memBudget) {
+				return reduceByKeySpill(d, name, combine, codec)
 			}
 		}
-		local := pre[w] // a retried worker reuses its previous attempt's buffer
-		if cap(local) < len(agg) {
-			local = make([]Pair[K, V], 0, len(agg))
-		} else {
-			local = local[:0]
-		}
-		for k, v := range agg {
-			local = append(local, Pair[K, V]{k, v})
-		}
-		pre[w] = local
-		counts[w] = int64(len(in))
-		return nil
-	}) {
-		return empty[Pair[K, V]](c)
 	}
-	sp.combinerIn = sumCounts(counts)
-	sp.combinerOut = totalLen(pre)
+	// Profile-driven key-count hint for aggregation-map pre-sizing, consulted
+	// only where no semantic distinct-key bound exists.
+	var keyHint int64
+	if c.planner != nil && d.distinct <= 0 {
+		keyHint = c.planner.KeySizeHint(name)
+	}
+	sp := c.begin(name)
+	counts := make([]int64, c.workers)
+	for w, p := range d.parts {
+		counts[w] = int64(len(p))
+	}
+	// Combiner selection: when the profile shows the partition-local combine
+	// pass barely pre-aggregates, the shuffle takes the raw records instead of
+	// paying a per-worker map build for nothing. combine is associative and
+	// commutative, so the final reduce produces the same values either way.
+	pre := d.parts
+	if c.planner == nil || !c.planner.SkipCombiner(name) {
+		// Combiner pass: partition-local aggregation.
+		pre = make([][]Pair[K, V], c.workers)
+		if !c.runStage(name+"/combine", func(w int) error {
+			in := d.parts[w]
+			agg := make(map[K]V, mapSizeHintOpt(len(in), d.distinct, keyHint))
+			for _, kv := range in {
+				if cur, ok := agg[kv.Key]; ok {
+					agg[kv.Key] = combine(cur, kv.Val)
+				} else {
+					agg[kv.Key] = kv.Val
+				}
+			}
+			local := pre[w] // a retried worker reuses its previous attempt's buffer
+			if cap(local) < len(agg) {
+				local = make([]Pair[K, V], 0, len(agg))
+			} else {
+				local = local[:0]
+			}
+			for k, v := range agg {
+				local = append(local, Pair[K, V]{k, v})
+			}
+			pre[w] = local
+			return nil
+		}) {
+			return empty[Pair[K, V]](c)
+		}
+		sp.combinerIn = sumCounts(counts)
+		sp.combinerOut = totalLen(pre)
+	}
 	shuffled, bytes, ok := shuffleByKey(&Dataset[Pair[K, V]]{ctx: c, parts: pre, distinct: d.distinct}, name)
 	if !ok {
 		return empty[Pair[K, V]](c)
@@ -807,13 +929,17 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, combi
 	sp.shuffleBytes = bytes
 	// Final reduce at the target partitions. Post-combine, every shuffled
 	// record carries a distinct (partition, key) pair, so the partition length
-	// itself is a tight key bound.
+	// itself is a tight key bound (with the combiner elided it is still an
+	// upper bound, and the profile hint tightens it).
 	out := make([][]Pair[K, V], c.workers)
 	if !c.runStage(name+"/reduce", func(w int) error {
 		in := shuffled[w]
 		bound := int64(len(in))
 		if d.distinct > 0 && d.distinct < bound {
 			bound = d.distinct
+		}
+		if keyHint > 0 && keyHint < bound {
+			bound = keyHint
 		}
 		agg := make(map[K]V, bound)
 		for _, kv := range in {
@@ -849,8 +975,14 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Datas
 	d.force()
 	if c.memBudget > 0 && !c.distributed() {
 		if codec, ok := pairCodecFor[K, V](); ok {
-			return groupByKeySpill(d, name, codec)
+			if c.planner == nil || !c.planner.BypassSpill(name, c.memBudget) {
+				return groupByKeySpill(d, name, codec)
+			}
 		}
+	}
+	var keyHint int64
+	if c.planner != nil && d.distinct <= 0 {
+		keyHint = c.planner.KeySizeHint(name)
 	}
 	sp := c.begin(name)
 	counts := make([]int64, c.workers)
@@ -865,7 +997,7 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Datas
 	out := make([][]Pair[K, []V], c.workers)
 	if !c.runStage(name+"/group", func(w int) error {
 		in := shuffled[w]
-		agg := make(map[K][]V, mapSizeHint(len(in), d.distinct))
+		agg := make(map[K][]V, mapSizeHintOpt(len(in), d.distinct, keyHint))
 		for _, kv := range in {
 			agg[kv.Key] = append(agg[kv.Key], kv.Val)
 		}
@@ -1059,17 +1191,23 @@ func Distinct[T comparable](d *Dataset[T], name string) *Dataset[T] {
 func PartitionBy[T any](d *Dataset[T], name string, part func(T) int) *Dataset[T] {
 	c := d.ctx
 	d.force()
-	sp := c.begin(name)
-	counts := make([]int64, c.workers)
-	for w, p := range d.parts {
-		counts[w] = int64(len(p))
-	}
 	wrap := func(t T) int {
 		p := part(t) % c.workers
 		if p < 0 {
 			p += c.workers
 		}
 		return p
+	}
+	if c.planner != nil && c.fuse && !c.distributed() && !c.failed() {
+		// Optimizer path: leave the shuffle pending so Maps and Filters can
+		// push onto its scatter side (shuffleplan.go). Routing stays on the
+		// pre-image, so placement — and the final bytes — are identical.
+		return &Dataset[T]{ctx: c, shuffle: shuffleRoot(name, d.parts, wrap), distinct: d.distinct}
+	}
+	sp := c.begin(name)
+	counts := make([]int64, c.workers)
+	for w, p := range d.parts {
+		counts[w] = int64(len(p))
 	}
 	var (
 		out   [][]T

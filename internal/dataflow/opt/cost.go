@@ -1,0 +1,148 @@
+package opt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// CostModel prices a stage from the observation fields a span records. The
+// defaults are rough per-unit CPU costs; Tune refits the record coefficient
+// from a profile so estimates track the machine and workload at hand.
+type CostModel struct {
+	// NSPerRecord prices processing one input record.
+	NSPerRecord float64 `json:"ns_per_record"`
+	// NSPerShuffleByte prices moving one byte across partitions.
+	NSPerShuffleByte float64 `json:"ns_per_shuffle_byte"`
+	// NSPerSpillByte prices writing and re-reading one spilled byte.
+	NSPerSpillByte float64 `json:"ns_per_spill_byte"`
+}
+
+// DefaultCostModel returns the untuned model used when no profile exists.
+func DefaultCostModel() CostModel {
+	return CostModel{NSPerRecord: 50, NSPerShuffleByte: 1, NSPerSpillByte: 8}
+}
+
+// Tune refits the per-record coefficient from a profile's observed wall
+// times, weighted by record volume so big stages dominate. Byte costs keep
+// their defaults unless spans moved enough bytes to fit them meaningfully.
+func (m *CostModel) Tune(p *Profile) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var wallNS, records float64
+	for _, obs := range p.stages {
+		if obs.RecordsIn <= 0 || obs.WallMS <= 0 {
+			continue
+		}
+		wallNS += obs.WallMS * 1e6
+		records += float64(obs.RecordsIn)
+	}
+	if records > 0 {
+		fit := wallNS / records
+		// Clamp: a profile of tiny stages (fixed overhead dominates) or of
+		// spill-bound stages must not push the model into absurdity.
+		if fit < 5 {
+			fit = 5
+		}
+		if fit > 5000 {
+			fit = 5000
+		}
+		m.NSPerRecord = fit
+	}
+}
+
+// EstimateSpan prices one recorded stage in nanoseconds.
+func (m CostModel) EstimateSpan(sp metrics.Span) float64 {
+	in := sp.CostInputs()
+	return m.Estimate(in.RecordsIn, in.ShuffleBytes, in.SpilledBytes)
+}
+
+// Estimate prices a stage from its primitive quantities.
+func (m CostModel) Estimate(records, shuffleBytes, spillBytes int64) float64 {
+	return float64(records)*m.NSPerRecord +
+		float64(shuffleBytes)*m.NSPerShuffleByte +
+		float64(spillBytes)*m.NSPerSpillByte
+}
+
+// WriteExplain renders the optimized plan as executed: the rewrite rules and
+// policies that fired, then each stage with its per-stage cost estimate.
+// Stage lines are indented one level per '/'-segment, mirroring the span
+// tree, and fused chains list their member operators. Raw cost numbers are
+// volatile (the model may be profile-tuned), so golden tests normalize the
+// est_cost values; everything else is deterministic at fixed worker count.
+func WriteExplain(w io.Writer, spans []metrics.Span, rep *Report, workers int) {
+	model := DefaultCostModel()
+	switch {
+	case rep == nil || !rep.Enabled:
+		fmt.Fprintln(w, "plan optimizer: disabled")
+	case rep.Profiled:
+		fmt.Fprintln(w, "plan optimizer: enabled (profile-tuned cost model)")
+		model = rep.Model
+	default:
+		fmt.Fprintln(w, "plan optimizer: enabled (cold, default cost model)")
+		model = rep.Model
+	}
+	fmt.Fprintf(w, "workers: %d\n", workers)
+	if n := len(rep.GetDecisions()); n > 0 {
+		fmt.Fprintf(w, "rewrites and policies (%d):\n", n)
+		for _, d := range rep.GetDecisions() {
+			if d.Detail != "" {
+				fmt.Fprintf(w, "  %-26s %s (%s)\n", d.Rule, d.Stage, d.Detail)
+			} else {
+				fmt.Fprintf(w, "  %-26s %s\n", d.Rule, d.Stage)
+			}
+		}
+	}
+	fmt.Fprintln(w, "plan:")
+	byStage := decisionsByStage(rep.GetDecisions())
+	for _, sp := range spans {
+		depth := strings.Count(splitFused(sp.Name), "/")
+		indent := strings.Repeat("  ", 1+depth)
+		cost := model.EstimateSpan(sp)
+		line := fmt.Sprintf("%s%s in=%d out=%d est_cost=%.0fns", indent, sp.Name, sp.RecordsIn, sp.RecordsOut, cost)
+		if rules := byStage[sp.Name]; len(rules) > 0 {
+			line += " [" + strings.Join(rules, ",") + "]"
+		}
+		fmt.Fprintln(w, line)
+		for _, op := range sp.FusedOps {
+			fmt.Fprintf(w, "%s  · %s in=%d\n", indent, op.Name, op.RecordsIn)
+		}
+	}
+}
+
+// GetDecisions is a nil-safe accessor for explain rendering.
+func (r *Report) GetDecisions() []Decision {
+	if r == nil {
+		return nil
+	}
+	return r.Decisions
+}
+
+// splitFused returns the part of a span name used for indentation: the
+// shared prefix of a fused name, the whole name otherwise.
+func splitFused(name string) string {
+	if i := strings.IndexByte(name, '+'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// decisionsByStage groups fired rule names by the stage they apply to,
+// matching both exact span names and the spans of a stage's sub-phases.
+func decisionsByStage(decisions []Decision) map[string][]string {
+	out := map[string][]string{}
+	for _, d := range decisions {
+		out[d.Stage] = append(out[d.Stage], d.Rule)
+	}
+	for stage, rules := range out {
+		sort.Strings(rules)
+		out[stage] = rules
+	}
+	return out
+}

@@ -1,0 +1,437 @@
+// Package opt is the dataflow engine's cost-based plan optimizer. It owns
+// the logical-plan IR lifted from the engine's pending-chain representation
+// (dataflow plan.go), the rewrite-rule catalog, a cost model fed by the span
+// statistics the metrics layer records, and the on-disk profile that feeds
+// past observations back in — the engine-level analogue of the cost-based
+// optimizers in parallel data frameworks (Volcano/Cascades lineage).
+//
+// The engine executes operators as the driver calls them, so the optimizer
+// is not a separate compile phase: the engine lifts each pending fragment
+// (a narrow-operator chain, a shuffle with trailing narrow ops) into the IR
+// at the moment a decision is due and asks the Planner. Every decision is
+// either a rewrite rule (changing plan shape: shared-prefix materialization,
+// filter/projection pushdown past a shuffle, combiner selection) or a
+// per-stage policy (worker-count/serial execution, aggregation-map
+// pre-sizing, memory-budget/spill bypass). All of them preserve results
+// byte for byte; the differential suites pin that.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies the nodes of the lifted logical plan.
+type Kind uint8
+
+const (
+	// KindSource is a materialized partition set a fragment reads from.
+	KindSource Kind = iota
+	// KindMap is a 1:1 narrow operator (a projection when it shrinks records).
+	KindMap
+	// KindFlatMap is a 1:N narrow operator.
+	KindFlatMap
+	// KindFilter is a record-subset narrow operator.
+	KindFilter
+	// KindMapPartitions consumes a whole partition at once.
+	KindMapPartitions
+	// KindShuffle redistributes records across partitions.
+	KindShuffle
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindMap:
+		return "map"
+	case KindFlatMap:
+		return "flatmap"
+	case KindFilter:
+		return "filter"
+	case KindMapPartitions:
+		return "map-partitions"
+	case KindShuffle:
+		return "shuffle"
+	}
+	return "unknown"
+}
+
+// Op is one operator of a lifted plan fragment.
+type Op struct {
+	Kind Kind
+	Name string
+}
+
+// Chain is the IR of a pending narrow-operator chain: the operators that
+// would run as one fused stage, in application order, lifted from the
+// engine's plan representation.
+type Chain struct {
+	Ops []Op
+}
+
+// Signature names the chain the way the engine names its fused stage, so
+// profile entries recorded from spans and decisions keyed by chain line up.
+func (ch Chain) Signature() string {
+	names := make([]string, len(ch.Ops))
+	for i, op := range ch.Ops {
+		names[i] = op.Name
+	}
+	return FusedName(names)
+}
+
+// FusedName names the fused stage of a chain of operator names. A single-op
+// chain keeps exactly its operator's name; longer chains factor the longest
+// common '/'-terminated prefix and join the remaining segments with '+'
+// (["ext/prune-groups" "ext/drop-empty"] → "ext/prune-groups+drop-empty").
+// The dataflow engine's span naming delegates here, so signatures match.
+func FusedName(ops []string) string {
+	if len(ops) == 0 {
+		return ""
+	}
+	if len(ops) == 1 {
+		return ops[0]
+	}
+	prefix := CommonSlashPrefix(ops)
+	var b strings.Builder
+	b.WriteString(prefix)
+	for i, op := range ops {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		b.WriteString(op[len(prefix):])
+	}
+	return b.String()
+}
+
+// CommonSlashPrefix returns the longest '/'-terminated prefix shared by all
+// names ("" when the first segments already differ).
+func CommonSlashPrefix(ops []string) string {
+	prefix := ops[0]
+	i := strings.LastIndexByte(prefix, '/')
+	if i < 0 {
+		return ""
+	}
+	prefix = prefix[:i+1]
+	for _, op := range ops[1:] {
+		for !strings.HasPrefix(op, prefix) {
+			j := strings.LastIndexByte(strings.TrimSuffix(prefix, "/"), '/')
+			if j < 0 {
+				return ""
+			}
+			prefix = prefix[:j+1]
+		}
+	}
+	return prefix
+}
+
+// Rule names, as they appear in Decision records, -explain output, and the
+// -stats policy lines.
+const (
+	// RuleSharedPrefix materializes a pending chain consumed by several
+	// downstream fragments, so the shared prefix computes once instead of
+	// replaying per consumer — the generalization of the hand-placed
+	// Materialize the extraction phase used to carry.
+	RuleSharedPrefix = "shared-prefix-materialize"
+	// RuleProjectionPushdown moves a Map through a pending shuffle, so the
+	// (usually narrower) projected records cross partitions instead of the
+	// originals.
+	RuleProjectionPushdown = "projection-pushdown"
+	// RuleFilterPushdown moves a Filter through a pending shuffle, so dropped
+	// records never cross partitions.
+	RuleFilterPushdown = "filter-pushdown"
+	// RuleCombinerSkip elides a ReduceByKey's partition-local combine pass
+	// when the profile shows it barely pre-aggregates (keys are near-unique).
+	RuleCombinerSkip = "combiner-skip"
+	// RuleSerialStage runs a stage's workers sequentially on one goroutine
+	// when fan-out overhead exceeds the stage's profiled work.
+	RuleSerialStage = "serial-stage"
+	// RuleMapPresize sizes an aggregation map from the profile's observed
+	// distinct-key count instead of the speculative cap.
+	RuleMapPresize = "map-presize"
+	// RuleSpillBypass keeps a budgeted keyed stage on the in-memory path when
+	// the profile shows its state is far under the budget and it never spilled.
+	RuleSpillBypass = "spill-bypass"
+)
+
+// Decision is one optimizer action: a rewrite rule fired or a per-stage
+// policy chosen. Stage is the operator (or chain signature) it applies to.
+type Decision struct {
+	Stage  string `json:"stage"`
+	Rule   string `json:"rule"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the machine-readable summary of what the optimizer did during
+// one run: whether it was enabled, whether a profile fed the cost model, the
+// tuned model itself, and every decision in the order it was made.
+type Report struct {
+	Enabled   bool       `json:"enabled"`
+	Profiled  bool       `json:"profiled,omitempty"`
+	Model     CostModel  `json:"model"`
+	Decisions []Decision `json:"decisions,omitempty"`
+}
+
+// Fired counts the decisions attributed to one rule.
+func (r *Report) Fired(rule string) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, d := range r.Decisions {
+		if d.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// Rules returns the distinct rule names that fired, sorted.
+func (r *Report) Rules() []string {
+	if r == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, d := range r.Decisions {
+		seen[d.Rule] = true
+	}
+	out := make([]string, 0, len(seen))
+	for rule := range seen {
+		out = append(out, rule)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Policy thresholds. They are deliberately coarse: every rule they gate is
+// result-preserving, so a misjudgment costs a little time, never correctness.
+const (
+	// serialRowCutoff/serialWallCutoffMS bound the profiled per-run records
+	// and wall time under which parallel fan-out is not worth its goroutine
+	// and synchronization overhead.
+	serialRowCutoff    = 1024
+	serialWallCutoffMS = 0.25
+	// combinerKeepRatio is the minimum profiled pre-aggregation (1 - out/in)
+	// the combine pass must achieve to keep running.
+	combinerKeepRatio = 0.05
+	// spillBypassHeadroom is how many times the profiled state estimate must
+	// fit into the budget before the spill path is bypassed.
+	spillBypassHeadroom = 4
+)
+
+// Planner makes the optimizer's decisions for one job. The dataflow Context
+// owns one (nil when the optimizer is disabled or the run is distributed —
+// profile-driven decisions must not diverge across replicated drivers) and
+// consults it as the driver executes; the Planner records every decision for
+// the run report. It is internally locked, but like the Context it belongs
+// to a single driver goroutine.
+type Planner struct {
+	mu        sync.Mutex
+	workers   int
+	prof      *Profile
+	model     CostModel
+	decisions []Decision
+	seen      map[string]bool // stage+rule dedupe for idempotent policies
+}
+
+// NewPlanner returns a planner for a job with the given worker count.
+// prof may be nil (no history: only structural rules and in-run consumer
+// counting apply); a non-empty profile also tunes the cost model.
+func NewPlanner(workers int, prof *Profile) *Planner {
+	model := DefaultCostModel()
+	if prof != nil {
+		model.Tune(prof)
+	}
+	return &Planner{workers: workers, prof: prof, model: model, seen: map[string]bool{}}
+}
+
+// Model returns the planner's (possibly profile-tuned) cost model.
+func (p *Planner) Model() CostModel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.model
+}
+
+// Report freezes the decisions made so far.
+func (p *Planner) Report() *Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return &Report{
+		Enabled:   true,
+		Profiled:  p.prof != nil && p.prof.Len() > 0,
+		Model:     p.model,
+		Decisions: append([]Decision(nil), p.decisions...),
+	}
+}
+
+// record appends a decision once per (stage, rule) pair; repeated firings of
+// an idempotent policy (a retried stage re-asking, both phases of a keyed
+// operator) collapse into the first record.
+func (p *Planner) record(stage, rule, detail string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := stage + "\x00" + rule
+	if p.seen[key] {
+		return
+	}
+	p.seen[key] = true
+	p.decisions = append(p.decisions, Decision{Stage: stage, Rule: rule, Detail: detail})
+}
+
+// phaseSuffixes are the engine's sub-stage name segments; opRoot strips them
+// so policies and profile lookups key on the operator, whose span carries
+// the recorded statistics.
+var phaseSuffixes = map[string]bool{
+	"combine": true, "scatter": true, "gather": true, "reduce": true,
+	"group": true, "join": true, "partial": true, "merge": true,
+	"left": true, "right": true,
+}
+
+func opRoot(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 && phaseSuffixes[name[i+1:]] {
+		return name[:i]
+	}
+	return name
+}
+
+// lookup finds the profile observation for a stage, trying the exact name
+// first and then its operator root (sub-phases share the operator's span).
+func (p *Planner) lookup(name string) (StageObs, bool) {
+	if p.prof == nil {
+		return StageObs{}, false
+	}
+	if obs, ok := p.prof.Lookup(name); ok {
+		return obs, true
+	}
+	if root := opRoot(name); root != name {
+		return p.prof.Lookup(root)
+	}
+	return StageObs{}, false
+}
+
+// MaterializeShared decides whether a pending chain should materialize now
+// instead of being replayed by each consumer. consumers is how many
+// downstream fragments have consumed the chain so far, including the one
+// asking. The rule fires on the second in-run consumer — from then on the
+// prefix is computed once — and, with a warm profile, already on the first,
+// reproducing the hand-placed Materialize exactly. Firing also feeds the
+// consumer count back into the profile for the next run.
+func (p *Planner) MaterializeShared(ch Chain, consumers int) bool {
+	if len(ch.Ops) == 0 {
+		return false
+	}
+	sig := ch.Signature()
+	if consumers >= 2 {
+		if p.prof != nil {
+			p.prof.NoteShared(sig, consumers)
+		}
+		p.record(sig, RuleSharedPrefix, fmt.Sprintf("consumers=%d", consumers))
+		return true
+	}
+	if p.prof != nil && p.prof.SharedConsumers(sig) >= 2 {
+		p.record(sig, RuleSharedPrefix,
+			fmt.Sprintf("profile: %d consumers last run", p.prof.SharedConsumers(sig)))
+		return true
+	}
+	return false
+}
+
+// ObserveShared feeds a chain's final consumer count into the profile
+// without deciding anything: the engine calls it when a chain that lazy
+// consumers already replayed is forced on top of them, so the next run's
+// planner knows to materialize the prefix at its first consumer.
+func (p *Planner) ObserveShared(ch Chain, consumers int) {
+	if p.prof != nil && len(ch.Ops) > 0 && consumers >= 2 {
+		p.prof.NoteShared(ch.Signature(), consumers)
+	}
+}
+
+// PushThroughShuffle decides whether op may move from after a pending
+// shuffle to its scatter side. Legal for Maps (routing happens on the
+// pre-image, so placement is unchanged and the projected records cross the
+// network) and Filters (dropped records never cross); everything else stays
+// put.
+func (p *Planner) PushThroughShuffle(shuffle string, op Op) bool {
+	switch op.Kind {
+	case KindMap:
+		p.record(shuffle, RuleProjectionPushdown, op.Name)
+		return true
+	case KindFilter:
+		p.record(shuffle, RuleFilterPushdown, op.Name)
+		return true
+	}
+	return false
+}
+
+// SerialStage decides whether a stage's pending workers run sequentially on
+// the driver goroutine instead of one goroutine each: always when only one
+// worker is pending, and at higher worker counts when the profile shows the
+// whole stage is smaller than the fan-out overhead it would pay.
+func (p *Planner) SerialStage(name string, pending int) bool {
+	if pending <= 1 {
+		if p.workers == 1 {
+			p.record(opRoot(name), RuleSerialStage, "single worker")
+		}
+		return true
+	}
+	if obs, ok := p.lookup(name); ok && obs.Runs > 0 &&
+		obs.RecordsIn < serialRowCutoff && obs.WallMS < serialWallCutoffMS {
+		p.record(opRoot(name), RuleSerialStage,
+			fmt.Sprintf("profiled %d records in %.2fms", obs.RecordsIn, obs.WallMS))
+		return true
+	}
+	return false
+}
+
+// KeySizeHint returns the expected number of distinct keys a keyed stage
+// will aggregate (0 = unknown), from the profile's observed output size.
+// Callers use it to pre-size aggregation maps where no semantic bound is
+// known, replacing the engine's speculative cap.
+func (p *Planner) KeySizeHint(name string) int64 {
+	obs, ok := p.lookup(name)
+	if !ok || obs.Runs == 0 || obs.RecordsOut <= 0 {
+		return 0
+	}
+	p.record(opRoot(name), RuleMapPresize, fmt.Sprintf("expect %d keys", obs.RecordsOut))
+	return obs.RecordsOut
+}
+
+// SkipCombiner decides whether a ReduceByKey elides its partition-local
+// combine pass: when the profile shows the combiner barely shrinks its input
+// (keys near-unique), the pass costs a full map build per worker and saves
+// almost nothing downstream.
+func (p *Planner) SkipCombiner(name string) bool {
+	obs, ok := p.lookup(name)
+	if !ok || obs.Runs == 0 || obs.CombinerIn <= 0 {
+		return false
+	}
+	ratio := 1 - float64(obs.CombinerOut)/float64(obs.CombinerIn)
+	if ratio >= combinerKeepRatio {
+		return false
+	}
+	p.record(opRoot(name), RuleCombinerSkip,
+		fmt.Sprintf("combiner kept %d of %d records", obs.CombinerOut, obs.CombinerIn))
+	return true
+}
+
+// BypassSpill decides whether a budgeted keyed stage may stay on the
+// in-memory path: only when the profile shows the stage never spilled and
+// its state estimate fits the budget several times over. Cold stages always
+// take the spill path — the budget is a hard cap until history says the
+// stage is far under it.
+func (p *Planner) BypassSpill(name string, budget int64) bool {
+	obs, ok := p.lookup(name)
+	if !ok || obs.Runs == 0 || obs.SpilledBytes > 0 {
+		return false
+	}
+	state := obs.StateBytes()
+	if state <= 0 || state*spillBypassHeadroom > budget {
+		return false
+	}
+	p.record(opRoot(name), RuleSpillBypass,
+		fmt.Sprintf("profiled state ≈%dB under budget %dB", state, budget))
+	return true
+}

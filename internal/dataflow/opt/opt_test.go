@@ -1,0 +1,248 @@
+package opt
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestFusedName(t *testing.T) {
+	cases := []struct {
+		ops  []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"fc/count"}, "fc/count"},
+		{[]string{"ext/prune-groups", "ext/drop-empty"}, "ext/prune-groups+drop-empty"},
+		{[]string{"a/b/x", "a/b/y", "a/z"}, "a/b/x+b/y+z"},
+		{[]string{"left", "right"}, "left+right"},
+	}
+	for _, tc := range cases {
+		if got := FusedName(tc.ops); got != tc.want {
+			t.Errorf("FusedName(%v) = %q, want %q", tc.ops, got, tc.want)
+		}
+	}
+}
+
+func TestChainSignatureMatchesFusedName(t *testing.T) {
+	ch := Chain{Ops: []Op{
+		{Kind: KindMap, Name: "ext/close"},
+		{Kind: KindFilter, Name: "ext/keep"},
+	}}
+	if got, want := ch.Signature(), FusedName([]string{"ext/close", "ext/keep"}); got != want {
+		t.Fatalf("Signature() = %q, want %q", got, want)
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfile()
+	p.Observe([]metrics.Span{
+		{Name: "fc/count", RecordsIn: 1000, RecordsOut: 60, WallMS: 2.5, ShuffleBytes: 4096},
+		{Name: "input", RecordsIn: 1000, RecordsOut: 1000, WallMS: 0.1},
+	})
+	p.NoteShared("ext/close", 2)
+	if err := p.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	q, err := LoadProfile(dir)
+	if err != nil {
+		t.Fatalf("LoadProfile: %v", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("loaded %d stages, want 2", q.Len())
+	}
+	obs, ok := q.Lookup("fc/count")
+	if !ok || obs.RecordsIn != 1000 || obs.RecordsOut != 60 || obs.ShuffleBytes != 4096 {
+		t.Errorf("loaded observation = %+v ok=%v", obs, ok)
+	}
+	if q.SharedConsumers("ext/close") != 2 {
+		t.Errorf("shared consumers lost in round trip: %d", q.SharedConsumers("ext/close"))
+	}
+
+	// Missing directory: cold start, no error.
+	q2, err := LoadProfile(filepath.Join(dir, "nowhere"))
+	if err != nil || q2.Len() != 0 {
+		t.Errorf("missing profile: len=%d err=%v, want empty and nil", q2.Len(), err)
+	}
+
+	// Corrupt file: cold start with the error surfaced.
+	if err := os.WriteFile(filepath.Join(dir, profileFile), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := LoadProfile(dir)
+	if err == nil {
+		t.Errorf("corrupt profile loaded without error")
+	}
+	if q3 == nil || q3.Len() != 0 {
+		t.Errorf("corrupt profile did not yield a usable empty profile")
+	}
+}
+
+func TestProfileEMA(t *testing.T) {
+	p := NewProfile()
+	p.Observe([]metrics.Span{{Name: "s", RecordsIn: 100, WallMS: 1.0}})
+	p.Observe([]metrics.Span{{Name: "s", RecordsIn: 200, WallMS: 3.0}})
+	obs, _ := p.Lookup("s")
+	if obs.Runs != 2 {
+		t.Fatalf("runs = %d, want 2", obs.Runs)
+	}
+	// First sample taken whole, second blended at α=0.5: 100→150, 1.0→2.0.
+	if obs.RecordsIn != 150 {
+		t.Errorf("records EMA = %d, want 150", obs.RecordsIn)
+	}
+	if obs.WallMS != 2.0 {
+		t.Errorf("wall EMA = %v, want 2.0", obs.WallMS)
+	}
+}
+
+func TestCostModelTune(t *testing.T) {
+	m := DefaultCostModel()
+	p := NewProfile()
+	// 1e6 records in 100ms → 100ns/record.
+	p.Observe([]metrics.Span{{Name: "big", RecordsIn: 1_000_000, WallMS: 100}})
+	m.Tune(p)
+	if m.NSPerRecord < 99 || m.NSPerRecord > 101 {
+		t.Errorf("tuned ns/record = %v, want ≈100", m.NSPerRecord)
+	}
+
+	// Absurd fits clamp instead of poisoning estimates.
+	lo := DefaultCostModel()
+	pLo := NewProfile()
+	pLo.Observe([]metrics.Span{{Name: "s", RecordsIn: 1_000_000_000, WallMS: 1}})
+	lo.Tune(pLo)
+	if lo.NSPerRecord != 5 {
+		t.Errorf("under-clamp: %v, want 5", lo.NSPerRecord)
+	}
+	hi := DefaultCostModel()
+	pHi := NewProfile()
+	pHi.Observe([]metrics.Span{{Name: "s", RecordsIn: 10, WallMS: 10_000}})
+	hi.Tune(pHi)
+	if hi.NSPerRecord != 5000 {
+		t.Errorf("over-clamp: %v, want 5000", hi.NSPerRecord)
+	}
+
+	// Tuning with no usable observations keeps the default.
+	un := DefaultCostModel()
+	un.Tune(NewProfile())
+	if !reflect.DeepEqual(un, DefaultCostModel()) {
+		t.Errorf("empty profile changed the model: %+v", un)
+	}
+}
+
+func TestPlannerRules(t *testing.T) {
+	p := NewPlanner(4, nil)
+	ch := Chain{Ops: []Op{{Kind: KindMap, Name: "ext/close"}}}
+	if p.MaterializeShared(ch, 1) {
+		t.Errorf("cold planner materialized at the first consumer")
+	}
+	if !p.MaterializeShared(ch, 2) {
+		t.Errorf("second consumer did not trigger materialization")
+	}
+	if p.MaterializeShared(Chain{}, 5) {
+		t.Errorf("empty chain materialized")
+	}
+
+	if !p.PushThroughShuffle("route", Op{Kind: KindMap, Name: "m"}) {
+		t.Errorf("map not pushed")
+	}
+	if !p.PushThroughShuffle("route", Op{Kind: KindFilter, Name: "f"}) {
+		t.Errorf("filter not pushed")
+	}
+	if p.PushThroughShuffle("route", Op{Kind: KindFlatMap, Name: "fm"}) {
+		t.Errorf("flatmap pushed through a shuffle")
+	}
+
+	if !p.SerialStage("s", 1) {
+		t.Errorf("single pending worker not serial")
+	}
+	if p.SerialStage("s", 4) {
+		t.Errorf("cold 4-worker stage went serial")
+	}
+	if p.SkipCombiner("s") || p.BypassSpill("s", 1<<30) || p.KeySizeHint("s") != 0 {
+		t.Errorf("profile-driven rules fired without a profile")
+	}
+
+	rep := p.Report()
+	if !rep.Enabled || rep.Profiled {
+		t.Errorf("report flags: %+v", rep)
+	}
+	if rep.Fired(RuleSharedPrefix) != 1 {
+		t.Errorf("shared-prefix decisions = %d, want 1", rep.Fired(RuleSharedPrefix))
+	}
+	wantRules := []string{RuleFilterPushdown, RuleProjectionPushdown, RuleSharedPrefix}
+	if got := rep.Rules(); !reflect.DeepEqual(got, wantRules) {
+		t.Errorf("Rules() = %v, want %v", got, wantRules)
+	}
+}
+
+func TestPlannerDedupesDecisions(t *testing.T) {
+	p := NewPlanner(1, nil)
+	for i := 0; i < 5; i++ {
+		p.SerialStage("stage/combine", 1) // sub-phase collapses to its operator root
+		p.SerialStage("stage/reduce", 1)
+		p.SerialStage("stage", 1)
+	}
+	rep := p.Report()
+	if len(rep.Decisions) != 1 {
+		t.Fatalf("decisions = %+v, want a single deduped serial-stage record", rep.Decisions)
+	}
+	if rep.Decisions[0].Stage != "stage" {
+		t.Errorf("decision stage = %q, want operator root %q", rep.Decisions[0].Stage, "stage")
+	}
+}
+
+func TestOpRoot(t *testing.T) {
+	cases := map[string]string{
+		"fc/count/combine":  "fc/count",
+		"fc/count/scatter":  "fc/count",
+		"ext/units/gather":  "ext/units",
+		"ext/close":         "ext/close", // not a phase suffix
+		"input":             "input",
+		"cg/evidence/group": "cg/evidence",
+	}
+	for in, want := range cases {
+		if got := opRoot(in); got != want {
+			t.Errorf("opRoot(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteExplain(t *testing.T) {
+	p := NewPlanner(2, nil)
+	p.MaterializeShared(Chain{Ops: []Op{{Kind: KindMap, Name: "ext/close"}}}, 2)
+	p.PushThroughShuffle("ext/place-units", Op{Kind: KindMap, Name: "ext/unwrap-units"})
+	rep := p.Report()
+	spans := []metrics.Span{
+		{Name: "input", RecordsIn: 100, RecordsOut: 100},
+		{Name: "ext/place-units", RecordsIn: 50, RecordsOut: 50,
+			FusedOps: []metrics.FusedOp{{Name: "ext/unwrap-units", RecordsIn: 50}}},
+	}
+	var b strings.Builder
+	WriteExplain(&b, spans, rep, 2)
+	out := b.String()
+	for _, want := range []string{
+		"plan optimizer: enabled (cold, default cost model)",
+		"workers: 2",
+		RuleSharedPrefix + " ", // rule listing
+		"ext/close",
+		RuleProjectionPushdown,
+		"input in=100 out=100 est_cost=",
+		"· ext/unwrap-units in=50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	var off strings.Builder
+	WriteExplain(&off, spans, nil, 2)
+	if !strings.Contains(off.String(), "plan optimizer: disabled") {
+		t.Errorf("disabled explain: %s", off.String())
+	}
+}

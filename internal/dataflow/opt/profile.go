@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// profileFile is the file name inside a profile directory.
+const profileFile = "profile.json"
+
+// obsAlpha is the exponential-moving-average weight of the newest run: high
+// enough that two runs of a changed workload converge, low enough that one
+// noisy run does not flip a policy.
+const obsAlpha = 0.5
+
+// StageObs is the smoothed per-stage observation the profile keeps: the
+// cost-model inputs a span records, averaged across runs.
+type StageObs struct {
+	// Runs counts how many runs contributed; the remaining fields are
+	// exponential moving averages over those runs.
+	Runs              int64   `json:"runs"`
+	RecordsIn         int64   `json:"records_in"`
+	RecordsOut        int64   `json:"records_out"`
+	WallMS            float64 `json:"wall_ms"`
+	ShuffleBytes      int64   `json:"shuffle_bytes,omitempty"`
+	SpilledBytes      int64   `json:"spilled_bytes,omitempty"`
+	MaterializedBytes int64   `json:"materialized_bytes,omitempty"`
+	CombinerIn        int64   `json:"combiner_in,omitempty"`
+	CombinerOut       int64   `json:"combiner_out,omitempty"`
+	AllocBytes        int64   `json:"alloc_bytes,omitempty"`
+}
+
+// fallbackRecordBytes is the per-record width assumed when a stage's spans
+// never exposed one (no shuffle crossed workers, nothing materialized). It
+// is deliberately generous — an over-estimate only delays a spill bypass,
+// an under-estimate could overcommit a real budget.
+const fallbackRecordBytes = 64
+
+// StateBytes estimates the in-memory state the stage holds at its peak, for
+// budget decisions: its shuffle buffers plus aggregation output, priced at
+// the bytes it materialized when known, else the per-record width implied by
+// its shuffle traffic, else a generous constant.
+func (o StageObs) StateBytes() int64 {
+	if o.MaterializedBytes > 0 {
+		return o.MaterializedBytes
+	}
+	records := o.RecordsIn + o.RecordsOut
+	if records <= 0 {
+		return 0
+	}
+	width := int64(fallbackRecordBytes)
+	if o.ShuffleBytes > 0 && o.RecordsIn > 0 {
+		if w := o.ShuffleBytes / o.RecordsIn; w > width {
+			width = w
+		}
+	}
+	return records * width
+}
+
+// Profile accumulates per-stage observations across runs and remembers which
+// chain signatures were consumed by multiple downstream fragments. It is the
+// self-tuning half of the optimizer: a run records into it, the next run's
+// planner reads it. Safe for concurrent use.
+type Profile struct {
+	mu     sync.Mutex
+	stages map[string]*StageObs
+	shared map[string]int
+}
+
+// profileState is the on-disk shape of a Profile.
+type profileState struct {
+	Stages map[string]*StageObs `json:"stages"`
+	Shared map[string]int       `json:"shared,omitempty"`
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{stages: map[string]*StageObs{}, shared: map[string]int{}}
+}
+
+// LoadProfile reads the profile stored in dir. A missing file yields an
+// empty profile and no error (first run); an unreadable or corrupt file
+// yields an empty profile and the error, so callers can start cold and
+// overwrite it on save.
+func LoadProfile(dir string) (*Profile, error) {
+	p := NewProfile()
+	data, err := os.ReadFile(filepath.Join(dir, profileFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return p, nil
+		}
+		return p, err
+	}
+	var st profileState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return NewProfile(), err
+	}
+	if st.Stages != nil {
+		p.stages = st.Stages
+	}
+	if st.Shared != nil {
+		p.shared = st.Shared
+	}
+	return p, nil
+}
+
+// Save writes the profile into dir, creating it if needed.
+func (p *Profile) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	data, err := json.MarshalIndent(profileState{Stages: p.stages, Shared: p.shared}, "", "  ")
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, profileFile), data, 0o644)
+}
+
+// Len reports how many stages have observations.
+func (p *Profile) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.stages)
+}
+
+// Lookup returns the observation for a stage name, if any.
+func (p *Profile) Lookup(name string) (StageObs, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	obs, ok := p.stages[name]
+	if !ok {
+		return StageObs{}, false
+	}
+	return *obs, true
+}
+
+// Observe folds one run's spans into the profile.
+func (p *Profile) Observe(spans []metrics.Span) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, sp := range spans {
+		in := sp.CostInputs()
+		obs, ok := p.stages[sp.Name]
+		if !ok {
+			obs = &StageObs{}
+			p.stages[sp.Name] = obs
+		}
+		obs.Runs++
+		obs.RecordsIn = ema(obs.RecordsIn, in.RecordsIn, obs.Runs)
+		obs.RecordsOut = ema(obs.RecordsOut, in.RecordsOut, obs.Runs)
+		obs.WallMS = emaF(obs.WallMS, in.WallMS, obs.Runs)
+		obs.ShuffleBytes = ema(obs.ShuffleBytes, in.ShuffleBytes, obs.Runs)
+		obs.SpilledBytes = ema(obs.SpilledBytes, in.SpilledBytes, obs.Runs)
+		obs.MaterializedBytes = ema(obs.MaterializedBytes, in.MaterializedBytes, obs.Runs)
+		obs.CombinerIn = ema(obs.CombinerIn, in.CombinerIn, obs.Runs)
+		obs.CombinerOut = ema(obs.CombinerOut, in.CombinerOut, obs.Runs)
+		obs.AllocBytes = ema(obs.AllocBytes, in.AllocBytes, obs.Runs)
+	}
+}
+
+// NoteShared records that a chain signature had the given number of
+// downstream consumers this run (keeps the maximum seen in-run).
+func (p *Profile) NoteShared(sig string, consumers int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if consumers > p.shared[sig] {
+		p.shared[sig] = consumers
+	}
+}
+
+// SharedConsumers returns the recorded consumer count for a chain signature.
+func (p *Profile) SharedConsumers(sig string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shared[sig]
+}
+
+// ema folds the newest sample into the running average. The first sample is
+// taken whole; later ones blend with weight obsAlpha.
+func ema(avg, sample, runs int64) int64 {
+	if runs <= 1 {
+		return sample
+	}
+	return int64(float64(avg)*(1-obsAlpha) + float64(sample)*obsAlpha)
+}
+
+func emaF(avg, sample float64, runs int64) float64 {
+	if runs <= 1 {
+		return sample
+	}
+	return avg*(1-obsAlpha) + sample*obsAlpha
+}

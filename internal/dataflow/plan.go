@@ -1,6 +1,6 @@
 package dataflow
 
-import "strings"
+import "repro/internal/dataflow/opt"
 
 // This file is the engine's lazy logical-plan layer. Narrow operators — Map,
 // FlatMap, Filter, and the output side of MapPartitions — do not execute when
@@ -41,15 +41,43 @@ import "strings"
 type chain[T any] struct {
 	srcLens []int64
 	ops     []string
+	kinds   []opt.Kind // operator kinds parallel to ops, for lifting into the optimizer IR
 	feed    func(w int, tally []int64, emit func(T))
 	bfeed   batchFeed[T]
 }
 
+// lift raises the pending chain into the optimizer's logical-plan IR.
+func (p *chain[T]) lift() opt.Chain {
+	ops := make([]opt.Op, len(p.ops))
+	for i, name := range p.ops {
+		ops[i] = opt.Op{Kind: p.kinds[i], Name: name}
+	}
+	return opt.Chain{Ops: ops}
+}
+
 // chainOf returns d's pending chain, or a fresh zero-op chain rooted at its
-// materialized partitions.
+// materialized partitions. With the optimizer active it is also the
+// shared-prefix decision point: each lazy consumer of a pending chain passes
+// through here, and when the planner decides the chain is shared — a second
+// in-run consumer, or a warm profile remembering one from the last run — the
+// chain materializes now, so this consumer (and every later one) reads the
+// computed partitions instead of replaying the prefix. This generalizes the
+// hand-placed Materialize calls domain code used to carry.
 func chainOf[T any](d *Dataset[T]) *chain[T] {
+	if d.shuffle != nil {
+		d.forceShuffle()
+	}
 	if d.plan != nil {
-		return d.plan
+		c := d.ctx
+		if c.planner == nil {
+			return d.plan
+		}
+		d.consumers++
+		if !c.planner.MaterializeShared(d.plan.lift(), d.consumers) {
+			return d.plan
+		}
+		d.consumers = 0 // the rule already noted the sharing; force must not re-count
+		d.force()
 	}
 	parts := d.parts
 	lens := make([]int64, len(parts))
@@ -75,6 +103,13 @@ func extendOps(ops []string, name string) []string {
 	return append(out, name)
 }
 
+// extendKinds is extendOps for the parallel kind slice.
+func extendKinds(kinds []opt.Kind, k opt.Kind) []opt.Kind {
+	out := make([]opt.Kind, 0, len(kinds)+1)
+	out = append(out, kinds...)
+	return append(out, k)
+}
+
 // chainMap appends a Map to the chain.
 func chainMap[T, U any](p *chain[T], name string, f func(T) U) *chain[U] {
 	idx := len(p.ops)
@@ -82,6 +117,7 @@ func chainMap[T, U any](p *chain[T], name string, f func(T) U) *chain[U] {
 	return &chain[U]{
 		srcLens: p.srcLens,
 		ops:     extendOps(p.ops, name),
+		kinds:   extendKinds(p.kinds, opt.KindMap),
 		feed: func(w int, tally []int64, emit func(U)) {
 			prev(w, tally, func(t T) {
 				tally[idx]++
@@ -99,6 +135,7 @@ func chainFlatMap[T, U any](p *chain[T], name string, f func(T, func(U))) *chain
 	return &chain[U]{
 		srcLens: p.srcLens,
 		ops:     extendOps(p.ops, name),
+		kinds:   extendKinds(p.kinds, opt.KindFlatMap),
 		feed: func(w int, tally []int64, emit func(U)) {
 			prev(w, tally, func(t T) {
 				tally[idx]++
@@ -116,6 +153,7 @@ func chainFilter[T any](p *chain[T], name string, pred func(T) bool) *chain[T] {
 	return &chain[T]{
 		srcLens: p.srcLens,
 		ops:     extendOps(p.ops, name),
+		kinds:   extendKinds(p.kinds, opt.KindFilter),
 		feed: func(w int, tally []int64, emit func(T)) {
 			prev(w, tally, func(t T) {
 				tally[idx]++
@@ -140,6 +178,7 @@ func chainMapPartitions[T, U any](parts [][]T, name string, f func(worker int, i
 	return &chain[U]{
 		srcLens: lens,
 		ops:     []string{name},
+		kinds:   []opt.Kind{opt.KindMapPartitions},
 		feed: func(w int, tally []int64, emit func(U)) {
 			tally[0] += int64(len(parts[w]))
 			f(w, parts[w], emit)
@@ -153,54 +192,36 @@ func chainMapPartitions[T, U any](parts [][]T, name string, f func(worker int, i
 // are unchanged wherever nothing actually fused. Longer chains factor the
 // ops' longest common '/'-terminated prefix and join the remaining segments
 // with '+': ["ext/prune-groups" "ext/drop-empty"] → "ext/prune-groups+drop-empty".
-func fusedName(ops []string) string {
-	if len(ops) == 1 {
-		return ops[0]
-	}
-	prefix := commonSlashPrefix(ops)
-	var b strings.Builder
-	b.WriteString(prefix)
-	for i, op := range ops {
-		if i > 0 {
-			b.WriteByte('+')
-		}
-		b.WriteString(op[len(prefix):])
-	}
-	return b.String()
-}
+// The naming lives in the opt package (a chain signature doubles as the
+// optimizer's profile key); this delegation keeps the two aligned by
+// construction.
+func fusedName(ops []string) string { return opt.FusedName(ops) }
 
 // commonSlashPrefix returns the longest '/'-terminated prefix shared by all
 // names ("" when the first segments already differ).
-func commonSlashPrefix(ops []string) string {
-	prefix := ops[0]
-	i := strings.LastIndexByte(prefix, '/')
-	if i < 0 {
-		return ""
-	}
-	prefix = prefix[:i+1]
-	for _, op := range ops[1:] {
-		for !strings.HasPrefix(op, prefix) {
-			j := strings.LastIndexByte(strings.TrimSuffix(prefix, "/"), '/')
-			if j < 0 {
-				return ""
-			}
-			prefix = prefix[:j+1]
-		}
-	}
-	return prefix
-}
+func commonSlashPrefix(ops []string) string { return opt.CommonSlashPrefix(ops) }
 
 // force materializes any pending chain as one fused stage and memoizes the
 // result: d.parts receives the chain's output and the plan is cleared, so
 // repeated forces (Len, Partitions, String, several wide consumers) reuse the
 // materialized partitions without re-running anything.
 func (d *Dataset[T]) force() {
+	if d.shuffle != nil {
+		d.forceShuffle()
+		return
+	}
 	p := d.plan
 	if p == nil {
 		return
 	}
 	d.plan = nil
 	c := d.ctx
+	if c.planner != nil && d.consumers >= 1 {
+		// The chain was already replayed by d.consumers lazy consumers and is
+		// now forced on top: feed the total back into the profile so next run
+		// the shared-prefix rule materializes it at its first consumer.
+		c.planner.ObserveShared(p.lift(), d.consumers+1)
+	}
 	if c.failed() {
 		d.parts = make([][]T, c.workers)
 		return

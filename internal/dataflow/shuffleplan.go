@@ -1,0 +1,170 @@
+package dataflow
+
+import "repro/internal/dataflow/opt"
+
+// This file is the shuffle half of the optimizer's plan layer. With the
+// planner active, PartitionBy does not execute immediately: it leaves a
+// pending shufflePlan on the Dataset, and the optimizer's pushdown rules may
+// move subsequent Maps and Filters onto the scatter side before anything
+// forces it. Routing is always computed on the pre-image — the record as it
+// existed at the PartitionBy — so record placement is byte-identical to the
+// eager shuffle-then-map execution; what changes is which representation
+// crosses partitions (the projected record) and how many records do (the
+// filtered subset). The scatter applies the pushed chain in one streamed
+// pass, the gather concatenates buckets in worker order exactly like
+// shuffleParts, and the whole pending shuffle records as one span named
+// after the PartitionBy stage with per-op fused attribution.
+//
+// A pending shuffle follows the chain contract for retries (per-worker
+// buckets and tallies reset and rebuild deterministically from the retained
+// input partitions) and for multiple consumers: the first Map/Filter derives
+// an extended plan, and any other consumer forces the original, un-extended
+// shuffle — consumption never mutates the plan it derives from.
+type shufflePlan[T any] struct {
+	name    string     // the PartitionBy stage (and span) name
+	srcLens []int64    // per-worker input lengths, the span's input accounting
+	ops     []string   // pushed narrow-op names, in application order
+	kinds   []opt.Kind // parallel to ops
+	// feed streams worker w's source partition through every pushed op,
+	// emitting each surviving record with its precomputed route and
+	// incrementing tally[i] per record entering the i-th op.
+	feed func(w int, tally []int64, emit func(route int, t T))
+}
+
+// shuffleRoot returns a pending shuffle over materialized partitions.
+func shuffleRoot[T any](name string, parts [][]T, route func(T) int) *shufflePlan[T] {
+	lens := make([]int64, len(parts))
+	for w, p := range parts {
+		lens[w] = int64(len(p))
+	}
+	return &shufflePlan[T]{
+		name:    name,
+		srcLens: lens,
+		feed: func(w int, _ []int64, emit func(int, T)) {
+			for _, t := range parts[w] {
+				emit(route(t), t)
+			}
+		},
+	}
+}
+
+// shuffleMap pushes a Map onto the scatter side: the projected record
+// travels to the pre-image's route.
+func shuffleMap[T, U any](s *shufflePlan[T], name string, f func(T) U) *shufflePlan[U] {
+	idx := len(s.ops)
+	prev := s.feed
+	return &shufflePlan[U]{
+		name:    s.name,
+		srcLens: s.srcLens,
+		ops:     extendOps(s.ops, name),
+		kinds:   extendKinds(s.kinds, opt.KindMap),
+		feed: func(w int, tally []int64, emit func(int, U)) {
+			prev(w, tally, func(p int, t T) {
+				tally[idx]++
+				emit(p, f(t))
+			})
+		},
+	}
+}
+
+// shuffleFilter pushes a Filter onto the scatter side: dropped records never
+// reach a bucket, so they never cross partitions.
+func shuffleFilter[T any](s *shufflePlan[T], name string, pred func(T) bool) *shufflePlan[T] {
+	idx := len(s.ops)
+	prev := s.feed
+	return &shufflePlan[T]{
+		name:    s.name,
+		srcLens: s.srcLens,
+		ops:     extendOps(s.ops, name),
+		kinds:   extendKinds(s.kinds, opt.KindFilter),
+		feed: func(w int, tally []int64, emit func(int, T)) {
+			prev(w, tally, func(p int, t T) {
+				tally[idx]++
+				if pred(t) {
+					emit(p, t)
+				}
+			})
+		},
+	}
+}
+
+// forceShuffle executes a pending shuffle (with its pushed ops) and
+// memoizes the result, the shuffle analogue of force: scatter streams each
+// source partition through the pushed chain into exact destination buckets,
+// gather concatenates buckets in worker order. The span carries the
+// PartitionBy's name, the pushed ops' fused attribution, and the crossing
+// bytes of what actually moved.
+func (d *Dataset[T]) forceShuffle() {
+	s := d.shuffle
+	if s == nil {
+		return
+	}
+	d.shuffle = nil
+	c := d.ctx
+	if c.failed() {
+		d.parts = make([][]T, c.workers)
+		return
+	}
+	sp := c.begin(s.name)
+	buckets := make([][][]T, c.workers)
+	crossing := make([]int64, c.workers)
+	tallies := make([][]int64, c.workers)
+	if !c.runStage(s.name+"/scatter", func(w int) error {
+		tally := tallies[w]
+		if tally == nil {
+			tally = make([]int64, len(s.ops))
+			tallies[w] = tally
+		} else {
+			for i := range tally { // a retried worker replays the chain from scratch
+				tally[i] = 0
+			}
+		}
+		local := buckets[w] // a retried worker reuses its previous attempt's buckets
+		if local == nil {
+			local = make([][]T, c.workers)
+		}
+		for p := range local {
+			local[p] = local[p][:0]
+		}
+		var emitted int64
+		s.feed(w, tally, func(p int, t T) {
+			emitted++
+			local[p] = append(local[p], t)
+		})
+		buckets[w] = local
+		crossing[w] = emitted - int64(len(local[w]))
+		return nil
+	}) {
+		d.parts = make([][]T, c.workers)
+		return
+	}
+	out := make([][]T, c.workers)
+	if !c.runStage(s.name+"/gather", func(t int) error {
+		n := 0
+		for w := 0; w < c.workers; w++ {
+			n += len(buckets[w][t])
+		}
+		part := out[t]
+		if cap(part) < n {
+			part = make([]T, 0, n)
+		} else {
+			part = part[:0]
+		}
+		for w := 0; w < c.workers; w++ {
+			part = append(part, buckets[w][t]...)
+		}
+		out[t] = part
+		return nil
+	}) {
+		d.parts = make([][]T, c.workers)
+		return
+	}
+	if len(s.ops) > 0 {
+		sp.fusedOps = fusedOpCounts(s.ops, tallies)
+	}
+	// Crossing bytes are estimated from the output records — the pushed
+	// representation is what actually moved.
+	sp.shuffleBytes = estimateCrossingBytes(out, crossing)
+	c.finish(sp, s.srcLens, totalLen(out))
+	d.parts = out
+}

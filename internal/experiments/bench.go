@@ -49,9 +49,15 @@ type PipelineRun struct {
 	// Batches/BatchFill account the columnar batch path across the run's fused
 	// chains (core.RunStats.Batches/BatchFill); additive within schema v1, zero
 	// on record-at-a-time runs and in records from before the counters existed.
-	Batches   int64          `json:"batches,omitempty"`
-	BatchFill float64        `json:"batch_fill,omitempty"`
-	Spans     []metrics.Span `json:"spans,omitempty"`
+	Batches   int64   `json:"batches,omitempty"`
+	BatchFill float64 `json:"batch_fill,omitempty"`
+	// OptDecisions/OptRules summarize the plan optimizer's report for the run:
+	// how many per-stage rewrite/policy decisions fired and the distinct rule
+	// names. Additive within schema v1, zero/absent on optimizer-off runs and
+	// in records from before the optimizer existed.
+	OptDecisions int            `json:"opt_decisions,omitempty"`
+	OptRules     []string       `json:"opt_rules,omitempty"`
+	Spans        []metrics.Span `json:"spans,omitempty"`
 }
 
 // BenchRecord is the machine-readable result of one experiment: the rendered
@@ -80,12 +86,15 @@ type BenchRecord struct {
 	MaterializedBytes int64 `json:"materialized_bytes,omitempty"`
 	// Batches sums the runs' columnar batch counts; BatchFill averages their
 	// fill rates over the runs that measured one (zero when none did).
-	Batches   int64         `json:"batches,omitempty"`
-	BatchFill float64       `json:"batch_fill,omitempty"`
-	Runs      []PipelineRun `json:"runs"`
-	Header            []string      `json:"header,omitempty"`
-	Rows              [][]string    `json:"rows,omitempty"`
-	Notes             []string      `json:"notes,omitempty"`
+	Batches   int64   `json:"batches,omitempty"`
+	BatchFill float64 `json:"batch_fill,omitempty"`
+	// OptDecisions sums the runs' plan-optimizer decision counts (zero when
+	// every run had the optimizer off).
+	OptDecisions int           `json:"opt_decisions,omitempty"`
+	Runs         []PipelineRun `json:"runs"`
+	Header       []string      `json:"header,omitempty"`
+	Rows         [][]string    `json:"rows,omitempty"`
+	Notes        []string      `json:"notes,omitempty"`
 }
 
 // The collector gathers the PipelineRuns of the experiment currently running
@@ -140,6 +149,10 @@ func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Res
 		run.MaterializedBytes = stats.MaterializedBytes
 		run.Batches = stats.Batches
 		run.BatchFill = stats.BatchFill
+		if rep := stats.Optimizer; rep != nil && rep.Enabled {
+			run.OptDecisions = len(rep.Decisions)
+			run.OptRules = rep.Rules()
+		}
 	}
 	if stats != nil && stats.Dataflow != nil {
 		run.TotalWork = stats.Dataflow.TotalWork()
@@ -204,6 +217,7 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 		rec.SpilledRuns += r.SpilledRuns
 		rec.MaterializedBytes += r.MaterializedBytes
 		rec.Batches += r.Batches
+		rec.OptDecisions += r.OptDecisions
 		if r.Batches > 0 {
 			rec.BatchFill += r.BatchFill
 			batchRuns++

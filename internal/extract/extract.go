@@ -226,10 +226,12 @@ func BroadCINDsOutcome(groups *dataflow.Dataset[capture.Group], cfg Config) ([]c
 
 	// Expand every group to its implication closure so that Lemma 3's
 	// membership test sees subsumed unary captures (see DESIGN.md).
-	// Materialize pins the closure: pruneBySupport consumes it through two
-	// separate narrow chains (the capture counters and the group pruning),
-	// which would otherwise each replay the closure map under lazy fusion.
-	closed := dataflow.Map(groups, "ext/close", capture.Close).Materialize()
+	// pruneBySupport consumes the closure through two separate narrow chains
+	// (the capture counters and the group pruning); the optimizer's
+	// shared-prefix rule pins it — at the second consumer on a cold run, at
+	// the first once a profile remembers the sharing — where a hand-placed
+	// Materialize call used to.
+	closed := dataflow.Map(groups, "ext/close", capture.Close)
 
 	// Capture-support pruning (steps 1–3): captures occurring in fewer than
 	// h groups cannot take part in any broad CIND — neither as dependent

@@ -87,6 +87,37 @@ type FusedOp struct {
 	RecordsIn int64  `json:"records_in"`
 }
 
+// CostInputs is the subset of a span's statistics a cost model consumes:
+// the primitive quantities (records, bytes moved or spilled, wall time,
+// allocation volume) with the display-oriented fields stripped. The plan
+// optimizer's profile stores exactly these per stage.
+type CostInputs struct {
+	RecordsIn         int64
+	RecordsOut        int64
+	WallMS            float64
+	ShuffleBytes      int64
+	SpilledBytes      int64
+	MaterializedBytes int64
+	CombinerIn        int64
+	CombinerOut       int64
+	AllocBytes        int64
+}
+
+// CostInputs extracts the cost-model observation from a recorded span.
+func (s Span) CostInputs() CostInputs {
+	return CostInputs{
+		RecordsIn:         s.RecordsIn,
+		RecordsOut:        s.RecordsOut,
+		WallMS:            s.WallMS,
+		ShuffleBytes:      s.ShuffleBytes,
+		SpilledBytes:      s.SpilledBytes,
+		MaterializedBytes: s.MaterializedBytes,
+		CombinerIn:        s.CombinerIn,
+		CombinerOut:       s.CombinerOut,
+		AllocBytes:        int64(s.AllocBytesDelta),
+	}
+}
+
 // CombinerHitRate is the fraction of records the combiner eliminated before
 // the shuffle: 1 - out/in. Zero when the stage has no combiner (or the
 // combiner eliminated nothing).
