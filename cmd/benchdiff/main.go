@@ -146,12 +146,37 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		}
 		checkAt(label, "", float64(oldV), float64(newV), threshold)
 	}
+	// Serving metrics follow the both-sides-measured rule (zero means a batch
+	// experiment or a record from before the serving layer). Latency quantiles
+	// regress when they GROW beyond the threshold; throughput regresses when
+	// it DROPS by more than the threshold, so the ratio is inverted.
+	checkLatency := func(label string, oldV, newV float64) {
+		if oldV == 0 || newV == 0 {
+			return // at least one record predates serving metrics
+		}
+		checkAt(label, "ms", oldV, newV, threshold)
+	}
+	checkThroughput := func(label string, oldV, newV float64) {
+		if oldV == 0 || newV == 0 {
+			return // at least one record predates serving metrics
+		}
+		delta := newV/oldV - 1
+		mark := ""
+		if -delta > threshold { // a qps drop is the regression
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-40s %12.1f %12.1f %+7.1f%%%s\n", label, oldV, newV, delta*100, mark)
+	}
 	check("wall", "ms", oldRec.WallMS, newRec.WallMS)
 	check("total work", "", float64(oldRec.TotalWork), float64(newRec.TotalWork))
 	checkAllocs("mallocs", oldRec.Mallocs, newRec.Mallocs)
 	checkSpill("spilled bytes", oldRec.SpilledBytes, newRec.SpilledBytes)
 	checkMaterialized("materialized bytes", oldRec.MaterializedBytes, newRec.MaterializedBytes)
 	checkBatches("batches", oldRec.Batches, newRec.Batches)
+	checkThroughput("serve qps", oldRec.QPS, newRec.QPS)
+	checkLatency("serve p50", oldRec.P50MS, newRec.P50MS)
+	checkLatency("serve p99", oldRec.P99MS, newRec.P99MS)
 
 	newRuns := indexRuns(newRec.Runs)
 	for _, or := range oldRec.Runs {

@@ -148,6 +148,64 @@ func TestImprovementPasses(t *testing.T) {
 	}
 }
 
+// serveRecord builds a record carrying the serving metrics.
+func serveRecord(qps, p50, p99 float64) *experiments.BenchRecord {
+	rec := record(100, testRun(experiments.PipelineRun{Label: "a", WallMS: 50, TotalWork: 1000}))
+	rec.Experiment = "serve"
+	rec.QPS = qps
+	rec.P50MS = p50
+	rec.P99MS = p99
+	rec.PlanCacheHits = 100
+	rec.PlanCacheMisses = 10
+	return rec
+}
+
+func TestServeThroughputDropFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json", serveRecord(10000, 0.5, 2))
+	// 40% qps drop at unchanged latency: beyond the default 20% threshold.
+	newPath := write(t, dir, "new.json", serveRecord(6000, 0.5, 2))
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("qps drop exit %d, want 1: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "serve qps") {
+		t.Errorf("qps row missing:\n%s", out.String())
+	}
+	// A qps GAIN must pass: the direction is inverted vs. latency.
+	gainPath := write(t, dir, "gain.json", serveRecord(14000, 0.5, 2))
+	var out2 bytes.Buffer
+	if code := run([]string{oldPath, gainPath}, &out2, &errOut); code != 0 {
+		t.Fatalf("qps gain exit %d, want 0: %s", code, out2.String())
+	}
+}
+
+func TestServeLatencyGrowthFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json", serveRecord(10000, 0.5, 2))
+	// p99 grows 50% at unchanged qps: beyond the default 20% threshold.
+	newPath := write(t, dir, "new.json", serveRecord(10000, 0.5, 3))
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("p99 growth exit %d, want 1: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "serve p99") {
+		t.Errorf("p99 row missing:\n%s", out.String())
+	}
+}
+
+func TestServeMetricsOnlyInOneRecordIgnored(t *testing.T) {
+	dir := t.TempDir()
+	// The old record predates the serving layer: no comparison, no regression.
+	old := serveRecord(0, 0, 0)
+	oldPath := write(t, dir, "old.json", old)
+	newPath := write(t, dir, "new.json", serveRecord(10000, 0.5, 2))
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("one-sided serve metrics exit %d, want 0: %s", code, out.String())
+	}
+}
+
 func TestUsageAndBadInputs(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run(nil, &out, &errOut); code != 2 {

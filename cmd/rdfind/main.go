@@ -1,13 +1,31 @@
 // Command rdfind discovers pertinent conditional inclusion dependencies and
-// exact association rules in an N-Triples file.
+// exact association rules in an RDF file (N-Triples or Turtle, optionally
+// gzip-compressed).
 //
 // Usage:
 //
 //	rdfind [-support N] [-workers N] [-ingest-workers N] [-variant rdfind|de|nf|mf]
-//	       [-pred-only-conditions] [-no-columnar] [-no-optimizer] [-profile-dir DIR]
-//	       [-explain] [-lenient] [-timeout D] [-stats] [-json] file.nt
+//	       [-input-format auto|nt|turtle] [-pred-only-conditions] [-no-columnar]
+//	       [-no-optimizer] [-profile-dir DIR] [-explain] [-lenient] [-timeout D]
+//	       [-stats] [-json] file.nt
+//	rdfind -query 'SELECT ...' [-query-reps N] [flags] file.nt
 //	rdfind -cluster N [-cluster-network tcp|unix] [-chaos SPEC] [flags] file.nt
 //	rdfind worker -addr ADDR -rank N [-network tcp|unix]
+//
+// The input format defaults to auto: a .ttl or .turtle extension (before any
+// trailing .gz) selects the Turtle reader, anything else N-Triples. Inputs
+// whose name ends in .gz — or whose content starts with the gzip magic — are
+// decompressed transparently. -lenient and parallel -ingest-workers apply to
+// N-Triples only; Turtle and N-Triples readers intern identical surface
+// forms, so equivalent files produce identical discovery results.
+//
+// -query serves a SPARQL query (the engine's BGP+FILTER subset) over the
+// input through the concurrent query engine after discovery: the discovered
+// CINDs minimize the query, and the engine's plan cache — keyed by BGP shape
+// — is exercised by -query-reps repetitions of the same text. Result rows
+// replace the discovery result on stdout; with -stats the engine's counters
+// (queries served, plan-cache hits and misses) are appended to the run
+// statistics on stderr.
 //
 // The result is printed one statement per line, CINDs and ARs sorted by
 // descending support. With -stats, run statistics (frequent conditions,
@@ -44,6 +62,8 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -61,6 +81,8 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/dataflow/opt"
+	"repro/internal/sparql"
+	"repro/internal/triplestore"
 )
 
 // Exit codes (documented above).
@@ -88,8 +110,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	variantName := fs.String("variant", "rdfind", "pipeline variant: rdfind, de, nf, mf")
 	predOnly := fs.Bool("pred-only-conditions", false, "use predicates only in conditions (no predicate projections)")
 	format := fs.String("format", "text", "output format: text or json")
+	inputFormat := fs.String("input-format", "auto", "input format: auto (sniff the extension, .gz stripped first), nt, or turtle")
 	jsonDump := fs.Bool("json", false, "emit one JSON document with the result and the run's metrics snapshot")
 	check := fs.String("check", "", "instead of discovering, validate one CIND statement, e.g. '(s, p=a) <= (s, p=b)'")
+	query := fs.String("query", "", "after discovery, serve this SPARQL query through the concurrent engine (CINDs minimize it) and print its rows instead of the result")
+	queryReps := fs.Int("query-reps", 1, "execute -query this many times; repetitions of one shape hit the plan cache")
 	stats := fs.Bool("stats", false, "print run statistics and the operator trace to stderr")
 	lenient := fs.Bool("lenient", false, "skip malformed N-Triples lines (reported to stderr) instead of aborting")
 	timeout := fs.Duration("timeout", 0, "abort discovery after this duration (0 = no limit), exit code 4")
@@ -156,11 +181,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rdfind: -explain replaces the result on stdout and cannot combine with -json")
 		return exitUsage
 	}
+	if *query != "" {
+		switch {
+		case *check != "":
+			fmt.Fprintln(stderr, "rdfind: -query and -check are mutually exclusive")
+			return exitUsage
+		case *explain:
+			fmt.Fprintln(stderr, "rdfind: -query replaces the result on stdout and cannot combine with -explain")
+			return exitUsage
+		case *clusterN > 0:
+			fmt.Fprintln(stderr, "rdfind: -query serves from a single process and cannot combine with -cluster")
+			return exitUsage
+		case *queryReps < 1:
+			fmt.Fprintln(stderr, "rdfind: -query-reps must be at least 1")
+			return exitUsage
+		}
+	}
+	inFmt, err := resolveInputFormat(fs.Arg(0), *inputFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind:", err)
+		return exitUsage
+	}
+	if inFmt == "turtle" && *lenient {
+		fmt.Fprintln(stderr, "rdfind: -lenient applies to N-Triples input only")
+		return exitUsage
+	}
 
 	if *ingestWorkers <= 0 {
 		*ingestWorkers = *workers
 	}
-	ds, code := readInput(fs.Arg(0), *ingestWorkers, *lenient, stderr)
+	ds, code := readInput(fs.Arg(0), inFmt, *ingestWorkers, *lenient, stderr)
 	if code != exitOK {
 		return code
 	}
@@ -190,6 +240,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *clusterN > 0 {
 		spec := jobSpec{
 			Input:         fs.Arg(0),
+			Format:        inFmt,
 			Support:       *support,
 			Variant:       *variantName,
 			PredOnly:      *predOnly,
@@ -225,6 +276,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exitTimeout
 		}
 		return exitDiscovery
+	}
+
+	// -query mode: the discovery result becomes the engine's minimization
+	// knowledge; query rows replace the discovery result on stdout.
+	if *query != "" {
+		return runQuery(ctx, ds, res, runStats, *query, *queryReps, *workers,
+			*jsonDump || *format == "json", *stats, stdout, stderr)
 	}
 
 	switch {
@@ -269,7 +327,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 // processes through the welcome message, so the replicated drivers are
 // guaranteed to run the same pipeline over the same input.
 type jobSpec struct {
-	Input         string `json:"input"`
+	Input string `json:"input"`
+	// Format is the coordinator's resolved input format ("nt" or "turtle"):
+	// auto-sniffing happens once, so every rank parses the same way even if a
+	// rank's path handling would sniff differently. Empty (specs from older
+	// coordinators) means N-Triples.
+	Format        string `json:"format,omitempty"`
 	Support       int    `json:"support"`
 	Variant       string `json:"variant"`
 	PredOnly      bool   `json:"predOnly,omitempty"`
@@ -443,7 +506,11 @@ func runWorker(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rdfind worker: unknown variant %q in job spec\n", spec.Variant)
 		return exitUsage
 	}
-	ds, code := readInput(spec.Input, spec.IngestWorkers, spec.Lenient, stderr)
+	specFormat := spec.Format
+	if specFormat == "" {
+		specFormat = "nt"
+	}
+	ds, code := readInput(spec.Input, specFormat, spec.IngestWorkers, spec.Lenient, stderr)
 	if code != exitOK {
 		return code
 	}
@@ -505,21 +572,76 @@ func parseByteSize(s string) (int64, error) {
 	return v * mult, nil
 }
 
-// readInput parses the N-Triples file with the requested number of parallel
-// ingest shards, strictly or leniently; parse problems return the dedicated
-// parse-failure code so callers can tell bad input apart from a failed
-// discovery. The shard count changes only ingest speed, never the dataset:
-// the sharded dictionary merge assigns the same IDs at any count.
-func readInput(path string, shards int, lenient bool, stderr io.Writer) (*rdfind.Dataset, int) {
+// resolveInputFormat maps the -input-format flag to a concrete reader choice.
+// "auto" sniffs the file extension after stripping a trailing .gz: .ttl and
+// .turtle select the Turtle reader, everything else N-Triples.
+func resolveInputFormat(path, flagVal string) (string, error) {
+	switch flagVal {
+	case "nt", "turtle":
+		return flagVal, nil
+	case "auto":
+		name := strings.TrimSuffix(strings.ToLower(filepath.Base(path)), ".gz")
+		switch filepath.Ext(name) {
+		case ".ttl", ".turtle":
+			return "turtle", nil
+		}
+		return "nt", nil
+	}
+	return "", fmt.Errorf("unknown input format %q (want auto, nt, or turtle)", flagVal)
+}
+
+// isGzip reports whether the input needs decompressing before parsing: a .gz
+// extension, or the two-byte gzip magic at the start of the content (for
+// compressed streams saved without the conventional extension).
+func isGzip(path string, data []byte) bool {
+	if strings.HasSuffix(strings.ToLower(path), ".gz") {
+		return true
+	}
+	return len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b
+}
+
+// readInput loads the dataset: the file is read whole, gunzipped when isGzip
+// says so, then parsed as N-Triples (with the requested number of parallel
+// ingest shards, strictly or leniently) or as Turtle. Parse problems return
+// the dedicated parse-failure code so callers can tell bad input apart from a
+// failed discovery. The shard count changes only ingest speed, never the
+// dataset: the sharded dictionary merge assigns the same IDs at any count.
+func readInput(path, format string, shards int, lenient bool, stderr io.Writer) (*rdfind.Dataset, int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind:", err)
+		return nil, exitParse
+	}
+	if isGzip(path, data) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err == nil {
+			data, err = io.ReadAll(zr)
+		}
+		if err == nil {
+			err = zr.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "rdfind: %s: gunzip: %v\n", path, err)
+			return nil, exitParse
+		}
+	}
+	if format == "turtle" {
+		ds, err := rdfind.ReadTurtle(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(stderr, "rdfind: %s: %v\n", path, err)
+			return nil, exitParse
+		}
+		return ds, exitOK
+	}
 	if !lenient {
-		ds, err := rdfind.ReadNTriplesFile(path, shards)
+		ds, err := rdfind.ParseNTriples(data, shards)
 		if err != nil {
 			fmt.Fprintln(stderr, "rdfind:", err)
 			return nil, exitParse
 		}
 		return ds, exitOK
 	}
-	ds, malformed, err := rdfind.ReadNTriplesFileLenient(path, shards, 0)
+	ds, malformed, err := rdfind.ParseNTriplesLenient(data, shards, 0)
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind:", err)
 		return nil, exitParse
@@ -531,6 +653,72 @@ func readInput(path string, shards int, lenient bool, stderr io.Writer) (*rdfind
 		fmt.Fprintf(stderr, "rdfind: skipped %d malformed lines\n", len(malformed))
 	}
 	return ds, exitOK
+}
+
+// runQuery is -query mode: a concurrent sparql.Engine is stood up over the
+// loaded dataset with the discovery result as minimization knowledge, the
+// query runs reps times (every repetition after the first hits the plan
+// cache), and the last repetition's rows print to stdout — tab-separated
+// after a variable header, or as a JSON document carrying the engine's
+// counters. With -stats the run statistics gain the engine's counter lines.
+func runQuery(ctx context.Context, ds *rdfind.Dataset, res *rdfind.Result, runStats *core.RunStats,
+	text string, reps, workers int, asJSON, showStats bool, stdout, stderr io.Writer) int {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind:", err)
+		return exitUsage
+	}
+	eng := sparql.NewEngine(triplestore.New(ds), sparql.EngineConfig{
+		Workers:   workers,
+		Knowledge: res,
+	})
+	defer eng.Close()
+
+	var last *sparql.Result
+	for i := 0; i < reps; i++ {
+		if last, err = eng.Execute(ctx, q); err != nil {
+			fmt.Fprintln(stderr, "rdfind:", err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				return exitTimeout
+			}
+			return exitDiscovery
+		}
+	}
+	engStats := eng.Stats()
+
+	if asJSON {
+		doc := struct {
+			Vars   []string           `json:"vars"`
+			Rows   [][]string         `json:"rows"`
+			Engine sparql.EngineStats `json:"engine"`
+		}{Vars: last.Vars, Rows: last.Render(ds.Dict), Engine: engStats}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "rdfind:", err)
+			return exitDiscovery
+		}
+		stdout.Write(data)
+		fmt.Fprintln(stdout)
+	} else {
+		header := make([]string, len(last.Vars))
+		for i, v := range last.Vars {
+			header[i] = "?" + v
+		}
+		fmt.Fprintln(stdout, strings.Join(header, "\t"))
+		for _, row := range last.Render(ds.Dict) {
+			fmt.Fprintln(stdout, strings.Join(row, "\t"))
+		}
+	}
+
+	if showStats {
+		if runStats != nil {
+			printStats(stderr, runStats)
+		}
+		fmt.Fprintf(stderr, "queries served:      %d\n", engStats.Queries)
+		fmt.Fprintf(stderr, "plan cache:          %d hits, %d misses\n",
+			engStats.PlanCacheHits, engStats.PlanCacheMisses)
+	}
+	return exitOK
 }
 
 func printStats(w io.Writer, s *core.RunStats) {

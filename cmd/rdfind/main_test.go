@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"os"
@@ -395,6 +396,133 @@ func TestCheckMode(t *testing.T) {
 	}
 }
 
+// TestGoldenTurtleInput pins the format-equivalence promise: the Turtle
+// rendition of the museums fixture (same triples, same order, prefixed names)
+// produces byte-identical text and JSON output to the N-Triples golden.
+func TestGoldenTurtleInput(t *testing.T) {
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", "testdata/museums.ttl")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_text", []byte(out))
+	code, out, errOut = runCLI(t, "-support", "2", "-workers", "1", "-format", "json", "testdata/museums.ttl")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_result_json", []byte(out))
+	// An explicit -input-format overrides sniffing in both directions.
+	code, out, errOut = runCLI(t, "-input-format", "turtle", "-support", "2", "-workers", "1", "testdata/museums.ttl")
+	if code != exitOK {
+		t.Fatalf("explicit turtle exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_text", []byte(out))
+}
+
+// gzipFile compresses src into dir under name and returns the new path.
+func gzipFile(t *testing.T, src, dir, name string) string {
+	t.Helper()
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGoldenGzipInput pins transparent decompression: gzipped N-Triples and
+// Turtle inputs — by .gz extension or by magic-byte sniff on an extensionless
+// name — all reproduce the text golden.
+func TestGoldenGzipInput(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct{ src, name string }{
+		{"testdata/museums.nt", "museums.nt.gz"},
+		{"testdata/museums.ttl", "museums.ttl.gz"},
+	} {
+		path := gzipFile(t, tc.src, dir, tc.name)
+		code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", path)
+		if code != exitOK {
+			t.Fatalf("%s: exit %d: %s", tc.name, code, errOut)
+		}
+		goldenCompare(t, "museums_text", []byte(out))
+	}
+	// No .gz extension: only the magic bytes say it is compressed.
+	path := gzipFile(t, "testdata/museums.nt", dir, "museums-compressed")
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1", path)
+	if code != exitOK {
+		t.Fatalf("magic-sniffed gzip exit %d: %s", code, errOut)
+	}
+	goldenCompare(t, "museums_text", []byte(out))
+}
+
+// TestQueryMode serves a two-pattern join through -query: the rows land on
+// stdout, and -query-reps 2 makes the second execution hit the plan cache —
+// visible in the -stats counters (the acceptance surface for the cache).
+func TestQueryMode(t *testing.T) {
+	const q = "SELECT ?m WHERE { ?m <http://example.org/located> ?c . ?c <http://example.org/cityIn> <http://example.org/germany> }"
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1",
+		"-query", q, "-query-reps", "2", "-stats", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	want := "?m\n<http://example.org/altes_museum>\n<http://example.org/pergamon>\n"
+	if out != want {
+		t.Errorf("query rows:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+	if !strings.Contains(errOut, "queries served:      2") {
+		t.Errorf("stats lack the served count:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "plan cache:          1 hits, 1 misses") {
+		t.Errorf("stats lack the plan-cache counters:\n%s", errOut)
+	}
+	// Discovery statistics still precede the engine lines.
+	if !strings.Contains(errOut, "triples:") {
+		t.Errorf("stats lack the discovery block:\n%s", errOut)
+	}
+}
+
+// TestQueryModeJSON checks the -json query document: rows in surface form
+// plus the engine counter snapshot under committed field names.
+func TestQueryModeJSON(t *testing.T) {
+	const q = "SELECT ?c WHERE { ?c <http://example.org/cityIn> <http://example.org/france> }"
+	code, out, errOut := runCLI(t, "-support", "2", "-workers", "1",
+		"-query", q, "-query-reps", "3", "-json", "testdata/museums.nt")
+	if code != exitOK {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var doc struct {
+		Vars   []string   `json:"vars"`
+		Rows   [][]string `json:"rows"`
+		Engine struct {
+			Queries int64 `json:"queries"`
+			Hits    int64 `json:"plan_cache_hits"`
+			Misses  int64 `json:"plan_cache_misses"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("query document is not JSON: %v\n%s", err, out)
+	}
+	if len(doc.Vars) != 1 || doc.Vars[0] != "c" {
+		t.Errorf("vars = %v", doc.Vars)
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0][0] != "<http://example.org/paris>" {
+		t.Errorf("rows = %v", doc.Rows)
+	}
+	if doc.Engine.Queries != 3 || doc.Engine.Hits != 2 || doc.Engine.Misses != 1 {
+		t.Errorf("engine counters = %+v", doc.Engine)
+	}
+}
+
 func TestExitCodes(t *testing.T) {
 	if code, _, _ := runCLI(t); code != exitUsage {
 		t.Errorf("no args exit %d, want %d", code, exitUsage)
@@ -416,5 +544,30 @@ func TestExitCodes(t *testing.T) {
 	}
 	if code, _, _ := runCLI(t, "-cluster", "2", "-profile-dir", "x", "testdata/museums.nt"); code != exitUsage {
 		t.Errorf("-cluster -profile-dir exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-input-format", "nope", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("bad input format exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-lenient", "testdata/museums.ttl"); code != exitUsage {
+		t.Errorf("-lenient turtle exit %d, want %d", code, exitUsage)
+	}
+	// (N-Triples is a Turtle subset, so only this direction can fail.)
+	if code, _, _ := runCLI(t, "-input-format", "nt", "testdata/museums.ttl"); code != exitParse {
+		t.Errorf("Turtle forced through the N-Triples reader exit %d, want %d", code, exitParse)
+	}
+	if code, _, _ := runCLI(t, "-query", "SELECT", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("malformed -query exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-query", "SELECT ?s WHERE { ?s ?p ?o }", "-query-reps", "0", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("-query-reps 0 exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-query", "SELECT ?s WHERE { ?s ?p ?o }", "-explain", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("-query -explain exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-query", "SELECT ?s WHERE { ?s ?p ?o }", "-check", "x", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("-query -check exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-query", "SELECT ?s WHERE { ?s ?p ?o }", "-cluster", "2", "testdata/museums.nt"); code != exitUsage {
+		t.Errorf("-query -cluster exit %d, want %d", code, exitUsage)
 	}
 }

@@ -90,8 +90,20 @@ type BenchRecord struct {
 	BatchFill float64 `json:"batch_fill,omitempty"`
 	// OptDecisions sums the runs' plan-optimizer decision counts (zero when
 	// every run had the optimizer off).
-	OptDecisions int           `json:"opt_decisions,omitempty"`
-	Runs         []PipelineRun `json:"runs"`
+	OptDecisions int `json:"opt_decisions,omitempty"`
+	// QPS/P50MS/P99MS summarize the closed-loop serving phase of the "serve"
+	// experiment: sustained operations per second and overall latency
+	// quantiles in milliseconds. PlanCacheHits/Misses expose the query
+	// engine's plan cache over the same phase. Additive within schema v1:
+	// zero/absent for batch experiments and for records written before the
+	// serving layer existed; benchdiff compares them only when both sides
+	// measured.
+	QPS             float64 `json:"qps,omitempty"`
+	P50MS           float64 `json:"p50_ms,omitempty"`
+	P99MS           float64 `json:"p99_ms,omitempty"`
+	PlanCacheHits   int64   `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses int64   `json:"plan_cache_misses,omitempty"`
+	Runs            []PipelineRun `json:"runs"`
 	Header       []string      `json:"header,omitempty"`
 	Rows         [][]string    `json:"rows,omitempty"`
 	Notes        []string      `json:"notes,omitempty"`
@@ -104,6 +116,7 @@ var (
 	benchRunMu sync.Mutex // serializes RunBench: one collection at a time
 	collectMu  sync.Mutex
 	collected  []PipelineRun
+	servedSum  *ServeSummary
 	collecting bool
 )
 
@@ -111,6 +124,27 @@ func recordRun(r PipelineRun) {
 	collectMu.Lock()
 	if collecting {
 		collected = append(collected, r)
+	}
+	collectMu.Unlock()
+}
+
+// ServeSummary is the serving-layer accounting the serve experiment reports
+// into its benchmark record alongside the discovery PipelineRuns.
+type ServeSummary struct {
+	QPS             float64
+	P50MS           float64
+	P99MS           float64
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+}
+
+// recordServe publishes the load generator's summary to the active RunBench
+// collection (a no-op under the plain text harness, like recordRun).
+func recordServe(s ServeSummary) {
+	collectMu.Lock()
+	if collecting {
+		cp := s
+		servedSum = &cp
 	}
 	collectMu.Unlock()
 }
@@ -179,7 +213,7 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 	benchRunMu.Lock()
 	defer benchRunMu.Unlock()
 	collectMu.Lock()
-	collected, collecting = nil, true
+	collected, servedSum, collecting = nil, nil, true
 	collectMu.Unlock()
 
 	start := time.Now()
@@ -187,8 +221,8 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 	elapsed := time.Since(start)
 
 	collectMu.Lock()
-	runs := collected
-	collected, collecting = nil, false
+	runs, serve := collected, servedSum
+	collected, servedSum, collecting = nil, nil, false
 	collectMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -228,6 +262,13 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 	}
 	if rec.CriticalPath > 0 {
 		rec.Speedup = float64(rec.TotalWork) / float64(rec.CriticalPath)
+	}
+	if serve != nil {
+		rec.QPS = serve.QPS
+		rec.P50MS = serve.P50MS
+		rec.P99MS = serve.P99MS
+		rec.PlanCacheHits = serve.PlanCacheHits
+		rec.PlanCacheMisses = serve.PlanCacheMisses
 	}
 	return rec, nil
 }

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchServeRecord: the serve experiment's benchmark record must carry
+// populated throughput, latency-quantile, and plan-cache fields, and they
+// must survive a JSON round trip under the committed field names.
+func TestBenchServeRecord(t *testing.T) {
+	rec, err := RunBench("serve", Options{Scale: 0.04, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != BenchSchema || rec.Experiment != "serve" {
+		t.Fatalf("record header = %s/%s", rec.Schema, rec.Experiment)
+	}
+	if rec.QPS <= 0 {
+		t.Errorf("QPS = %v, want > 0", rec.QPS)
+	}
+	if rec.P50MS <= 0 || rec.P99MS <= 0 || rec.P99MS < rec.P50MS {
+		t.Errorf("latency quantiles implausible: p50=%v p99=%v", rec.P50MS, rec.P99MS)
+	}
+	if rec.PlanCacheHits == 0 {
+		t.Errorf("serving workload produced no plan-cache hits")
+	}
+	if rec.PlanCacheMisses == 0 {
+		t.Errorf("plan-cache misses = 0, first occurrence of each shape must miss")
+	}
+	if len(rec.Runs) == 0 {
+		t.Errorf("discovery phase recorded no pipeline runs")
+	}
+	if len(rec.Rows) < 2 {
+		t.Errorf("report has %d rows, want per-kind rows plus total", len(rec.Rows))
+	}
+
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"qps", "p50_ms", "p99_ms", "plan_cache_hits", "plan_cache_misses"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("serialized record lacks %q (CI greps for it)", key)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cind"
+	"repro/internal/triplestore"
+)
+
+// ErrEngineClosed is returned by Execute after Close.
+var ErrEngineClosed = errors.New("sparql: engine closed")
+
+// EngineConfig tunes a concurrent query engine.
+type EngineConfig struct {
+	// Workers is the number of executor goroutines (default 4).
+	Workers int
+	// QueueDepth bounds the admission queue (default 2×Workers). When the
+	// queue is full, Execute blocks until a slot frees or its context ends.
+	QueueDepth int
+	// Timeout caps each query's execution time; 0 means no engine-imposed
+	// deadline (the caller's context still applies).
+	Timeout time.Duration
+	// CacheSize bounds the plan cache (default 256 shapes, FIFO eviction).
+	// Negative disables caching.
+	CacheSize int
+	// Knowledge optionally supplies a CIND discovery result; plans then
+	// minimize queries before ordering, so repeated shapes skip both
+	// minimization and greedy planning.
+	Knowledge *cind.Result
+}
+
+// EngineStats is a point-in-time snapshot of engine counters.
+type EngineStats struct {
+	Queries         int64 `json:"queries"`
+	Errors          int64 `json:"errors"`
+	Timeouts        int64 `json:"timeouts"`
+	Rejected        int64 `json:"rejected"`
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+}
+
+// Engine executes queries concurrently over a read-only triplestore.Store: a
+// fixed worker pool drains a bounded admission queue, each query runs under
+// its caller's context plus an optional engine-wide timeout, and minimized
+// plans are cached by BGP shape (ShapeKey) so repeated query shapes skip
+// planning entirely. The store's read-only-after-load invariant is what
+// makes the workers safe without locks; the engine itself only locks the
+// plan cache.
+type Engine struct {
+	st  *triplestore.Store
+	cfg EngineConfig
+
+	tasks  chan *engineTask
+	quit   chan struct{}
+	wg     sync.WaitGroup // worker goroutines
+	execWG sync.WaitGroup // in-flight Execute calls
+
+	mu     sync.Mutex
+	closed bool
+	stats  EngineStats
+	cache  map[string]*Plan
+	fifo   []string
+}
+
+type engineTask struct {
+	ctx  context.Context
+	q    *Query
+	res  *Result
+	err  error
+	done chan struct{}
+}
+
+// NewEngine starts the worker pool. Callers must Close the engine when done.
+func NewEngine(st *triplestore.Store, cfg EngineConfig) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	e := &Engine{
+		st:    st,
+		cfg:   cfg,
+		tasks: make(chan *engineTask, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		cache: make(map[string]*Plan),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case t := <-e.tasks:
+			e.run(t)
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+func (e *Engine) run(t *engineTask) {
+	defer close(t.done)
+	ctx := t.ctx
+	if e.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled or timed out while queued: never start executing.
+		t.err = fmt.Errorf("sparql: query aborted: %w", err)
+	} else {
+		t.res, t.err = ExecutePlan(ctx, e.st, t.q, e.plan(t.q))
+	}
+	if t.err != nil {
+		e.count(func(s *EngineStats) {
+			s.Errors++
+			if errors.Is(t.err, context.DeadlineExceeded) {
+				s.Timeouts++
+			}
+		})
+	}
+}
+
+// plan returns the cached plan for q's shape, building and caching it on a
+// miss. Plans are valid across same-shaped queries because ShapeKey
+// canonicalizes variable names and resolves constants against the read-only
+// dictionary.
+func (e *Engine) plan(q *Query) *Plan {
+	if e.cfg.CacheSize < 0 {
+		return PlanQuery(e.st, q, e.cfg.Knowledge)
+	}
+	key := ShapeKey(e.st, q)
+	e.mu.Lock()
+	if p, ok := e.cache[key]; ok {
+		e.stats.PlanCacheHits++
+		e.mu.Unlock()
+		return p
+	}
+	e.stats.PlanCacheMisses++
+	e.mu.Unlock()
+
+	p := PlanQuery(e.st, q, e.cfg.Knowledge) // outside the lock: planning is read-only
+	e.mu.Lock()
+	if _, ok := e.cache[key]; !ok {
+		if len(e.fifo) >= e.cfg.CacheSize {
+			delete(e.cache, e.fifo[0])
+			e.fifo = e.fifo[1:]
+		}
+		e.cache[key] = p
+		e.fifo = append(e.fifo, key)
+	}
+	e.mu.Unlock()
+	return p
+}
+
+// Execute submits a query and blocks until it completes or ctx ends.
+// Admission is bounded: when all workers are busy and the queue is full,
+// Execute waits in line, and a context that expires while waiting (or while
+// queued) aborts with the context's error.
+func (e *Engine) Execute(ctx context.Context, q *Query) (*Result, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	e.execWG.Add(1)
+	e.stats.Queries++
+	e.mu.Unlock()
+	defer e.execWG.Done()
+
+	t := &engineTask{ctx: ctx, q: q, done: make(chan struct{})}
+	select {
+	case e.tasks <- t:
+	case <-ctx.Done():
+		e.count(func(s *EngineStats) { s.Rejected++ })
+		return nil, fmt.Errorf("sparql: admission aborted: %w", ctx.Err())
+	}
+	// Workers stay alive until every in-flight Execute returns (Close waits
+	// on execWG before stopping them), and they honor t.ctx, so completion
+	// is prompt after cancellation; waiting on done alone avoids racing the
+	// worker's result writes.
+	<-t.done
+	return t.res, t.err
+}
+
+// ExecuteString parses and executes a query text.
+func (e *Engine) ExecuteString(ctx context.Context, text string) (*Result, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(ctx, q)
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// CachedPlans returns the number of plans currently cached.
+func (e *Engine) CachedPlans() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Close refuses new queries, waits for every in-flight Execute to finish
+// (workers keep draining the queue until then), and stops the worker pool.
+// Execute calls after Close fail with ErrEngineClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.execWG.Wait()
+	close(e.quit)
+	e.wg.Wait()
+}
+
+func (e *Engine) count(f func(*EngineStats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}

@@ -1,0 +1,315 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cind"
+	"repro/internal/core"
+	"repro/internal/triplestore"
+)
+
+func TestShapeKeyCanonicalization(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	parse := func(text string) *Query {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		return q
+	}
+
+	a := parse("SELECT ?x WHERE { ?x rdf:type GraduateStudent . ?x memberOf ?d }")
+	renamed := parse("SELECT ?q WHERE { ?q rdf:type GraduateStudent . ?q memberOf ?other }")
+	if ShapeKey(st, a) != ShapeKey(st, renamed) {
+		t.Errorf("variable renaming changed the shape key")
+	}
+	otherConst := parse("SELECT ?x WHERE { ?x rdf:type University . ?x memberOf ?d }")
+	if ShapeKey(st, a) == ShapeKey(st, otherConst) {
+		t.Errorf("different constants share a shape key")
+	}
+	otherStruct := parse("SELECT ?x WHERE { ?x rdf:type GraduateStudent . ?d memberOf ?x }")
+	if ShapeKey(st, a) == ShapeKey(st, otherStruct) {
+		t.Errorf("different variable structure shares a shape key")
+	}
+	filtered := parse("SELECT ?x WHERE { ?x rdf:type GraduateStudent . ?x memberOf ?d . FILTER(?x != ?d) }")
+	if ShapeKey(st, a) == ShapeKey(st, filtered) {
+		t.Errorf("adding a filter did not change the shape key")
+	}
+}
+
+// TestPlanQueryMatchesAdaptiveResults: for the whole workload, executing a
+// static plan (with and without CIND knowledge) yields byte-identical rows
+// to the adaptive path.
+func TestPlanQueryMatchesAdaptiveResults(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	res, _ := core.Discover(ds, core.Config{Support: 2, Workers: 2})
+
+	for _, text := range engineWorkloadTexts(t) {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		want, err := Execute(st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, knowledge := range []struct {
+			name string
+			res  *cind.Result
+		}{{"unminimized", nil}, {"minimized", res}} {
+			plan := PlanQuery(st, q, knowledge.res)
+			if len(plan.Order) == 0 || len(plan.Order) > len(q.Patterns) {
+				t.Fatalf("%s (%s): bad plan order %v", text, knowledge.name, plan.Order)
+			}
+			got, err := ExecutePlan(context.Background(), st, q, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Errorf("%s (%s): planned rows diverge from adaptive execution", text, knowledge.name)
+			}
+		}
+	}
+}
+
+// TestPlanQueryMinimizesQ2: the cached plan for LUBM Q2 must carry the
+// paper's 6→3 pattern reduction.
+func TestPlanQueryMinimizesQ2(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	res, _ := core.Discover(ds, core.Config{Support: 2, Workers: 2})
+	q, err := Parse(strings.ReplaceAll(LUBMQ2, "\n", " "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanQuery(st, q, res)
+	if !plan.Minimized || len(plan.Order) != 3 {
+		t.Fatalf("Q2 plan kept %d patterns (minimized=%v), paper reaches 3", len(plan.Order), plan.Minimized)
+	}
+	want, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecutePlan(context.Background(), st, q, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 || !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("minimized Q2 plan changed results: %d vs %d rows", len(got.Rows), len(want.Rows))
+	}
+}
+
+// engineWorkloadTexts builds a 120-query seeded workload of mixed shapes:
+// repeated shapes with different constants (plan-cache food), joins,
+// DISTINCT, filters, and limits.
+func engineWorkloadTexts(t *testing.T) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var out []string
+	for len(out) < 120 {
+		switch rng.Intn(6) {
+		case 0:
+			out = append(out, fmt.Sprintf(
+				"SELECT ?x WHERE { ?x rdf:type GraduateStudent . ?x memberOf dept%d_%d }",
+				rng.Intn(2), rng.Intn(5)))
+		case 1:
+			out = append(out, fmt.Sprintf(
+				"SELECT DISTINCT ?y WHERE { ?x undergraduateDegreeFrom ?y . ?x memberOf dept%d_%d }",
+				rng.Intn(2), rng.Intn(5)))
+		case 2:
+			out = append(out, "SELECT ?x ?z WHERE { ?x rdf:type GraduateStudent . ?x memberOf ?z }")
+		case 3:
+			out = append(out, fmt.Sprintf(
+				"SELECT ?x ?c WHERE { ?x takesCourse ?c . ?x memberOf dept%d_%d . FILTER(?x != ?c) } LIMIT %d",
+				rng.Intn(2), rng.Intn(5), 1+rng.Intn(10)))
+		case 4:
+			out = append(out, "SELECT DISTINCT ?p WHERE { ?s ?p ?o } LIMIT 50")
+		case 5:
+			out = append(out, strings.ReplaceAll(LUBMQ2, "\n", " "))
+		}
+	}
+	return out
+}
+
+// TestEngineConcurrentMatchesSerial is the tentpole acceptance test: 12
+// goroutines push the 120-query seeded workload through one shared engine
+// (run under -race), and every result must be byte-identical to serial
+// single-threaded execution.
+func TestEngineConcurrentMatchesSerial(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	res, _ := core.Discover(ds, core.Config{Support: 2, Workers: 2})
+	workload := engineWorkloadTexts(t)
+
+	// Serial oracle with the plain adaptive executor.
+	serial := make([]*Result, len(workload))
+	for i, text := range workload {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial[i], err = Execute(st, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e := NewEngine(st, EngineConfig{Workers: 8, Knowledge: res})
+	defer e.Close()
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(workload); i += goroutines {
+				got, err := e.ExecuteString(context.Background(), workload[i])
+				if err != nil {
+					errCh <- fmt.Errorf("query %d: %w", i, err)
+					return
+				}
+				if !reflect.DeepEqual(got.Rows, serial[i].Rows) {
+					errCh <- fmt.Errorf("query %d: concurrent rows diverge from serial", i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	stats := e.Stats()
+	if stats.Queries != int64(len(workload)) {
+		t.Errorf("Queries = %d, want %d", stats.Queries, len(workload))
+	}
+	if stats.PlanCacheHits == 0 {
+		t.Errorf("repeated shapes produced no plan-cache hits: %+v", stats)
+	}
+	if stats.PlanCacheMisses == 0 || stats.PlanCacheMisses > int64(len(workload)) {
+		t.Errorf("implausible miss count: %+v", stats)
+	}
+	if e.CachedPlans() == 0 {
+		t.Errorf("plan cache empty after workload")
+	}
+}
+
+// TestEngineRepeatedShapeHitsCache: two same-shaped queries with different
+// variable names produce exactly one miss and one hit.
+func TestEngineRepeatedShapeHitsCache(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	e := NewEngine(st, EngineConfig{Workers: 1})
+	defer e.Close()
+
+	ctx := context.Background()
+	if _, err := e.ExecuteString(ctx, "SELECT ?x WHERE { ?x rdf:type GraduateStudent . ?x memberOf ?d }"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExecuteString(ctx, "SELECT ?a WHERE { ?a rdf:type GraduateStudent . ?a memberOf ?b }"); err != nil {
+		t.Fatal(err)
+	}
+	stats := e.Stats()
+	if stats.PlanCacheMisses != 1 || stats.PlanCacheHits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit", stats)
+	}
+}
+
+// TestEngineCacheEviction: FIFO eviction keeps the cache at CacheSize.
+func TestEngineCacheEviction(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	e := NewEngine(st, EngineConfig{Workers: 1, CacheSize: 3})
+	defer e.Close()
+	ctx := context.Background()
+	for u := 0; u < 2; u++ {
+		for d := 0; d < 3; d++ {
+			text := fmt.Sprintf("SELECT ?x WHERE { ?x memberOf dept%d_%d }", u, d)
+			if _, err := e.ExecuteString(ctx, text); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n := e.CachedPlans(); n != 3 {
+		t.Errorf("cache holds %d plans, want 3", n)
+	}
+	if stats := e.Stats(); stats.PlanCacheMisses != 6 {
+		t.Errorf("distinct shapes should all miss: %+v", stats)
+	}
+}
+
+// TestEngineTimeout: an engine-imposed timeout aborts a long query with
+// context.DeadlineExceeded and counts it.
+func TestEngineTimeout(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	e := NewEngine(st, EngineConfig{Workers: 1, Timeout: time.Nanosecond})
+	defer e.Close()
+	// A cross-product-heavy query so evaluation cannot finish instantly.
+	_, err := e.ExecuteString(context.Background(),
+		"SELECT ?s ?p ?o ?s2 WHERE { ?s ?p ?o . ?s2 ?p ?o2 }")
+	if err == nil {
+		t.Fatalf("nanosecond timeout did not abort the query")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if stats := e.Stats(); stats.Timeouts != 1 || stats.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 timeout", stats)
+	}
+}
+
+// TestEngineAdmissionCancellation: a context cancelled before admission
+// aborts without executing.
+func TestEngineAdmissionCancellation(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	e := NewEngine(st, EngineConfig{Workers: 1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecuteString(ctx, "SELECT ?s WHERE { ?s ?p ?o }"); err == nil {
+		t.Fatalf("cancelled context admitted a query")
+	}
+}
+
+// TestEngineClose: Execute after Close fails with ErrEngineClosed, and Close
+// is idempotent.
+func TestEngineClose(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	e := NewEngine(st, EngineConfig{Workers: 2})
+	if _, err := e.ExecuteString(context.Background(), "SELECT ?s WHERE { ?s rdf:type University }"); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	if _, err := e.ExecuteString(context.Background(), "SELECT ?s WHERE { ?s ?p ?o }"); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("err = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineParseError: ExecuteString surfaces parse errors without touching
+// the pool.
+func TestEngineParseError(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	e := NewEngine(st, EngineConfig{Workers: 1})
+	defer e.Close()
+	if _, err := e.ExecuteString(context.Background(), "nonsense"); err == nil {
+		t.Fatalf("parse error not surfaced")
+	}
+}

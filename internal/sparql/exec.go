@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -17,14 +18,41 @@ type Result struct {
 	Rows [][]rdf.Value
 }
 
+// ctxCheckInterval is how many index-scan callbacks pass between context
+// polls during evaluation: frequent enough that cancellation and timeouts
+// abort long joins promptly, rare enough to stay off the hot path.
+const ctxCheckInterval = 4096
+
 // Execute evaluates the query with index nested loops. Patterns are ordered
 // greedily: at each step the pattern with the lowest estimated cardinality
 // under the current bound-variable set runs next, which is the standard
 // selectivity-driven plan a store like RDF-3X would pick.
 //
 // A constant term that is not in the dictionary matches nothing, so such
-// queries return empty results rather than failing.
+// queries return empty results rather than failing. A filter that mentions a
+// variable no pattern binds is an error (Parse rejects such queries, but
+// programmatically built ones reach evaluation unchecked).
 func Execute(st *triplestore.Store, q *Query) (*Result, error) {
+	return ExecuteContext(context.Background(), st, q)
+}
+
+// ExecuteContext is Execute under a cancellation context: cancelling (or
+// timing out) ctx aborts evaluation promptly with an error wrapping
+// ctx.Err().
+func ExecuteContext(ctx context.Context, st *triplestore.Store, q *Query) (*Result, error) {
+	order := make([]int, len(q.Patterns))
+	for i := range order {
+		order[i] = i
+	}
+	return executeOrdered(ctx, st, q, order, true)
+}
+
+// executeOrdered evaluates q over the patterns listed in order (indices into
+// q.Patterns — the planner passes minimized subsets in join order). With
+// adaptive set, the order is re-derived greedily at every recursion step from
+// current cardinality estimates; otherwise the given order is followed as-is,
+// skipping per-step planning.
+func executeOrdered(ctx context.Context, st *triplestore.Store, q *Query, order []int, adaptive bool) (*Result, error) {
 	vars := q.Vars
 	if len(vars) == 0 {
 		seen := map[string]bool{}
@@ -37,61 +65,105 @@ func Execute(st *triplestore.Store, q *Query) (*Result, error) {
 			}
 		}
 	}
+	executed := make([]Pattern, len(order))
+	for i, pi := range order {
+		executed[i] = q.Patterns[pi]
+	}
+	if err := validateFilterVars(executed, q.Filters); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sparql: query aborted: %w", err)
+	}
 	res := &Result{Vars: vars}
 
-	// Resolve constants once; unknown constants make the query empty.
-	type resolved struct {
-		pat  Pattern
-		vals [3]rdf.Value // Wildcard where variable
-		ok   bool
+	rps, ok := resolvePatterns(st, executed)
+	if !ok {
+		return res, nil // a constant never occurs: no matches
 	}
-	rps := make([]resolved, len(q.Patterns))
-	for i, p := range q.Patterns {
+	e := &executor{
+		ctx:      ctx,
+		st:       st,
+		rps:      rps,
+		filters:  resolveFilters(st, q.Filters),
+		binding:  Binding{},
+		vars:     vars,
+		adaptive: adaptive,
+		out:      &rowCollector{limit: q.Limit, distinct: q.Distinct},
+	}
+	remaining := make([]int, len(rps))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	if err := e.eval(remaining); err != nil {
+		return nil, err
+	}
+	res.Rows = e.out.finish()
+	return res, nil
+}
+
+// validateFilterVars rejects filters over variables no executed pattern
+// binds: the zero rdf.Value is a valid dictionary ID (the first interned
+// term), so silently reading an absent binding would compare against
+// whatever term happened to be interned first.
+func validateFilterVars(patterns []Pattern, filters []Filter) error {
+	if len(filters) == 0 {
+		return nil
+	}
+	bound := map[string]bool{}
+	for _, p := range patterns {
+		for _, v := range p.Vars() {
+			bound[v] = true
+		}
+	}
+	for _, f := range filters {
+		for _, t := range []Term{f.Left, f.Right} {
+			if t.IsVar() && !bound[t.Var] {
+				return fmt.Errorf("sparql: filter variable ?%s is bound by no pattern", t.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// resolvedPattern is a pattern with its constants resolved to dictionary IDs
+// (Wildcard where variable). ok=false means a constant is unknown.
+type resolvedPattern struct {
+	pat  Pattern
+	vals [3]rdf.Value
+}
+
+// resolvePatterns resolves constants once; an unknown constant makes the
+// whole query empty (second return false).
+func resolvePatterns(st *triplestore.Store, patterns []Pattern) ([]resolvedPattern, bool) {
+	rps := make([]resolvedPattern, len(patterns))
+	for i, p := range patterns {
 		rps[i].pat = p
-		rps[i].ok = true
 		for j, t := range p.Terms() {
 			if t.IsVar() {
 				rps[i].vals[j] = triplestore.Wildcard
 			} else if id, ok := st.Dict().Lookup(t.Const); ok {
 				rps[i].vals[j] = id
 			} else {
-				rps[i].ok = false
+				return nil, false
 			}
 		}
-		if !rps[i].ok {
-			return res, nil // a constant never occurs: no matches
-		}
 	}
+	return rps, true
+}
 
-	// Recursive index-nested-loop evaluation with greedy ordering.
-	binding := Binding{}
-	remaining := make([]int, len(rps))
-	for i := range remaining {
-		remaining[i] = i
-	}
+// resolvedFilter carries a filter with its constants resolved; a constant
+// absent from the dictionary can never equal anything.
+type resolvedFilter struct {
+	f        Filter
+	lc, rc   rdf.Value // resolved constants (or Wildcard for variables)
+	lUnknown bool
+	rUnknown bool
+}
 
-	bound := func(i int) [3]rdf.Value {
-		vals := rps[i].vals
-		for j, t := range rps[i].pat.Terms() {
-			if t.IsVar() {
-				if v, ok := binding[t.Var]; ok {
-					vals[j] = v
-				}
-			}
-		}
-		return vals
-	}
-
-	// Resolve filter constants once; a constant absent from the dictionary
-	// can never equal anything.
-	type resolvedFilter struct {
-		f        Filter
-		lc, rc   rdf.Value // resolved constants (or Wildcard for variables)
-		lUnknown bool
-		rUnknown bool
-	}
-	filters := make([]resolvedFilter, len(q.Filters))
-	for i, f := range q.Filters {
+func resolveFilters(st *triplestore.Store, filters []Filter) []resolvedFilter {
+	out := make([]resolvedFilter, len(filters))
+	for i, f := range filters {
 		rf := resolvedFilter{f: f, lc: triplestore.Wildcard, rc: triplestore.Wildcard}
 		if !f.Left.IsVar() {
 			if id, ok := st.Dict().Lookup(f.Left.Const); ok {
@@ -107,122 +179,212 @@ func Execute(st *triplestore.Store, q *Query) (*Result, error) {
 				rf.rUnknown = true
 			}
 		}
-		filters[i] = rf
+		out[i] = rf
 	}
-	passesFilters := func() bool {
-		for _, rf := range filters {
-			lv, rv := rf.lc, rf.rc
-			if rf.f.Left.IsVar() {
-				lv = binding[rf.f.Left.Var]
-			}
-			if rf.f.Right.IsVar() {
-				rv = binding[rf.f.Right.Var]
-			}
-			equal := lv == rv && !rf.lUnknown && !rf.rUnknown
-			if rf.f.Op == OpEq && !equal || rf.f.Op == OpNe && equal {
-				return false
+	return out
+}
+
+// executor is the state of one index-nested-loop evaluation.
+type executor struct {
+	ctx      context.Context
+	st       *triplestore.Store
+	rps      []resolvedPattern
+	filters  []resolvedFilter
+	binding  Binding
+	vars     []string
+	adaptive bool
+	out      *rowCollector
+	ticks    int
+}
+
+// bound substitutes current bindings into pattern i's scan values.
+func (e *executor) bound(i int) [3]rdf.Value {
+	vals := e.rps[i].vals
+	for j, t := range e.rps[i].pat.Terms() {
+		if t.IsVar() {
+			if v, ok := e.binding[t.Var]; ok {
+				vals[j] = v
 			}
 		}
-		return true
 	}
+	return vals
+}
 
-	var eval func(remaining []int) error
-	eval = func(remaining []int) error {
-		if len(remaining) == 0 {
-			if !passesFilters() {
-				return nil
-			}
-			row := make([]rdf.Value, len(vars))
-			for i, v := range vars {
-				val, ok := binding[v]
-				if !ok {
-					return fmt.Errorf("sparql: projected variable ?%s is unbound", v)
-				}
-				row[i] = val
-			}
-			res.Rows = append(res.Rows, row)
+// passesFilters checks every filter against the complete binding. A variable
+// missing from the binding (impossible after validateFilterVars, but kept as
+// defense in depth) is never equal to anything: id 0 is a real term, not a
+// null.
+func (e *executor) passesFilters() bool {
+	for _, rf := range e.filters {
+		lv, lok := rf.lc, !rf.lUnknown
+		if rf.f.Left.IsVar() {
+			lv, lok = e.binding[rf.f.Left.Var]
+		}
+		rv, rok := rf.rc, !rf.rUnknown
+		if rf.f.Right.IsVar() {
+			rv, rok = e.binding[rf.f.Right.Var]
+		}
+		equal := lok && rok && lv == rv
+		if rf.f.Op == OpEq && !equal || rf.f.Op == OpNe && equal {
+			return false
+		}
+	}
+	return true
+}
+
+// canceled polls the context every ctxCheckInterval calls.
+func (e *executor) canceled() error {
+	e.ticks++
+	if e.ticks%ctxCheckInterval != 0 {
+		return nil
+	}
+	if err := e.ctx.Err(); err != nil {
+		return fmt.Errorf("sparql: query aborted: %w", err)
+	}
+	return nil
+}
+
+func (e *executor) eval(remaining []int) error {
+	if len(remaining) == 0 {
+		if !e.passesFilters() {
 			return nil
 		}
-		// Pick the most selective remaining pattern.
-		best, bestCard := -1, 0
+		row := make([]rdf.Value, len(e.vars))
+		for i, v := range e.vars {
+			val, ok := e.binding[v]
+			if !ok {
+				return fmt.Errorf("sparql: projected variable ?%s is unbound", v)
+			}
+			row[i] = val
+		}
+		e.out.add(row)
+		return nil
+	}
+	// Pick the next pattern: the most selective remaining one under the
+	// current bindings (adaptive), or simply the next in the planned order.
+	best := 0
+	if e.adaptive {
+		bestCard := 0
+		best = -1
 		for idx, i := range remaining {
-			vals := bound(i)
-			card := st.Cardinality(vals[0], vals[1], vals[2])
+			vals := e.bound(i)
+			card := e.st.Cardinality(vals[0], vals[1], vals[2])
 			if best < 0 || card < bestCard {
 				best, bestCard = idx, card
 			}
 		}
-		i := remaining[best]
-		rest := make([]int, 0, len(remaining)-1)
-		rest = append(rest, remaining[:best]...)
-		rest = append(rest, remaining[best+1:]...)
+	}
+	i := remaining[best]
+	rest := make([]int, 0, len(remaining)-1)
+	rest = append(rest, remaining[:best]...)
+	rest = append(rest, remaining[best+1:]...)
 
-		vals := bound(i)
-		terms := rps[i].pat.Terms()
-		var scanErr error
-		st.Scan(vals[0], vals[1], vals[2], func(t rdf.Triple) bool {
-			got := [3]rdf.Value{t.S, t.P, t.O}
-			var assigned []string
-			consistent := true
-			for j, term := range terms {
-				if !term.IsVar() {
-					continue
-				}
-				if v, ok := binding[term.Var]; ok {
-					if v != got[j] {
-						consistent = false
-						break
-					}
-				} else {
-					binding[term.Var] = got[j]
-					assigned = append(assigned, term.Var)
-				}
+	vals := e.bound(i)
+	terms := e.rps[i].pat.Terms()
+	var scanErr error
+	e.st.Scan(vals[0], vals[1], vals[2], func(t rdf.Triple) bool {
+		if err := e.canceled(); err != nil {
+			scanErr = err
+			return false
+		}
+		got := [3]rdf.Value{t.S, t.P, t.O}
+		var assigned []string
+		consistent := true
+		for j, term := range terms {
+			if !term.IsVar() {
+				continue
 			}
-			if consistent {
-				if err := eval(rest); err != nil {
-					scanErr = err
+			if v, ok := e.binding[term.Var]; ok {
+				if v != got[j] {
+					consistent = false
+					break
 				}
+			} else {
+				e.binding[term.Var] = got[j]
+				assigned = append(assigned, term.Var)
 			}
-			for _, v := range assigned {
-				delete(binding, v)
+		}
+		if consistent {
+			if err := e.eval(rest); err != nil {
+				scanErr = err
 			}
-			return scanErr == nil
-		})
-		return scanErr
+		}
+		for _, v := range assigned {
+			delete(e.binding, v)
+		}
+		return scanErr == nil
+	})
+	return scanErr
+}
+
+// rowCollector accumulates result rows. Unlimited queries buffer everything
+// and sort once at the end; LIMIT k queries instead retain a bounded window
+// of the k smallest rows (by the deterministic output order) so evaluation
+// never holds more than k rows. Both paths produce byte-identical output:
+// sorted, adjacent-deduplicated under DISTINCT, truncated to the limit.
+type rowCollector struct {
+	rows     [][]rdf.Value
+	limit    int
+	distinct bool
+}
+
+func (c *rowCollector) add(row []rdf.Value) {
+	if c.limit <= 0 {
+		c.rows = append(c.rows, row)
+		return
 	}
-	if err := eval(remaining); err != nil {
-		return nil, err
+	// Bounded top-K: rows stays sorted (duplicates adjacent, or absent under
+	// DISTINCT) and never exceeds limit entries.
+	pos := sort.Search(len(c.rows), func(i int) bool { return !rowLess(c.rows[i], row) })
+	if c.distinct && pos < len(c.rows) && rowEqual(c.rows[pos], row) {
+		return // already retained
 	}
-	if q.Distinct {
-		seen := make(map[string]bool, len(res.Rows))
-		kept := res.Rows[:0]
-		for _, row := range res.Rows {
-			k := fmt.Sprint(row)
-			if !seen[k] {
-				seen[k] = true
+	if pos >= c.limit {
+		return // beyond the top-K window
+	}
+	c.rows = append(c.rows, nil)
+	copy(c.rows[pos+1:], c.rows[pos:])
+	c.rows[pos] = row
+	if len(c.rows) > c.limit {
+		c.rows = c.rows[:c.limit]
+	}
+}
+
+// finish returns the final sorted, deduplicated, truncated row set.
+func (c *rowCollector) finish() [][]rdf.Value {
+	if c.limit > 0 {
+		return c.rows // maintained sorted/deduped/truncated incrementally
+	}
+	sort.Slice(c.rows, func(i, j int) bool { return rowLess(c.rows[i], c.rows[j]) })
+	if c.distinct {
+		kept := c.rows[:0]
+		for _, row := range c.rows {
+			if len(kept) == 0 || !rowEqual(kept[len(kept)-1], row) {
 				kept = append(kept, row)
 			}
 		}
-		res.Rows = kept
+		c.rows = kept
 	}
-	sortRows(res)
-	if q.Limit > 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
-	}
-	return res, nil
+	return c.rows
 }
 
-// sortRows gives deterministic output order.
-func sortRows(res *Result) {
-	sort.Slice(res.Rows, func(i, j int) bool {
-		a, b := res.Rows[i], res.Rows[j]
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
+// rowLess is the deterministic output order: lexicographic by value ID.
+func rowLess(a, b []rdf.Value) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
 		}
-		return false
-	})
+	}
+	return false
+}
+
+func rowEqual(a, b []rdf.Value) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // Render decodes result rows into surface forms.

@@ -1,0 +1,194 @@
+package sparql
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/fixtures"
+	"repro/internal/rdf"
+	"repro/internal/triplestore"
+)
+
+var (
+	lubmOnce sync.Once
+	lubmDS   *rdf.Dataset
+)
+
+// lubmTestData memoizes one LUBM dataset for the differential and engine
+// suites (the generator is deterministic, so sharing is safe: the store and
+// its dictionary are read-only after load).
+func lubmTestData(t *testing.T) *rdf.Dataset {
+	t.Helper()
+	lubmOnce.Do(func() { lubmDS = datagen.LUBM(0.2) })
+	return lubmDS
+}
+
+// TestFilterUnboundVariableRejected is the regression test for the
+// unbound-filter-variable bug: "patrick" is the first term University()
+// interns, so its dictionary ID is the zero rdf.Value, and the old code's
+// zero-value map read made FILTER(?s = ?ghost) with an unbound ?ghost
+// silently behave as FILTER(?s = patrick). Execute must instead reject the
+// query (Parse already does; this query is built programmatically).
+func TestFilterUnboundVariableRejected(t *testing.T) {
+	ds := fixtures.University()
+	if id := fixtures.MustID(ds, "patrick"); id != 0 {
+		t.Fatalf("fixture changed: first interned term has id %d, test needs 0", id)
+	}
+	st := triplestore.New(ds)
+
+	q := &Query{
+		Vars:     []string{"s"},
+		Patterns: []Pattern{{S: Variable("s"), P: Constant("rdf:type"), O: Constant("gradStudent")}},
+		Filters:  []Filter{{Left: Variable("s"), Op: OpEq, Right: Variable("ghost")}},
+	}
+	res, err := Execute(st, q)
+	if err == nil {
+		// The buggy behavior: exactly the row for id 0 ("patrick") survives.
+		t.Fatalf("filter on unbound ?ghost not rejected; returned %v", res.Render(ds.Dict))
+	}
+
+	// Same shape through the engine path.
+	e := NewEngine(st, EngineConfig{Workers: 2})
+	defer e.Close()
+	if _, err := e.Execute(context.Background(), q); err == nil {
+		t.Fatalf("engine accepted filter on unbound variable")
+	}
+}
+
+// TestFilterConstantNotInDictionary: a filter comparing against a constant
+// the dataset never mentions is never-equal, not an error and not id 0.
+func TestFilterConstantNotInDictionary(t *testing.T) {
+	ds := fixtures.University()
+	st := triplestore.New(ds)
+
+	q := &Query{
+		Vars:     []string{"s"},
+		Patterns: []Pattern{{S: Variable("s"), P: Constant("rdf:type"), O: Constant("gradStudent")}},
+		Filters:  []Filter{{Left: Variable("s"), Op: OpEq, Right: Constant("unicorn")}},
+	}
+	res, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("= unknown-constant filter matched %v", res.Render(ds.Dict))
+	}
+	// != against the unknown constant keeps every row.
+	q.Filters[0].Op = OpNe
+	res, err = Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("!= unknown-constant filter kept %d rows, want 2", len(res.Rows))
+	}
+}
+
+// TestDistinctDeduplicates pins DISTINCT semantics for the sort-then-
+// adjacent-dedupe implementation: duplicate rows collapse, output stays in
+// the deterministic sorted order.
+func TestDistinctDeduplicates(t *testing.T) {
+	ds := rdf.NewDataset()
+	ds.Add("a", "knows", "b")
+	ds.Add("a", "knows", "c")
+	ds.Add("d", "knows", "b")
+	ds.Add("d", "knows", "c")
+	st := triplestore.New(ds)
+
+	q, err := Parse("SELECT DISTINCT ?o WHERE { ?s knows ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Render(ds.Dict)
+	if len(got) != 2 {
+		t.Fatalf("DISTINCT kept %d rows, want 2: %v", len(got), got)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if !rowLess(res.Rows[i-1], res.Rows[i]) {
+			t.Errorf("DISTINCT output not strictly sorted at %d: %v", i, got)
+		}
+	}
+
+	// Without DISTINCT all four rows survive.
+	q.Distinct = false
+	res, err = Execute(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("non-DISTINCT kept %d rows, want 4", len(res.Rows))
+	}
+}
+
+// limitDifferentialQueries are the workload for the bounded top-K check:
+// shapes with joins, DISTINCT, filters, and varying selectivity.
+func limitDifferentialQueries(t *testing.T) []string {
+	t.Helper()
+	return []string{
+		"SELECT ?s ?o WHERE { ?s rdf:type ?o }",
+		"SELECT DISTINCT ?o WHERE { ?s rdf:type ?o }",
+		"SELECT ?x ?z WHERE { ?x rdf:type GraduateStudent . ?x memberOf ?z }",
+		"SELECT DISTINCT ?y WHERE { ?x undergraduateDegreeFrom ?y . ?y rdf:type University }",
+		"SELECT ?x ?c WHERE { ?x takesCourse ?c . ?x rdf:type GraduateStudent . FILTER(?x != ?c) }",
+	}
+}
+
+// TestLimitMatchesUnboundedPath pins the bounded top-K retention byte-
+// identical to truncating the unbounded result, across limits smaller than,
+// equal to, and larger than the full result size.
+func TestLimitMatchesUnboundedPath(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	for _, text := range limitDifferentialQueries(t) {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		full, err := Execute(st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full.Rows) == 0 {
+			t.Fatalf("%s: empty result, differential is vacuous", text)
+		}
+		for _, limit := range []int{1, 2, 7, len(full.Rows), len(full.Rows) + 10} {
+			lq := *q
+			lq.Limit = limit
+			got, err := Execute(st, &lq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := full.Rows
+			if limit < len(want) {
+				want = want[:limit]
+			}
+			if !reflect.DeepEqual(got.Rows, want) {
+				t.Errorf("%s LIMIT %d: rows diverge from truncated unbounded path\ngot  %v\nwant %v",
+					text, limit, got.Rows, want)
+			}
+		}
+	}
+}
+
+// TestExecuteContextCancellation: a pre-cancelled context aborts evaluation
+// with the context's error.
+func TestExecuteContextCancellation(t *testing.T) {
+	ds := lubmTestData(t)
+	st := triplestore.New(ds)
+	q, err := Parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s rdf:type ?t }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteContext(ctx, st, q); err == nil {
+		t.Fatalf("cancelled context did not abort execution")
+	}
+}

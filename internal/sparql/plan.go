@@ -1,0 +1,149 @@
+package sparql
+
+import (
+	"context"
+	"strconv"
+	"strings"
+
+	"repro/internal/cind"
+	"repro/internal/triplestore"
+)
+
+// Plan is a reusable execution strategy for one BGP shape: the indices of
+// the patterns that survive CIND minimization, arranged in a statically
+// chosen greedy join order. A Plan is immutable after PlanQuery returns and
+// valid for any query with the same shape key against the same store, which
+// is what lets sparql.Engine cache it.
+type Plan struct {
+	// Order lists indices into the planned query's Patterns, in execution
+	// order. Patterns minimized away do not appear.
+	Order []int
+	// Minimized reports whether CIND-based minimization dropped patterns.
+	Minimized bool
+}
+
+// ShapeKey canonicalizes a query's BGP shape for plan caching: variables are
+// renumbered by first occurrence (so ?x/?y and ?a/?b queries with the same
+// structure share a key), constants become their dictionary IDs (an unknown
+// constant gets a sentinel — sound, because the store's dictionary is
+// read-only after load, so "unknown" never changes), and filters contribute
+// their operator and canonical operands. DISTINCT and LIMIT are excluded:
+// they change post-processing, not the join plan.
+func ShapeKey(st *triplestore.Store, q *Query) string {
+	var b strings.Builder
+	varID := map[string]int{}
+	writeTerm := func(t Term) {
+		if t.IsVar() {
+			id, ok := varID[t.Var]
+			if !ok {
+				id = len(varID)
+				varID[t.Var] = id
+			}
+			b.WriteByte('?')
+			b.WriteString(strconv.Itoa(id))
+			return
+		}
+		if id, ok := st.Dict().Lookup(t.Const); ok {
+			b.WriteString(strconv.FormatUint(uint64(id), 10))
+		} else {
+			b.WriteByte('!') // never-matching constant
+		}
+	}
+	for _, p := range q.Patterns {
+		for _, t := range p.Terms() {
+			writeTerm(t)
+			b.WriteByte(' ')
+		}
+		b.WriteByte('.')
+	}
+	for _, f := range q.Filters {
+		b.WriteByte('F')
+		writeTerm(f.Left)
+		b.WriteString(string(f.Op))
+		writeTerm(f.Right)
+	}
+	return b.String()
+}
+
+// boundVarDiscount is the factor by which a scan position already bound by
+// an earlier join step is assumed to shrink a pattern's match count. The
+// static planner cannot know the true per-binding bucket size up front (the
+// adaptive executor re-estimates at every recursion step instead), so it
+// applies this fixed discount per bound variable position.
+const boundVarDiscount = 16
+
+// PlanQuery builds a static plan for q: CIND-based minimization first (when
+// res is non-nil), then a greedy join order over the kept patterns using the
+// store's O(1) cardinality estimates. The returned order indexes into
+// q.Patterns, so the plan applies to any same-shaped query.
+func PlanQuery(st *triplestore.Store, q *Query, res *cind.Result) *Plan {
+	kept := make([]int, len(q.Patterns))
+	for i := range kept {
+		kept[i] = i
+	}
+	minimized := false
+	if res != nil && len(q.Patterns) > 1 {
+		min := Minimize(q, res, st.Dict())
+		if len(min.Patterns) < len(q.Patterns) {
+			minimized = true
+			// Map the surviving patterns back to their original indices:
+			// Minimize preserves relative order, so a single forward walk
+			// matches each kept pattern to its source.
+			kept = kept[:0]
+			next := 0
+			for _, p := range min.Patterns {
+				for next < len(q.Patterns) && q.Patterns[next] != p {
+					next++
+				}
+				kept = append(kept, next)
+				next++
+			}
+		}
+	}
+
+	rps, ok := resolvePatterns(st, q.Patterns)
+	if !ok {
+		// Some constant never occurs; any order yields the empty result.
+		return &Plan{Order: kept, Minimized: minimized}
+	}
+
+	// Static greedy order: repeatedly take the cheapest remaining pattern,
+	// where cost is the constant-bound cardinality estimate discounted once
+	// per variable position an earlier step already binds.
+	order := make([]int, 0, len(kept))
+	used := make(map[int]bool, len(kept))
+	bound := map[string]bool{}
+	for len(order) < len(kept) {
+		best, bestCost := -1, 0.0
+		for _, i := range kept {
+			if used[i] {
+				continue
+			}
+			vals := rps[i].vals
+			cost := float64(st.Cardinality(vals[0], vals[1], vals[2]))
+			for _, t := range rps[i].pat.Terms() {
+				if t.IsVar() && bound[t.Var] {
+					cost /= boundVarDiscount
+				}
+			}
+			if best < 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range rps[best].pat.Vars() {
+			bound[v] = true
+		}
+	}
+	return &Plan{Order: order, Minimized: minimized}
+}
+
+// ExecutePlan evaluates q following a previously built plan: the plan's
+// pattern subset and join order are used as-is, skipping both minimization
+// and per-step greedy planning. Projection is still derived from the full
+// query, so results are identical to ExecuteContext on the unplanned query
+// (minimization is semantics-preserving by construction).
+func ExecutePlan(ctx context.Context, st *triplestore.Store, q *Query, plan *Plan) (*Result, error) {
+	return executeOrdered(ctx, st, q, plan.Order, false)
+}

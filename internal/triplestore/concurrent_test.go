@@ -1,0 +1,116 @@
+package triplestore
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+)
+
+// scanCount exhaustively counts matches for a pattern via Scan.
+func scanCount(st *Store, s, p, o rdf.Value) int {
+	n := 0
+	st.Scan(s, p, o, func(rdf.Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// TestCardinalityConsistentWithScan checks, for every pattern shape and
+// every constant combination occurring in the dataset, that Cardinality
+// agrees with an exhaustive Scan count — the precomputed per-key totals must
+// be indistinguishable from walking the secondary maps.
+func TestCardinalityConsistentWithScan(t *testing.T) {
+	ds := datagen.LUBM(0.05)
+	st := New(ds)
+	w := Wildcard
+
+	if got, want := st.Cardinality(w, w, w), ds.Size(); got != want {
+		t.Fatalf("Cardinality(?,?,?) = %d, want %d", got, want)
+	}
+	for _, tr := range ds.Triples {
+		shapes := [][3]rdf.Value{
+			{tr.S, w, w},
+			{w, tr.P, w},
+			{w, w, tr.O},
+			{tr.S, tr.P, w},
+			{w, tr.P, tr.O},
+			{tr.S, w, tr.O},
+			{tr.S, tr.P, tr.O},
+		}
+		for _, sh := range shapes {
+			got := st.Cardinality(sh[0], sh[1], sh[2])
+			want := scanCount(st, sh[0], sh[1], sh[2])
+			if got != want {
+				t.Fatalf("Cardinality(%v) = %d, Scan counts %d", sh, got, want)
+			}
+		}
+	}
+
+	// Values absent from the respective position must estimate zero.
+	unknown := rdf.Value(0xFFFFFFF0)
+	for _, sh := range [][3]rdf.Value{{unknown, w, w}, {w, unknown, w}, {w, w, unknown}} {
+		if got := st.Cardinality(sh[0], sh[1], sh[2]); got != 0 {
+			t.Errorf("Cardinality of absent value %v = %d, want 0", sh, got)
+		}
+	}
+}
+
+// TestStoreConcurrentReaders drives Scan, Cardinality, Contains, Len, and
+// Dict lookups from many goroutines at once. Under -race this verifies the
+// read-only-after-load invariant the concurrent query engine depends on: a
+// fully constructed Store must tolerate unlimited parallel readers.
+func TestStoreConcurrentReaders(t *testing.T) {
+	ds := datagen.LUBM(0.05)
+	st := New(ds)
+	w := Wildcard
+
+	const goroutines = 12
+	const rounds = 40
+	sample := ds.Triples
+	if len(sample) > 100 {
+		sample = sample[:100]
+	}
+	serialTotal := 0
+	for _, tr := range sample {
+		serialTotal += scanCount(st, tr.S, w, w) + st.Cardinality(w, tr.P, w)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				total := 0
+				for _, tr := range sample {
+					total += scanCount(st, tr.S, w, w) + st.Cardinality(w, tr.P, w)
+					if !st.Contains(tr.S, tr.P, tr.O) {
+						errs <- "Contains lost a triple under concurrency"
+						return
+					}
+					if st.Dict().Decode(tr.S) == "" {
+						errs <- "Decode returned empty under concurrency"
+						return
+					}
+				}
+				if total != serialTotal {
+					errs <- "concurrent scan totals diverged from serial"
+					return
+				}
+				if st.Len() != ds.Size() {
+					errs <- "Len changed under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -14,22 +14,40 @@ import (
 const Wildcard = rdf.NoValue
 
 // Store is an immutable indexed triple set.
+//
+// Read-only-after-load invariant: New builds every index and statistic before
+// returning, and no method mutates the store afterwards — Scan, Cardinality,
+// Contains, Dict, and Len perform map/slice reads only, and the shared
+// Dictionary is likewise only read (Lookup/Decode). A fully constructed Store
+// is therefore safe for unlimited concurrent readers with no locking; the
+// concurrent query engine (sparql.Engine) and its race-detector suites rely
+// on this. Callers must not mutate the source dataset's dictionary (e.g. by
+// interning new terms) while readers are active.
 type Store struct {
 	dict *rdf.Dictionary
 	size int
 	spo  map[rdf.Value]map[rdf.Value][]rdf.Value
 	pos  map[rdf.Value]map[rdf.Value][]rdf.Value
 	osp  map[rdf.Value]map[rdf.Value][]rdf.Value
+	// Per-key triple totals for the three singly-bound pattern shapes,
+	// precomputed at New time so Cardinality never walks a secondary map
+	// inside the planner's inner loop.
+	sTotal map[rdf.Value]int
+	pTotal map[rdf.Value]int
+	oTotal map[rdf.Value]int
 }
 
 // New indexes a dataset. The store shares the dataset's dictionary.
 func New(ds *rdf.Dataset) *Store {
 	st := &Store{
-		dict: ds.Dict,
-		size: ds.Size(),
-		spo:  make(map[rdf.Value]map[rdf.Value][]rdf.Value),
-		pos:  make(map[rdf.Value]map[rdf.Value][]rdf.Value),
-		osp:  make(map[rdf.Value]map[rdf.Value][]rdf.Value),
+		dict:   ds.Dict,
+		size:   ds.Size(),
+		spo:    make(map[rdf.Value]map[rdf.Value][]rdf.Value),
+		pos:    make(map[rdf.Value]map[rdf.Value][]rdf.Value),
+		osp:    make(map[rdf.Value]map[rdf.Value][]rdf.Value),
+		sTotal: make(map[rdf.Value]int),
+		pTotal: make(map[rdf.Value]int),
+		oTotal: make(map[rdf.Value]int),
 	}
 	insert := func(idx map[rdf.Value]map[rdf.Value][]rdf.Value, a, b, c rdf.Value) {
 		m, ok := idx[a]
@@ -43,6 +61,9 @@ func New(ds *rdf.Dataset) *Store {
 		insert(st.spo, t.S, t.P, t.O)
 		insert(st.pos, t.P, t.O, t.S)
 		insert(st.osp, t.O, t.S, t.P)
+		st.sTotal[t.S]++
+		st.pTotal[t.P]++
+		st.oTotal[t.O]++
 	}
 	return st
 }
@@ -119,7 +140,8 @@ func (st *Store) Scan(s, p, o rdf.Value, fn func(rdf.Triple) bool) {
 
 // Cardinality estimates how many triples match the pattern, used by the
 // query planner to order joins. Doubly-bound estimates are exact; singly-
-// bound estimates count the index bucket.
+// bound estimates read the per-key totals precomputed at New time, so every
+// shape resolves in O(1) — the planner calls this in its inner loop.
 func (st *Store) Cardinality(s, p, o rdf.Value) int {
 	switch {
 	case s != Wildcard && p != Wildcard && o != Wildcard:
@@ -137,21 +159,13 @@ func (st *Store) Cardinality(s, p, o rdf.Value) int {
 	case s != Wildcard && o != Wildcard:
 		return len(st.osp[o][s])
 	case s != Wildcard:
-		return bucketSize(st.spo[s])
+		return st.sTotal[s]
 	case p != Wildcard:
-		return bucketSize(st.pos[p])
+		return st.pTotal[p]
 	case o != Wildcard:
-		return bucketSize(st.osp[o])
+		return st.oTotal[o]
 	}
 	return st.size
-}
-
-func bucketSize(m map[rdf.Value][]rdf.Value) int {
-	n := 0
-	for _, vs := range m {
-		n += len(vs)
-	}
-	return n
 }
 
 // Contains reports whether the fully bound triple is in the store.

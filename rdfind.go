@@ -245,6 +245,13 @@ func ReadNTriplesFileLenient(path string, shards, maxErrors int) (*Dataset, []*S
 	return rdf.ParseNTriplesLenient(data, shards, maxErrors)
 }
 
+// ReadTurtle parses a Turtle document (@prefix/@base directives, prefixed
+// names, the "a" keyword, ";" predicate lists and "," object lists, typed and
+// tagged literals). Terms are stored in their N-Triples surface form, so a
+// dataset read from Turtle is interchangeable with one read from the
+// equivalent N-Triples: same triples, same dictionary.
+func ReadTurtle(r io.Reader) (*Dataset, error) { return rdf.ReadTurtle(r) }
+
 // WriteNTriples serializes a dataset as N-Triples.
 func WriteNTriples(w io.Writer, ds *Dataset) error { return rdf.WriteNTriples(w, ds) }
 
