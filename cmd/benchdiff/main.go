@@ -168,12 +168,24 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		}
 		fmt.Fprintf(w, "%-40s %12.1f %12.1f %+7.1f%%%s\n", label, oldV, newV, delta*100, mark)
 	}
+	// Ingest placement-shuffle volume follows the both-sides-measured rule:
+	// zero means single-process ingest or a record from before the source
+	// layer. For a fixed configuration placement is a pure function of
+	// dictionary IDs, so growth beyond the wall threshold means the ingest
+	// path started moving more data.
+	checkShuffle := func(label string, oldV, newV int64) {
+		if oldV == 0 || newV == 0 {
+			return // at least one record predates streamed-ingest accounting
+		}
+		checkAt(label, "", float64(oldV), float64(newV), threshold)
+	}
 	check("wall", "ms", oldRec.WallMS, newRec.WallMS)
 	check("total work", "", float64(oldRec.TotalWork), float64(newRec.TotalWork))
 	checkAllocs("mallocs", oldRec.Mallocs, newRec.Mallocs)
 	checkSpill("spilled bytes", oldRec.SpilledBytes, newRec.SpilledBytes)
 	checkMaterialized("materialized bytes", oldRec.MaterializedBytes, newRec.MaterializedBytes)
 	checkBatches("batches", oldRec.Batches, newRec.Batches)
+	checkShuffle("shuffle bytes", oldRec.ShuffleBytes, newRec.ShuffleBytes)
 	checkThroughput("serve qps", oldRec.QPS, newRec.QPS)
 	checkLatency("serve p50", oldRec.P50MS, newRec.P50MS)
 	checkLatency("serve p99", oldRec.P99MS, newRec.P99MS)
@@ -194,6 +206,7 @@ func diff(oldRec, newRec *experiments.BenchRecord, threshold, allocThreshold flo
 		checkSpill("spill "+k, or.SpilledBytes, nr.SpilledBytes)
 		checkMaterialized("materialized "+k, or.MaterializedBytes, nr.MaterializedBytes)
 		checkBatches("batches "+k, or.Batches, nr.Batches)
+		checkShuffle("shuffle "+k, or.ShuffleBytes, nr.ShuffleBytes)
 	}
 	for k, queue := range newRuns {
 		for range queue {

@@ -1,23 +1,35 @@
 // Command rdfind discovers pertinent conditional inclusion dependencies and
-// exact association rules in an RDF file (N-Triples or Turtle, optionally
-// gzip-compressed).
+// exact association rules in RDF input (N-Triples or Turtle, optionally
+// gzip-compressed, one file or many).
 //
 // Usage:
 //
 //	rdfind [-support N] [-workers N] [-ingest-workers N] [-variant rdfind|de|nf|mf]
-//	       [-input-format auto|nt|turtle] [-pred-only-conditions] [-no-columnar]
-//	       [-no-optimizer] [-profile-dir DIR] [-explain] [-lenient] [-timeout D]
-//	       [-stats] [-json] file.nt
+//	       [-input GLOBS] [-input-format auto|nt|turtle] [-partition hash|subject]
+//	       [-pred-only-conditions] [-no-columnar] [-no-optimizer] [-profile-dir DIR]
+//	       [-explain] [-lenient] [-timeout D] [-stats] [-json] [file.nt ...]
 //	rdfind -query 'SELECT ...' [-query-reps N] [flags] file.nt
 //	rdfind -cluster N [-cluster-network tcp|unix] [-chaos SPEC] [flags] file.nt
 //	rdfind worker -addr ADDR -rank N [-network tcp|unix]
 //
-// The input format defaults to auto: a .ttl or .turtle extension (before any
-// trailing .gz) selects the Turtle reader, anything else N-Triples. Inputs
-// whose name ends in .gz — or whose content starts with the gzip magic — are
-// decompressed transparently. -lenient and parallel -ingest-workers apply to
-// N-Triples only; Turtle and N-Triples readers intern identical surface
-// forms, so equivalent files produce identical discovery results.
+// Input is named by positional paths and/or -input, a comma-separated list
+// of paths and globs (e.g. -input 'parts/*.nt.gz'). The sorted, deduplicated
+// expansion defines the canonical document order; output is identical no
+// matter how the same statements are split across files. Files are decoded
+// as a bounded stream — discovery never materializes the input in memory,
+// so datasets larger than RAM ingest fine, gzipped or not (.gz extension or
+// content magic both select streaming decompression). The input format
+// defaults to auto: a .ttl or .turtle extension (before any trailing .gz)
+// selects the Turtle reader per file, anything else N-Triples. -lenient and
+// parallel -ingest-workers apply to N-Triples only; Turtle and N-Triples
+// readers intern identical surface forms, so equivalent files produce
+// identical discovery results.
+//
+// -partition picks the placement strategy for streamed triples: hash (the
+// default; spread by hashing all three elements) or subject (keep each
+// subject's triples on one worker, trading balance for locality). Placement
+// never changes the discovered result, only data movement — `-exp partition`
+// in cmd/benchsuite measures the trade.
 //
 // -query serves a SPARQL query (the engine's BGP+FILTER subset) over the
 // input through the concurrent query engine after discovery: the discovered
@@ -46,11 +58,16 @@
 // process listens on a socket, spawns N copies of itself in worker mode, and
 // supervises them with heartbeats; a worker process that dies is respawned
 // and recovers through the engine's lineage replay, with output identical to
-// a single-process run. -chaos injects deterministic process faults for
-// robustness testing, as a comma-separated list of kind:rank@seq entries
-// (kinds kill, drop, dup, delay[:duration]), e.g. -chaos 'kill:1@4,drop:0@7'.
-// The worker subcommand is spawned by the coordinator and is not normally
-// invoked by hand; the job's parameters travel in the coordinator's welcome.
+// a single-process run. Ingest is worker-local: file i of the resolved input
+// goes to rank i mod N, each worker streams only its own files, and a
+// dictionary-merge collective reconstructs the canonical global dictionary —
+// the coordinator never materializes a single triple (-stats prints the
+// per-rank ingest counts and the coordinator's zero). -chaos injects
+// deterministic process faults for robustness testing, as a comma-separated
+// list of kind:rank@seq entries (kinds kill, drop, dup, delay[:duration]),
+// e.g. -chaos 'kill:1@4,drop:0@7'. The worker subcommand is spawned by the
+// coordinator and is not normally invoked by hand; the job's parameters
+// travel in the coordinator's welcome.
 //
 // Exit codes distinguish failure classes for scripting:
 //
@@ -62,8 +79,6 @@
 package main
 
 import (
-	"bytes"
-	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -106,6 +121,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	support := fs.Int("support", 100, "support threshold h (minimum distinct included values)")
 	workers := fs.Int("workers", 4, "logical dataflow workers")
+	input := fs.String("input", "", "comma-separated input paths and globs, combined with positional paths; sorted expansion is the document order")
+	partition := fs.String("partition", "hash", "streamed-triple placement strategy: hash or subject")
 	ingestWorkers := fs.Int("ingest-workers", 0, "parallel N-Triples ingest shards (0 = same as -workers); any value yields identical datasets")
 	variantName := fs.String("variant", "rdfind", "pipeline variant: rdfind, de, nf, mf")
 	predOnly := fs.Bool("pred-only-conditions", false, "use predicates only in conditions (no predicate projections)")
@@ -131,8 +148,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: rdfind [flags] file.nt")
+	inputs := fs.Args()
+	for _, in := range strings.Split(*input, ",") {
+		if in = strings.TrimSpace(in); in != "" {
+			inputs = append(inputs, in)
+		}
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(stderr, "usage: rdfind [flags] [-input GLOBS] [file.nt ...]")
 		fs.PrintDefaults()
 		return exitUsage
 	}
@@ -197,26 +220,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exitUsage
 		}
 	}
-	inFmt, err := resolveInputFormat(fs.Arg(0), *inputFormat)
+	part, err := rdfind.PartitionerByName(*partition)
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind:", err)
 		return exitUsage
 	}
-	if inFmt == "turtle" && *lenient {
-		fmt.Fprintln(stderr, "rdfind: -lenient applies to N-Triples input only")
-		return exitUsage
-	}
-
 	if *ingestWorkers <= 0 {
 		*ingestWorkers = *workers
 	}
-	ds, code := readInput(fs.Arg(0), inFmt, *ingestWorkers, *lenient, stderr)
-	if code != exitOK {
-		return code
+	src := rdfind.Source{
+		Inputs:  inputs,
+		Format:  *inputFormat,
+		Lenient: *lenient,
+		Shards:  *ingestWorkers,
+	}
+	// Resolve up front so flag-class mistakes (unknown format, lenient
+	// Turtle, bad glob) report as usage errors before any file is opened.
+	if _, err := src.Resolve(); err != nil {
+		fmt.Fprintln(stderr, "rdfind:", err)
+		return classifyInputErr(err)
 	}
 
-	// -check mode: validate one statement and exit with its truth value.
+	// -check mode: validate one statement against the materialized dataset
+	// and exit with its truth value.
 	if *check != "" {
+		ds, code := readSource(src, stderr)
+		if code != exitOK {
+			return code
+		}
 		inc, err := rdfind.ParseInclusion(*check, ds.Dict)
 		if err != nil {
 			fmt.Fprintln(stderr, "rdfind:", err)
@@ -236,11 +267,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	var cl *rdfind.Cluster
+	cfg := rdfind.Config{
+		Support:                    *support,
+		Workers:                    *workers,
+		Variant:                    variant,
+		PredicatesOnlyInConditions: *predOnly,
+		MemoryBudget:               budget,
+		SpillDir:                   *spillDir,
+		Partitioner:                part,
+		DisableColumnar:            *noColumnar,
+		DisableOptimizer:           *noOptimizer,
+		ProfileDir:                 *profileDir,
+	}
+
+	// -query mode needs the dataset resident for the triple store, so it
+	// reads the source whole and runs the in-memory discovery path; query
+	// rows replace the discovery result on stdout.
+	if *query != "" {
+		ds, code := readSource(src, stderr)
+		if code != exitOK {
+			return code
+		}
+		res, runStats, err := rdfind.DiscoverContext(ctx, ds, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "rdfind:", err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				return exitTimeout
+			}
+			return exitDiscovery
+		}
+		return runQuery(ctx, ds, res, runStats, *query, *queryReps, *workers,
+			*jsonDump || *format == "json", *stats, stdout, stderr)
+	}
+
 	if *clusterN > 0 {
 		spec := jobSpec{
-			Input:         fs.Arg(0),
-			Format:        inFmt,
+			Inputs:        absInputs(inputs),
+			Format:        *inputFormat,
+			Partition:     *partition,
 			Support:       *support,
 			Variant:       *variantName,
 			PredOnly:      *predOnly,
@@ -248,25 +312,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Lenient:       *lenient,
 			NoColumnar:    *noColumnar,
 		}
-		var code int
-		cl, code = startCluster(*clusterN, *clusterNet, *chaos, spec, stderr)
+		cl, code := startCluster(*clusterN, *clusterNet, *chaos, spec, stderr)
 		if code != exitOK {
 			return code
 		}
 		defer cl.Close()
+		cfg.Cluster = cl
 	}
-	res, runStats, err := rdfind.DiscoverContext(ctx, ds, rdfind.Config{
-		Support:                    *support,
-		Workers:                    *workers,
-		Variant:                    variant,
-		PredicatesOnlyInConditions: *predOnly,
-		MemoryBudget:               budget,
-		SpillDir:                   *spillDir,
-		Cluster:                    cl,
-		DisableColumnar:            *noColumnar,
-		DisableOptimizer:           *noOptimizer,
-		ProfileDir:                 *profileDir,
-	})
+	res, dict, runStats, err := rdfind.DiscoverSource(ctx, src, cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind:", err)
 		if *stats && runStats != nil {
@@ -275,21 +328,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return exitTimeout
 		}
-		return exitDiscovery
+		return classifyInputErr(err)
 	}
-
-	// -query mode: the discovery result becomes the engine's minimization
-	// knowledge; query rows replace the discovery result on stdout.
-	if *query != "" {
-		return runQuery(ctx, ds, res, runStats, *query, *queryReps, *workers,
-			*jsonDump || *format == "json", *stats, stdout, stderr)
-	}
+	reportSkipped(stderr, runStats)
 
 	switch {
 	case *explain:
 		opt.WriteExplain(stdout, runStats.Dataflow.Spans(), runStats.Optimizer, *workers)
 	case *jsonDump:
-		resJSON, err := rdfind.MarshalResultJSON(res, ds.Dict)
+		resJSON, err := rdfind.MarshalResultJSON(res, dict)
 		if err != nil {
 			fmt.Fprintln(stderr, "rdfind:", err)
 			return exitDiscovery
@@ -306,7 +353,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stdout.Write(data)
 		fmt.Fprintln(stdout)
 	case *format == "json":
-		data, err := rdfind.MarshalResultJSON(res, ds.Dict)
+		data, err := rdfind.MarshalResultJSON(res, dict)
 		if err != nil {
 			fmt.Fprintln(stderr, "rdfind:", err)
 			return exitDiscovery
@@ -314,7 +361,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stdout.Write(data)
 		fmt.Fprintln(stdout)
 	default:
-		fmt.Fprint(stdout, res.Format(ds.Dict))
+		fmt.Fprint(stdout, res.Format(dict))
 	}
 
 	if *stats {
@@ -323,16 +370,82 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitOK
 }
 
+// classifyInputErr maps a DiscoverSource or Resolve failure to an exit
+// class: spec mistakes are usage errors, unreadable or malformed input is a
+// parse failure, anything else a discovery failure.
+func classifyInputErr(err error) int {
+	var ie *rdfind.InputError
+	switch {
+	case errors.Is(err, rdfind.ErrLenientTurtle), errors.Is(err, rdfind.ErrBadFormat),
+		errors.Is(err, filepath.ErrBadPattern):
+		return exitUsage
+	case errors.Is(err, rdfind.ErrNoInput), errors.As(err, &ie):
+		return exitParse
+	}
+	return exitDiscovery
+}
+
+// readSource materializes the whole source in memory, for the modes that
+// need a resident dataset (-check, -query). Lenient-mode skipped lines
+// report to stderr like the streaming path's.
+func readSource(src rdfind.Source, stderr io.Writer) (*rdfind.Dataset, int) {
+	ds, malformed, err := rdfind.ReadSource(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind:", err)
+		return nil, classifyInputErr(err)
+	}
+	for _, m := range malformed {
+		fmt.Fprintln(stderr, "rdfind: skipped", m)
+	}
+	if len(malformed) > 0 {
+		fmt.Fprintf(stderr, "rdfind: skipped %d malformed lines\n", len(malformed))
+	}
+	return ds, exitOK
+}
+
+// reportSkipped prints lenient-mode skipped lines from a streamed run.
+func reportSkipped(stderr io.Writer, runStats *core.RunStats) {
+	ing := runStats.Ingest
+	if ing == nil {
+		return
+	}
+	for _, m := range ing.Skipped {
+		fmt.Fprintln(stderr, "rdfind: skipped", m)
+	}
+	if ing.SkippedLines > 0 {
+		fmt.Fprintf(stderr, "rdfind: skipped %d malformed lines\n", ing.SkippedLines)
+	}
+}
+
+// absInputs resolves the input paths and globs to absolute form for the job
+// spec: worker processes may not share the coordinator's cwd resolution.
+func absInputs(inputs []string) []string {
+	out := make([]string, len(inputs))
+	for i, in := range inputs {
+		if abs, err := filepath.Abs(in); err == nil {
+			out[i] = abs
+		} else {
+			out[i] = in
+		}
+	}
+	return out
+}
+
 // jobSpec carries the coordinator's discovery parameters to the worker
 // processes through the welcome message, so the replicated drivers are
 // guaranteed to run the same pipeline over the same input.
 type jobSpec struct {
-	Input string `json:"input"`
-	// Format is the coordinator's resolved input format ("nt" or "turtle"):
-	// auto-sniffing happens once, so every rank parses the same way even if a
-	// rank's path handling would sniff differently. Empty (specs from older
-	// coordinators) means N-Triples.
-	Format        string `json:"format,omitempty"`
+	// Inputs are the coordinator's input paths and globs, resolved to
+	// absolute form (workers may not share the coordinator's cwd). Every
+	// rank resolves the same spec to the same canonical document order and
+	// streams only its own file assignment.
+	Inputs []string `json:"inputs"`
+	// Format is the coordinator's -input-format flag, applied per file by
+	// every rank exactly as the coordinator applies it.
+	Format string `json:"format,omitempty"`
+	// Partition names the placement strategy; placements are pure functions
+	// of global dictionary IDs, so independent ranks agree.
+	Partition     string `json:"partition,omitempty"`
 	Support       int    `json:"support"`
 	Variant       string `json:"variant"`
 	PredOnly      bool   `json:"predOnly,omitempty"`
@@ -354,9 +467,6 @@ func startCluster(n int, network, chaos string, spec jobSpec, stderr io.Writer) 
 	if err != nil {
 		fmt.Fprintln(stderr, "rdfind: bad -chaos:", err)
 		return nil, exitUsage
-	}
-	if abs, err := filepath.Abs(spec.Input); err == nil {
-		spec.Input = abs // workers may not share our cwd resolution
 	}
 	exe, err := os.Executable()
 	if err != nil {
@@ -506,19 +616,23 @@ func runWorker(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rdfind worker: unknown variant %q in job spec\n", spec.Variant)
 		return exitUsage
 	}
-	specFormat := spec.Format
-	if specFormat == "" {
-		specFormat = "nt"
+	part, err := rdfind.PartitionerByName(spec.Partition)
+	if err != nil {
+		fmt.Fprintln(stderr, "rdfind worker:", err)
+		return exitUsage
 	}
-	ds, code := readInput(spec.Input, specFormat, spec.IngestWorkers, spec.Lenient, stderr)
-	if code != exitOK {
-		return code
+	src := rdfind.Source{
+		Inputs:  spec.Inputs,
+		Format:  spec.Format,
+		Lenient: spec.Lenient,
+		Shards:  spec.IngestWorkers,
 	}
-	_, _, err = rdfind.DiscoverContext(context.Background(), ds, rdfind.Config{
+	_, _, _, err = rdfind.DiscoverSource(context.Background(), src, rdfind.Config{
 		Support:                    spec.Support,
 		Variant:                    variant,
 		PredicatesOnlyInConditions: spec.PredOnly,
 		WorkerConn:                 w,
+		Partitioner:                part,
 		DisableColumnar:            spec.NoColumnar,
 	})
 	if err != nil {
@@ -570,89 +684,6 @@ func parseByteSize(s string) (int64, error) {
 		return 0, fmt.Errorf("want a byte count like 512M or 2G, got %q", s)
 	}
 	return v * mult, nil
-}
-
-// resolveInputFormat maps the -input-format flag to a concrete reader choice.
-// "auto" sniffs the file extension after stripping a trailing .gz: .ttl and
-// .turtle select the Turtle reader, everything else N-Triples.
-func resolveInputFormat(path, flagVal string) (string, error) {
-	switch flagVal {
-	case "nt", "turtle":
-		return flagVal, nil
-	case "auto":
-		name := strings.TrimSuffix(strings.ToLower(filepath.Base(path)), ".gz")
-		switch filepath.Ext(name) {
-		case ".ttl", ".turtle":
-			return "turtle", nil
-		}
-		return "nt", nil
-	}
-	return "", fmt.Errorf("unknown input format %q (want auto, nt, or turtle)", flagVal)
-}
-
-// isGzip reports whether the input needs decompressing before parsing: a .gz
-// extension, or the two-byte gzip magic at the start of the content (for
-// compressed streams saved without the conventional extension).
-func isGzip(path string, data []byte) bool {
-	if strings.HasSuffix(strings.ToLower(path), ".gz") {
-		return true
-	}
-	return len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b
-}
-
-// readInput loads the dataset: the file is read whole, gunzipped when isGzip
-// says so, then parsed as N-Triples (with the requested number of parallel
-// ingest shards, strictly or leniently) or as Turtle. Parse problems return
-// the dedicated parse-failure code so callers can tell bad input apart from a
-// failed discovery. The shard count changes only ingest speed, never the
-// dataset: the sharded dictionary merge assigns the same IDs at any count.
-func readInput(path, format string, shards int, lenient bool, stderr io.Writer) (*rdfind.Dataset, int) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintln(stderr, "rdfind:", err)
-		return nil, exitParse
-	}
-	if isGzip(path, data) {
-		zr, err := gzip.NewReader(bytes.NewReader(data))
-		if err == nil {
-			data, err = io.ReadAll(zr)
-		}
-		if err == nil {
-			err = zr.Close()
-		}
-		if err != nil {
-			fmt.Fprintf(stderr, "rdfind: %s: gunzip: %v\n", path, err)
-			return nil, exitParse
-		}
-	}
-	if format == "turtle" {
-		ds, err := rdfind.ReadTurtle(bytes.NewReader(data))
-		if err != nil {
-			fmt.Fprintf(stderr, "rdfind: %s: %v\n", path, err)
-			return nil, exitParse
-		}
-		return ds, exitOK
-	}
-	if !lenient {
-		ds, err := rdfind.ParseNTriples(data, shards)
-		if err != nil {
-			fmt.Fprintln(stderr, "rdfind:", err)
-			return nil, exitParse
-		}
-		return ds, exitOK
-	}
-	ds, malformed, err := rdfind.ParseNTriplesLenient(data, shards, 0)
-	if err != nil {
-		fmt.Fprintln(stderr, "rdfind:", err)
-		return nil, exitParse
-	}
-	for _, se := range malformed {
-		fmt.Fprintln(stderr, "rdfind: skipped", se)
-	}
-	if len(malformed) > 0 {
-		fmt.Fprintf(stderr, "rdfind: skipped %d malformed lines\n", len(malformed))
-	}
-	return ds, exitOK
 }
 
 // runQuery is -query mode: a concurrent sparql.Engine is stood up over the
@@ -723,6 +754,25 @@ func runQuery(ctx context.Context, ds *rdfind.Dataset, res *rdfind.Result, runSt
 
 func printStats(w io.Writer, s *core.RunStats) {
 	fmt.Fprintf(w, "triples:             %d\n", s.Triples)
+	// Streamed-ingest accounting. New lines only — the fixed-format lines
+	// scripts grep for (triples, stage retries, worker losses) are untouched.
+	if ing := s.Ingest; ing != nil {
+		fmt.Fprintf(w, "ingest:              %d files, %s partitioner\n", ing.Files, ing.Partitioner)
+		if ing.Distributed {
+			for r, n := range ing.PerRank {
+				fmt.Fprintf(w, "ingest rank %d:       %d triples\n", r, n)
+			}
+			if ing.Rank < 0 {
+				fmt.Fprintf(w, "coordinator materialized: %d triples\n", ing.LocalTriples)
+			}
+			if ing.ShuffleBytes > 0 {
+				fmt.Fprintf(w, "placement shuffle:   %d bytes\n", ing.ShuffleBytes)
+			}
+		}
+		if ing.SkippedLines > 0 {
+			fmt.Fprintf(w, "skipped lines:       %d\n", ing.SkippedLines)
+		}
+	}
 	fmt.Fprintf(w, "frequent conditions: %d unary, %d binary\n", s.FrequentUnary, s.FrequentBinary)
 	fmt.Fprintf(w, "capture groups:      %d\n", s.CaptureGroups)
 	fmt.Fprintf(w, "broad CINDs:         %d\n", s.BroadCINDs)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fcdetect"
 	"repro/internal/metrics"
 	"repro/internal/rdf"
+	"repro/internal/source"
 )
 
 // Variant selects a pipeline strategy.
@@ -151,6 +152,13 @@ type Config struct {
 	// it wins over ProfileDir; nil without ProfileDir means each run starts
 	// cold.
 	Profile *opt.Profile
+	// Partitioner places triples onto worker partitions as streamed ingest
+	// blocks arrive (DiscoverSource only; in-memory Discover keeps
+	// Parallelize's contiguous split). Nil selects source.HashPartitioner.
+	// Placement never changes the discovered result — the differential
+	// suites pin byte-identical output across partitioners — only ingest
+	// balance and downstream shuffle volume.
+	Partitioner source.Partitioner
 }
 
 func (c Config) normalized() Config {
@@ -251,6 +259,38 @@ type RunStats struct {
 	// and per-stage policy it chose. Nil when the optimizer is disabled or
 	// the run is distributed.
 	Optimizer *opt.Report
+	// Ingest reports the streaming-source ingest of a DiscoverSource run;
+	// nil on in-memory (Discover/TryDiscover/DiscoverContext) runs.
+	Ingest *IngestStats
+}
+
+// IngestStats accounts a streamed-source ingest (DiscoverSource).
+type IngestStats struct {
+	// Files is the number of resolved input files; Partitioner names the
+	// placement strategy.
+	Files       int
+	Partitioner string
+	// PerRank[r] is the number of triples worker rank r streamed from its
+	// assigned input files (cluster mode), or the number placed into
+	// logical partition r (single-process).
+	PerRank []int64
+	// LocalTriples counts the triples this process materialized at the
+	// ingest root: the full input single-process, this rank's files on a
+	// worker, and always 0 on a cluster coordinator — the accounting behind
+	// the coordinator-never-holds-the-dataset guarantee.
+	LocalTriples int64
+	// ShuffleBytes is the placement shuffle's wire volume (cluster mode;
+	// 0 single-process, where placement happens as blocks arrive).
+	ShuffleBytes int64
+	// Skipped lists lenient-mode malformed lines with their files
+	// (single-process only); SkippedLines is the cluster-wide count and is
+	// also set single-process.
+	Skipped      []source.Malformed
+	SkippedLines int64
+	// Distributed reports a multi-process ingest; Rank is this process's
+	// worker rank in it (-1 on the coordinator).
+	Distributed bool
+	Rank        int
 }
 
 // Discover runs the selected pipeline over the dataset and returns the
@@ -280,12 +320,36 @@ func TryDiscover(ds *rdf.Dataset, cfg Config) (*cind.Result, *RunStats, error) {
 // panics) are retried per Config.MaxStageAttempts before they become errors.
 func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Result, *RunStats, error) {
 	cfg = cfg.normalized()
+	h := newHarness(ctx, cfg)
+	h.stats.Triples = ds.Size()
+	triples := dataflow.Parallelize(h.dfctx, "input", ds.Triples)
+	return h.run(triples, ds.Dict)
+}
+
+// harness is the shared run scaffolding of DiscoverContext and
+// DiscoverSource: the configured dataflow context, run statistics with their
+// collection closures, and the optimizer profile feedback loop. It exists so
+// the two ingest roots — a resident Dataset parallelized in memory, and a
+// streamed Source placed partition-by-partition — drive one and the same
+// pipeline body.
+type harness struct {
+	cfg      Config
+	dfctx    *dataflow.Context
+	stats    *RunStats
+	prof     *opt.Profile
+	start    time.Time
+	memStart runtime.MemStats
+}
+
+// newHarness builds the dataflow context and stats plumbing for one run.
+// cfg must already be normalized.
+func newHarness(ctx context.Context, cfg Config) *harness {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var memStart runtime.MemStats
-	runtime.ReadMemStats(&memStart)
-	start := time.Now()
+	h := &harness{cfg: cfg}
+	runtime.ReadMemStats(&h.memStart)
+	h.start = time.Now()
 	dfOpts := []dataflow.Option{
 		dataflow.WithCancel(ctx),
 		dataflow.WithRetries(cfg.MaxStageAttempts - 1),
@@ -307,12 +371,12 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	// is loaded (empty on first run, started fresh over a corrupt file) and
 	// saved back after the run. Errors are deliberately non-fatal — a broken
 	// profile must never break discovery, only un-tune it.
-	prof := cfg.Profile
-	if prof == nil && cfg.ProfileDir != "" && !cfg.DisableOptimizer {
-		prof, _ = opt.LoadProfile(cfg.ProfileDir)
+	h.prof = cfg.Profile
+	if h.prof == nil && cfg.ProfileDir != "" && !cfg.DisableOptimizer {
+		h.prof, _ = opt.LoadProfile(cfg.ProfileDir)
 	}
-	if prof != nil {
-		dfOpts = append(dfOpts, dataflow.WithProfile(prof))
+	if h.prof != nil {
+		dfOpts = append(dfOpts, dataflow.WithProfile(h.prof))
 	}
 	if cfg.RetryJitter > 0 {
 		dfOpts = append(dfOpts, dataflow.WithRetryJitter(cfg.RetryJitter))
@@ -323,43 +387,50 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 	if cfg.WorkerConn != nil {
 		dfOpts = append(dfOpts, dataflow.WithWorkerConn(cfg.WorkerConn))
 	}
-	dfctx := dataflow.NewContext(cfg.Workers, dfOpts...)
-	stats := &RunStats{Triples: ds.Size(), Dataflow: dfctx.Stats()}
-	recordAllocs := func() {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		stats.Mallocs = ms.Mallocs - memStart.Mallocs
-		stats.AllocBytes = ms.TotalAlloc - memStart.TotalAlloc
-	}
-	recordSpill := func() {
-		// Read through a snapshot so an unbudgeted run does not materialize
-		// zero-valued spill counters in the registry.
-		counters := dfctx.Stats().Metrics().Snapshot().Counters
-		stats.SpilledBytes = counters["dataflow.spill.bytes"]
-		stats.SpilledRuns = counters["dataflow.spill.runs"]
-		stats.MergePasses = counters["dataflow.spill.merge_passes"]
-		stats.MaterializedBytes = counters["dataflow.materialized.bytes"]
-		stats.Batches = counters["dataflow.batches"]
-		if lanes := counters["dataflow.batch.lanes"]; lanes > 0 {
-			stats.BatchFill = float64(counters["dataflow.batch.live"]) / float64(lanes)
-		}
-		stats.WorkerLosses = counters[metrics.ClusterLosses]
-		stats.WorkerRespawns = counters[metrics.ClusterRespawns]
-		stats.Reconnects = counters[metrics.ClusterReconnects]
-	}
-	recordOptimizer := func() {
-		stats.Optimizer = dfctx.OptimizerReport()
-	}
-	finish := func(err error) (*cind.Result, *RunStats, error) {
-		stats.StageRetries = dfctx.Stats().TotalRetries()
-		stats.Duration = time.Since(start)
-		recordAllocs()
-		recordSpill()
-		recordOptimizer()
-		return nil, stats, err
-	}
+	h.dfctx = dataflow.NewContext(cfg.Workers, dfOpts...)
+	h.stats = &RunStats{Dataflow: h.dfctx.Stats()}
+	return h
+}
 
-	triples := dataflow.Parallelize(dfctx, "input", ds.Triples)
+func (h *harness) recordAllocs() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.stats.Mallocs = ms.Mallocs - h.memStart.Mallocs
+	h.stats.AllocBytes = ms.TotalAlloc - h.memStart.TotalAlloc
+}
+
+func (h *harness) recordSpill() {
+	// Read through a snapshot so an unbudgeted run does not materialize
+	// zero-valued spill counters in the registry.
+	counters := h.dfctx.Stats().Metrics().Snapshot().Counters
+	h.stats.SpilledBytes = counters["dataflow.spill.bytes"]
+	h.stats.SpilledRuns = counters["dataflow.spill.runs"]
+	h.stats.MergePasses = counters["dataflow.spill.merge_passes"]
+	h.stats.MaterializedBytes = counters["dataflow.materialized.bytes"]
+	h.stats.Batches = counters["dataflow.batches"]
+	if lanes := counters["dataflow.batch.lanes"]; lanes > 0 {
+		h.stats.BatchFill = float64(counters["dataflow.batch.live"]) / float64(lanes)
+	}
+	h.stats.WorkerLosses = counters[metrics.ClusterLosses]
+	h.stats.WorkerRespawns = counters[metrics.ClusterRespawns]
+	h.stats.Reconnects = counters[metrics.ClusterReconnects]
+}
+
+// finish closes the stats out on an aborted run.
+func (h *harness) finish(err error) (*cind.Result, *RunStats, error) {
+	h.stats.StageRetries = h.dfctx.Stats().TotalRetries()
+	h.stats.Duration = time.Since(h.start)
+	h.recordAllocs()
+	h.recordSpill()
+	h.stats.Optimizer = h.dfctx.OptimizerReport()
+	return nil, h.stats, err
+}
+
+// run executes the pipeline proper — FCDetector → CGCreator → CINDExtractor
+// — over an already-rooted triple dataset. dict is the global dictionary the
+// triples are encoded against, used only to canonicalize the result order.
+func (h *harness) run(triples *dataflow.Dataset[rdf.Triple], dict *rdf.Dictionary) (*cind.Result, *RunStats, error) {
+	cfg, dfctx, stats := h.cfg, h.dfctx, h.stats
 	fcOpts := fcdetect.Options{PredicatesOnlyInConditions: cfg.PredicatesOnlyInConditions}
 
 	// Phase 1 of lazy pruning: frequent conditions and association rules
@@ -373,14 +444,14 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		stats.FrequentBinary = fc.Binary.Len()
 	}
 	if err := dfctx.Err(); err != nil {
-		return finish(err)
+		return h.finish(err)
 	}
 
 	// Capture groups (§6).
 	groups := capture.BuildGroups(triples, fc, fcOpts)
 	stats.CaptureGroups = groups.Len()
 	if err := dfctx.Err(); err != nil {
-		return finish(err)
+		return h.finish(err)
 	}
 
 	// CIND extraction (§7). A LoadLimit breach degrades to Bloom work-unit
@@ -401,7 +472,7 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		stats.Degraded = outcome.Degraded
 		stats.SpillPlanned = outcome.Spilled
 		if err != nil {
-			return finish(err)
+			return h.finish(err)
 		}
 		pertinent = mf
 		stats.BroadCINDs = len(pertinent) // broad set never materialized
@@ -411,30 +482,30 @@ func DiscoverContext(ctx context.Context, ds *rdf.Dataset, cfg Config) (*cind.Re
 		stats.Degraded = outcome.Degraded
 		stats.SpillPlanned = outcome.Spilled
 		if err != nil {
-			return finish(err)
+			return h.finish(err)
 		}
 		stats.BroadCINDs = len(broad)
 		pertinent = extract.Minimize(broad)
 	}
 	if err := dfctx.Err(); err != nil {
-		return finish(err)
+		return h.finish(err)
 	}
 
 	res := &cind.Result{CINDs: pertinent, ARs: fc.ARs}
-	res.Sort(ds.Dict)
+	res.Sort(dict)
 	stats.Pertinent = len(res.CINDs)
 	stats.ARs = len(res.ARs)
 	stats.StageRetries = dfctx.Stats().TotalRetries()
-	stats.Duration = time.Since(start)
-	recordAllocs()
-	recordSpill()
-	recordOptimizer()
+	stats.Duration = time.Since(h.start)
+	h.recordAllocs()
+	h.recordSpill()
+	stats.Optimizer = dfctx.OptimizerReport()
 	// Feed the run's spans back into the profile (successful runs only:
 	// partial traces would skew the averages) and persist it if asked to.
-	if prof != nil && dfctx.Optimizer() {
-		prof.Observe(dfctx.Stats().Spans())
+	if h.prof != nil && dfctx.Optimizer() {
+		h.prof.Observe(dfctx.Stats().Spans())
 		if cfg.ProfileDir != "" {
-			_ = prof.Save(cfg.ProfileDir)
+			_ = h.prof.Save(cfg.ProfileDir)
 		}
 	}
 	return res, stats, nil

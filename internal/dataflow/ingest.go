@@ -1,0 +1,65 @@
+package dataflow
+
+import "fmt"
+
+// This file holds the entry points the streaming ingest layer builds on:
+// caller-partitioned roots (FromPartitions) and the raw gather collective
+// (Gather) that the dictionary-merge protocol in core runs over the wire
+// layer. They are deliberately thin — placement policy, term tables, and
+// document-order reconstruction all live with the caller — so the dataflow
+// package keeps owning only movement and accounting.
+
+// Rank returns this process's worker rank: 0..Workers()-1 on a worker
+// replica, -1 on a cluster coordinator or a single-process run (where this
+// process executes every logical worker).
+func (c *Context) Rank() int { return c.rank }
+
+// Distributed reports whether this Context takes part in a multi-process
+// job, as coordinator or worker.
+func (c *Context) Distributed() bool { return c.distributed() }
+
+// FromPartitions roots a dataset from partitions the caller has already
+// placed — the streaming-ingest counterpart of Parallelize, which instead
+// splits one resident slice. parts must have exactly Workers() entries; in
+// distributed mode a process supplies only the partitions it owns (the
+// coordinator passes all-nil parts) and counts carries the cluster-wide
+// per-partition record counts so span accounting still sees the whole
+// input. A nil counts derives the counts from parts (single-process).
+func FromPartitions[T any](c *Context, name string, parts [][]T, counts []int64) *Dataset[T] {
+	if c.failed() {
+		return empty[T](c)
+	}
+	if len(parts) != c.workers {
+		c.fail(&StageError{Stage: name, Worker: c.rank, Attempt: 1,
+			Cause: fmt.Errorf("FromPartitions: %d partitions for %d workers", len(parts), c.workers)})
+		return empty[T](c)
+	}
+	sp := c.begin(name)
+	if counts == nil {
+		counts = make([]int64, c.workers)
+		for w, p := range parts {
+			counts[w] = int64(len(p))
+		}
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	c.finish(sp, counts, total)
+	return &Dataset[T]{ctx: c, parts: parts}
+}
+
+// Gather runs one gather collective: every process receives all ranks'
+// contributions in rank order. Single-process it degenerates to the
+// process's own body; on a cluster coordinator the returned slices are the
+// workers' contributions (the coordinator contributes nothing). It returns
+// ok=false when the pipeline has failed — check Context.Err.
+func Gather(c *Context, name string, body []byte) ([][]byte, bool) {
+	if c.failed() {
+		return nil, false
+	}
+	if !c.distributed() {
+		return [][]byte{body}, true
+	}
+	return distGather(c, name, body)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/rdf"
+	"repro/internal/source"
 )
 
 // BenchSchema versions the machine-readable benchmark record. Bump it when a
@@ -55,8 +57,13 @@ type PipelineRun struct {
 	// how many per-stage rewrite/policy decisions fired and the distinct rule
 	// names. Additive within schema v1, zero/absent on optimizer-off runs and
 	// in records from before the optimizer existed.
-	OptDecisions int            `json:"opt_decisions,omitempty"`
-	OptRules     []string       `json:"opt_rules,omitempty"`
+	OptDecisions int      `json:"opt_decisions,omitempty"`
+	OptRules     []string `json:"opt_rules,omitempty"`
+	// ShuffleBytes is the streamed-ingest placement shuffle's wire volume
+	// (core.IngestStats.ShuffleBytes) — the column the partition experiment
+	// ablates. Additive within schema v1: zero on in-memory and
+	// single-process runs and in records from before the source layer.
+	ShuffleBytes int64          `json:"shuffle_bytes,omitempty"`
 	Spans        []metrics.Span `json:"spans,omitempty"`
 }
 
@@ -91,6 +98,9 @@ type BenchRecord struct {
 	// OptDecisions sums the runs' plan-optimizer decision counts (zero when
 	// every run had the optimizer off).
 	OptDecisions int `json:"opt_decisions,omitempty"`
+	// ShuffleBytes sums the runs' ingest placement-shuffle volumes (zero when
+	// no run used distributed streamed ingest).
+	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
 	// QPS/P50MS/P99MS summarize the closed-loop serving phase of the "serve"
 	// experiment: sustained operations per second and overall latency
 	// quantiles in milliseconds. PlanCacheHits/Misses expose the query
@@ -98,15 +108,15 @@ type BenchRecord struct {
 	// zero/absent for batch experiments and for records written before the
 	// serving layer existed; benchdiff compares them only when both sides
 	// measured.
-	QPS             float64 `json:"qps,omitempty"`
-	P50MS           float64 `json:"p50_ms,omitempty"`
-	P99MS           float64 `json:"p99_ms,omitempty"`
-	PlanCacheHits   int64   `json:"plan_cache_hits,omitempty"`
-	PlanCacheMisses int64   `json:"plan_cache_misses,omitempty"`
+	QPS             float64       `json:"qps,omitempty"`
+	P50MS           float64       `json:"p50_ms,omitempty"`
+	P99MS           float64       `json:"p99_ms,omitempty"`
+	PlanCacheHits   int64         `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses int64         `json:"plan_cache_misses,omitempty"`
 	Runs            []PipelineRun `json:"runs"`
-	Header       []string      `json:"header,omitempty"`
-	Rows         [][]string    `json:"rows,omitempty"`
-	Notes        []string      `json:"notes,omitempty"`
+	Header          []string      `json:"header,omitempty"`
+	Rows            [][]string    `json:"rows,omitempty"`
+	Notes           []string      `json:"notes,omitempty"`
 }
 
 // The collector gathers the PipelineRuns of the experiment currently running
@@ -166,6 +176,23 @@ func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Res
 	start := time.Now()
 	res, stats, err := core.TryDiscover(ds, cfg)
 	elapsed := time.Since(start)
+	recordRun(buildRun(label, cfg, stats, elapsed, err))
+	return res, stats, elapsed, err
+}
+
+// timedTrySource is timedTryDiscover's streamed counterpart: the run ingests
+// through the source layer (core.DiscoverSource) instead of a materialized
+// dataset, and the recorded run gains the ingest shuffle accounting.
+func timedTrySource(label string, spec source.Spec, cfg core.Config) (*cind.Result, *rdf.Dictionary, *core.RunStats, time.Duration, error) {
+	start := time.Now()
+	res, dict, stats, err := core.DiscoverSource(context.Background(), spec, cfg)
+	elapsed := time.Since(start)
+	recordRun(buildRun(label, cfg, stats, elapsed, err))
+	return res, dict, stats, elapsed, err
+}
+
+// buildRun assembles the bench record of one instrumented discovery.
+func buildRun(label string, cfg core.Config, stats *core.RunStats, elapsed time.Duration, err error) PipelineRun {
 	run := PipelineRun{
 		Label:   label,
 		Variant: cfg.Variant.String(),
@@ -187,6 +214,9 @@ func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Res
 			run.OptDecisions = len(rep.Decisions)
 			run.OptRules = rep.Rules()
 		}
+		if ing := stats.Ingest; ing != nil {
+			run.ShuffleBytes = ing.ShuffleBytes
+		}
 	}
 	if stats != nil && stats.Dataflow != nil {
 		run.TotalWork = stats.Dataflow.TotalWork()
@@ -195,8 +225,7 @@ func timedTryDiscover(label string, ds *rdf.Dataset, cfg core.Config) (*cind.Res
 		run.Retries = stats.StageRetries
 		run.Spans = stats.Dataflow.Spans()
 	}
-	recordRun(run)
-	return res, stats, elapsed, err
+	return run
 }
 
 // RunBench executes one experiment with run collection switched on and
@@ -252,6 +281,7 @@ func RunBench(id string, opts Options) (*BenchRecord, error) {
 		rec.MaterializedBytes += r.MaterializedBytes
 		rec.Batches += r.Batches
 		rec.OptDecisions += r.OptDecisions
+		rec.ShuffleBytes += r.ShuffleBytes
 		if r.Batches > 0 {
 			rec.BatchFill += r.BatchFill
 			batchRuns++

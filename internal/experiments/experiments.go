@@ -112,6 +112,7 @@ var registry = []struct {
 	{"ablation", RunAblation, "Candidate-set Bloom size ablation (§7.2)"},
 	{"fusion", RunFusion, "Narrow-operator fusion vs. eager execution"},
 	{"dist", RunDist, "Distributed execution and fault recovery"},
+	{"partition", RunPartition, "Ingest partitioning ablation (hash vs subject locality)"},
 	{"serve", RunServe, "Concurrent query serving under mixed load"},
 }
 

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cind"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/rdf"
+	"repro/internal/source"
+)
+
+// RunPartition ablates the streamed-ingest placement strategies (hash vs
+// subject locality) across cluster sizes on one dataset split into part
+// files. Placement never changes the result — every run is asserted
+// byte-identical to the single-process streamed baseline — so the columns
+// that matter are the placement shuffle's wire volume and the per-rank
+// balance of ingested triples: hash optimizes balance, subject locality
+// trades skew for keeping each subject's triples co-resident.
+func RunPartition(opts Options) (*Report, error) {
+	ds := dataset("Diseasome", opts.Scale)
+	const h = 10
+	dir, err := os.MkdirTemp("", "rdfind-partition-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	const nparts = 4
+	spec, err := writeSourceParts(ds, dir, nparts)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID: "partition",
+		Title: fmt.Sprintf("Ingest partitioning ablation, Diseasome analogue (%s triples, %d part files), h=%d",
+			fmtCount(ds.Size()), nparts, h),
+		Header: []string{"Strategy", "Mode", "Runtime", "Shuffle bytes", "Balance", "Moved", "CINDs+ARs"},
+		Notes: []string{
+			"every row's result is byte-identical to the single-process streamed baseline (placement never changes output)",
+			"balance is max/mean placed triples per partition (1.00 = perfectly even); moved is the share of triples placed off their loading rank",
+			"workers stream their own part files; the shuffle column is the placement collective's wire volume",
+		},
+	}
+
+	// The streamed dataset (placement is a function of the streamed dict's
+	// IDs, not the generator's) for the analytic placement columns.
+	resolved, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	sds, _, err := resolved.ReadDataset()
+	if err != nil {
+		return nil, err
+	}
+
+	res, dict, _, elapsed, err := timedTrySource("partition-local", spec,
+		core.Config{Support: h, Workers: opts.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("partition: baseline: %w", err)
+	}
+	want := res.Format(dict)
+	balance, _ := placementCols(sds, source.HashPartitioner{}, nparts, opts.Workers)
+	rep.Rows = append(rep.Rows, []string{
+		"hash", "single-process", fmtDuration(elapsed), "0",
+		balance, "0%", fmtCount(len(res.CINDs) + len(res.ARs)),
+	})
+
+	for _, strat := range []string{"hash", "subject"} {
+		part, err := source.ByName(strat)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range []int{2, 4} {
+			label := fmt.Sprintf("partition-%s-w%d", strat, w)
+			res, dict, stats, elapsed, err := distSourceDiscover(label, spec, h, w, part, nil)
+			if err != nil {
+				return nil, fmt.Errorf("partition: %s: %w", label, err)
+			}
+			if got := res.Format(dict); got != want {
+				return nil, fmt.Errorf("partition: %s diverged from the baseline (%d vs %d bytes)",
+					label, len(got), len(want))
+			}
+			balance, moved := placementCols(sds, part, nparts, w)
+			rep.Rows = append(rep.Rows, []string{
+				strat, fmt.Sprintf("cluster w=%d", w),
+				fmtDuration(elapsed),
+				fmtCount(stats.Ingest.ShuffleBytes),
+				balance, moved,
+				fmtCount(len(res.CINDs) + len(res.ARs)),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// placementCols computes the analytic placement columns for one strategy:
+// balance (max/mean placed triples per partition) and the share of triples
+// whose Partitioner-chosen home differs from the rank that streams their
+// file (file i loads on rank i mod workers). Placement is a pure function of
+// the streamed dictionary IDs, so this is exactly what every cluster run of
+// the same spec does.
+func placementCols(ds *rdf.Dataset, part source.Partitioner, nparts, workers int) (balance, moved string) {
+	n := len(ds.Triples)
+	counts := make([]int64, workers)
+	var off int64
+	for f := 0; f < nparts; f++ {
+		lo, hi := f*n/nparts, (f+1)*n/nparts
+		for _, t := range ds.Triples[lo:hi] {
+			home := part.Place(t, workers)
+			counts[home]++
+			if home != f%workers {
+				off++
+			}
+		}
+	}
+	var maxRank int64
+	for _, c := range counts {
+		if c > maxRank {
+			maxRank = c
+		}
+	}
+	mean := float64(n) / float64(workers)
+	if mean == 0 {
+		return "1.00", "0%"
+	}
+	return fmt.Sprintf("%.2f", float64(maxRank)/mean), fmt.Sprintf("%.0f%%", 100*float64(off)/float64(n))
+}
+
+// writeSourceParts splits a dataset into nparts sequential N-Triples files
+// whose names sort in split order, so the spec's canonical document order
+// reproduces the dataset exactly.
+func writeSourceParts(ds *rdf.Dataset, dir string, nparts int) (source.Spec, error) {
+	n := ds.Size()
+	for i := 0; i < nparts; i++ {
+		lo, hi := i*n/nparts, (i+1)*n/nparts
+		part := &rdf.Dataset{Dict: ds.Dict, Triples: ds.Triples[lo:hi]}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%02d.nt", i)))
+		if err != nil {
+			return source.Spec{}, err
+		}
+		if err := rdf.WriteNTriples(f, part); err != nil {
+			f.Close()
+			return source.Spec{}, err
+		}
+		if err := f.Close(); err != nil {
+			return source.Spec{}, err
+		}
+	}
+	return source.Spec{Inputs: []string{filepath.Join(dir, "part-*.nt")}}, nil
+}
+
+// distSourceDiscover runs one streamed discovery on an in-process cluster:
+// each worker replica streams its own file assignment through
+// core.DiscoverSource, so no process (least of all the coordinator) ever
+// holds the whole dataset. The coordinator's run lands in the bench
+// collector via timedTrySource.
+func distSourceDiscover(label string, spec source.Spec, h, workers int, part source.Partitioner, faults []dataflow.ProcFault) (*cind.Result, *rdf.Dictionary, *core.RunStats, time.Duration, error) {
+	dir, err := os.MkdirTemp("", "rdfind-dist-")
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	addr := filepath.Join(dir, "coord.sock")
+	var wg sync.WaitGroup
+	cl, err := dataflow.StartCluster(dataflow.ClusterConfig{
+		Workers:    workers,
+		Network:    "unix",
+		Addr:       addr,
+		ProcFaults: faults,
+		Spawn: func(rank int) error {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w, err := dataflow.DialWorker("unix", addr, rank)
+				if err != nil {
+					return
+				}
+				defer w.Close()
+				cfg := core.Config{Support: h, WorkerConn: w, Partitioner: part}
+				if _, _, _, err := core.DiscoverSource(context.Background(), spec, cfg); err == nil {
+					w.Goodbye()
+				}
+			}()
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	defer wg.Wait()
+	defer cl.Close()
+	return timedTrySource(label, spec, core.Config{Support: h, Cluster: cl, Partitioner: part})
+}

@@ -60,15 +60,18 @@ func (d *shardDict) encode(b []byte) uint32 {
 	return id
 }
 
-// localTriple is a triple encoded against a shard-local term table.
-type localTriple struct {
-	s, p, o uint32
+// BlockTriple is a triple encoded against a block-local (or shard-local)
+// term table: S, P, and O index the table's first-occurrence term order. It
+// is the unit the streaming ingest layer (stream.go) ships between the
+// scanner, the dictionary merge, and — in distributed ingest — the wire.
+type BlockTriple struct {
+	S, P, O uint32
 }
 
 // shardResult is the outcome of scanning one chunk.
 type shardResult struct {
 	dict    *shardDict
-	triples []localTriple
+	triples []BlockTriple
 	errs    []*SyntaxError // malformed lines, in chunk order
 }
 
@@ -188,7 +191,7 @@ func splitChunks(data []byte, n int) [][]byte {
 func scanShard(chunk []byte, startLine, lines int) shardResult {
 	res := shardResult{dict: newShardDict(lines)}
 	if lines > 0 {
-		res.triples = make([]localTriple, 0, lines+1)
+		res.triples = make([]BlockTriple, 0, lines+1)
 	}
 	// N-Triples documents run on their subject (all statements about one
 	// entity in a row) and draw predicates from a small vocabulary, so a
@@ -226,10 +229,10 @@ func scanShard(chunk []byte, startLine, lines int) shardResult {
 		if !bytes.Equal(p, lastP) {
 			lastP, lastPID = p, res.dict.encode(p)
 		}
-		res.triples = append(res.triples, localTriple{
-			s: lastSID,
-			p: lastPID,
-			o: res.dict.encode(o),
+		res.triples = append(res.triples, BlockTriple{
+			S: lastSID,
+			P: lastPID,
+			O: res.dict.encode(o),
 		})
 	}
 	return res
@@ -259,9 +262,9 @@ func mergeShards(results []shardResult) *Dataset {
 		}
 		for _, lt := range res.triples {
 			ds.Triples = append(ds.Triples, Triple{
-				S: remap[lt.s],
-				P: remap[lt.p],
-				O: remap[lt.o],
+				S: remap[lt.S],
+				P: remap[lt.P],
+				O: remap[lt.O],
 			})
 		}
 	}

@@ -1,0 +1,299 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// collectStream folds a streamed document into a Dataset plus the
+// accumulated lenient errors, the way the source layer consumes blocks.
+func collectStream(t *testing.T, data []byte, cfg StreamConfig) (*Dataset, []*SyntaxError, error) {
+	t.Helper()
+	ds := NewDataset()
+	var errs []*SyntaxError
+	var remap []Value
+	err := StreamNTriples(bytes.NewReader(data), cfg, func(blk *TermBlock) error {
+		remap = ds.AppendBlock(blk, remap)
+		errs = append(errs, blk.Errs...)
+		return nil
+	})
+	return ds, errs, err
+}
+
+func sameDatasets(t *testing.T, label string, got, want *Dataset) {
+	t.Helper()
+	if got.Dict.Len() != want.Dict.Len() {
+		t.Fatalf("%s: dictionary has %d terms, want %d", label, got.Dict.Len(), want.Dict.Len())
+	}
+	for id := 0; id < want.Dict.Len(); id++ {
+		term := want.Dict.Decode(Value(id))
+		gotID, ok := got.Dict.Lookup(term)
+		if !ok || gotID != Value(id) {
+			t.Fatalf("%s: term %q has ID %d (present=%v), want %d", label, term, gotID, ok, id)
+		}
+	}
+	if len(got.Triples) != len(want.Triples) {
+		t.Fatalf("%s: %d triples, want %d", label, len(got.Triples), len(want.Triples))
+	}
+	for i := range want.Triples {
+		if got.Triples[i] != want.Triples[i] {
+			t.Fatalf("%s: triple %d = %+v, want %+v", label, i, got.Triples[i], want.Triples[i])
+		}
+	}
+}
+
+// TestStreamNTriplesParity: streamed ingest reproduces the slurp readers'
+// dictionary IDs and triple order at every shard count and block size,
+// including block sizes far below a line length.
+func TestStreamNTriplesParity(t *testing.T) {
+	data, err := os.ReadFile("../../cmd/rdfind/testdata/museums.nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadNTriples(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, blockBytes := range []int{7, 64, 1024, 1 << 20} {
+			label := fmt.Sprintf("shards=%d block=%d", shards, blockBytes)
+			got, errs, err := collectStream(t, data, StreamConfig{Shards: shards, BlockBytes: blockBytes})
+			if err != nil || len(errs) != 0 {
+				t.Fatalf("%s: errs=%v err=%v", label, errs, err)
+			}
+			sameDatasets(t, label, got, want)
+		}
+	}
+}
+
+// TestStreamNTriplesOddInputs mirrors the parallel-ingest edge cases on the
+// streaming path.
+func TestStreamNTriplesOddInputs(t *testing.T) {
+	inputs := []string{
+		"",
+		"\n\n\n",
+		"# only a comment\n",
+		"<a> <b> <c> .", // no trailing newline
+		"<a> <b> <c> .\r\n<a> <b> \"x\"@en .\r\n",
+		"<a> <b> \"v\\\"q\"^^<t> .\n_:b1 <p> _:b2 .\n",
+		strings.Repeat("<s> <p> <o> .\n", 100),
+	}
+	for _, in := range inputs {
+		want, err := ReadNTriples(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: sequential: %v", in, err)
+		}
+		for _, cfg := range []StreamConfig{{}, {Shards: 4, BlockBytes: 5}, {Shards: 2, BlockBytes: 37}} {
+			got, _, err := collectStream(t, []byte(in), cfg)
+			if err != nil {
+				t.Fatalf("%q cfg=%+v: %v", in, cfg, err)
+			}
+			sameDatasets(t, fmt.Sprintf("%q cfg=%+v", in, cfg), got, want)
+		}
+	}
+}
+
+// TestStreamNTriplesStrictError: strict streaming reports the document's
+// first malformed line regardless of shard or block geometry.
+func TestStreamNTriplesStrictError(t *testing.T) {
+	in := []byte("<a> <b> <c> .\nbroken line\n<d> <e> <f> .\nalso broken\n")
+	for _, cfg := range []StreamConfig{{}, {Shards: 4, BlockBytes: 8}} {
+		_, _, err := collectStream(t, in, cfg)
+		serr, ok := err.(*SyntaxError)
+		if !ok {
+			t.Fatalf("cfg=%+v: error %v (%T), want *SyntaxError", cfg, err, err)
+		}
+		if serr.Line != 2 {
+			t.Errorf("cfg=%+v: first error at line %d, want 2", cfg, serr.Line)
+		}
+	}
+}
+
+// TestStreamNTriplesLenientParity: lenient streaming reports the same
+// skipped lines as the slurp lenient reader, and over the cap gives up with
+// the identical error message.
+func TestStreamNTriplesLenientParity(t *testing.T) {
+	in := []byte("<a> <b> <c> .\nbad 1\n<d> <e> <f> .\nbad 2\nbad 3\n<g> <h> <i> .\n")
+	wantDS, wantErrs, err := ReadNTriplesLenient(bytes.NewReader(in), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []StreamConfig{
+		{Lenient: true, MaxErrors: 10},
+		{Lenient: true, MaxErrors: 10, Shards: 3, BlockBytes: 6},
+	} {
+		ds, errs, err := collectStream(t, in, cfg)
+		if err != nil {
+			t.Fatalf("cfg=%+v: %v", cfg, err)
+		}
+		sameDatasets(t, fmt.Sprintf("lenient cfg=%+v", cfg), ds, wantDS)
+		if len(errs) != len(wantErrs) {
+			t.Fatalf("cfg=%+v: %d syntax errors, want %d", cfg, len(errs), len(wantErrs))
+		}
+		for i := range wantErrs {
+			if errs[i].Line != wantErrs[i].Line {
+				t.Errorf("cfg=%+v: error %d at line %d, want %d", cfg, i, errs[i].Line, wantErrs[i].Line)
+			}
+		}
+	}
+
+	_, _, seqErr := ReadNTriplesLenient(bytes.NewReader(in), 2)
+	for _, cfg := range []StreamConfig{
+		{Lenient: true, MaxErrors: 2},
+		{Lenient: true, MaxErrors: 2, Shards: 4, BlockBytes: 4},
+	} {
+		_, _, err := collectStream(t, in, cfg)
+		if err == nil || err.Error() != seqErr.Error() {
+			t.Errorf("cfg=%+v: over-cap error %v, want %v", cfg, err, seqErr)
+		}
+	}
+}
+
+// TestStreamNTriplesEmitStop: a non-nil error from emit stops the stream
+// and is returned unchanged.
+func TestStreamNTriplesEmitStop(t *testing.T) {
+	in := bytes.Repeat([]byte("<s> <p> <o> .\n"), 1000)
+	stop := fmt.Errorf("enough")
+	blocks := 0
+	err := StreamNTriples(bytes.NewReader(in), StreamConfig{BlockBytes: 64}, func(*TermBlock) error {
+		blocks++
+		if blocks == 3 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop {
+		t.Fatalf("err = %v, want %v", err, stop)
+	}
+	if blocks != 3 {
+		t.Fatalf("emit called %d times after stop, want 3", blocks)
+	}
+}
+
+// TestStreamNTriplesBlockBytes: the per-block input-byte accounting sums to
+// the document length.
+func TestStreamNTriplesBlockBytes(t *testing.T) {
+	in := bytes.Repeat([]byte("<s> <p> <o> .\n"), 500)
+	total := 0
+	err := StreamNTriples(bytes.NewReader(in), StreamConfig{Shards: 3, BlockBytes: 100}, func(blk *TermBlock) error {
+		total += blk.Bytes
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(in) {
+		t.Fatalf("block bytes sum to %d, want %d", total, len(in))
+	}
+}
+
+// turtleStreamDoc exercises every supported construct: directives, 'a',
+// predicate and object lists, blank nodes, literals with language tags and
+// datatypes, bare numerics and booleans, comments, and SPARQL-style
+// directives.
+const turtleStreamDoc = `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+@base <http://base.org/> .
+
+# a comment between statements
+ex:patrick a ex:GradStudent ;
+    ex:memberOf ex:csd , ex:lab ;
+    foaf:name "Patrick" ;
+    ex:label "hallo"@de-AT ;
+    ex:height "1.86"^^xsd:decimal ;
+    ex:weight 72.5 ;
+    ex:age 27 ;
+    ex:active true .
+_:b1 ex:knows _:b2 .
+<relative> ex:seeAlso <#frag> .
+ex:last ex:prop "v" .
+`
+
+// TestStreamTurtleParity: the windowed incremental parser produces exactly
+// the statements of the slurp parser at any window size, including windows
+// small enough to force a refill-and-retry inside nearly every statement.
+func TestStreamTurtleParity(t *testing.T) {
+	want, err := ReadTurtle(strings.NewReader(turtleStreamDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{16, 23, 64, 256, 64 << 10} {
+		for _, blockTriples := range []int{1, 3, 4096} {
+			got := NewDataset()
+			var remap []Value
+			err := streamTurtle(strings.NewReader(turtleStreamDoc), window, blockTriples, func(blk *TermBlock) error {
+				remap = got.AppendBlock(blk, remap)
+				return nil
+			})
+			label := fmt.Sprintf("window=%d block=%d", window, blockTriples)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			sameDatasets(t, label, got, want)
+		}
+	}
+}
+
+// TestStreamTurtleLargeStatementGrowsWindow: a statement longer than the
+// window parses by transiently growing it.
+func TestStreamTurtleLargeStatementGrowsWindow(t *testing.T) {
+	long := strings.Repeat("x", 4096)
+	doc := "@prefix ex: <http://e.org/> .\nex:s ex:p \"" + long + "\" .\n"
+	want, err := ReadTurtle(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewDataset()
+	var remap []Value
+	if err := streamTurtle(strings.NewReader(doc), 32, 4096, func(blk *TermBlock) error {
+		remap = got.AppendBlock(blk, remap)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sameDatasets(t, "long literal", got, want)
+}
+
+// TestStreamTurtleErrors: real syntax errors still surface (with their line
+// numbers) rather than being mistaken for window truncation.
+func TestStreamTurtleErrors(t *testing.T) {
+	cases := []string{
+		"@prefix ex: <http://e.org/> .\nex:s ex:p ex:o ,, .\n",
+		"ex:s ex:p ex:o .\n", // undeclared prefix
+		"@prefix ex: <http://e.org/> .\nex:s ex:p [ ex:q ex:r ] .\n",
+	}
+	for _, doc := range cases {
+		_, wantErr := ReadTurtle(strings.NewReader(doc))
+		if wantErr == nil {
+			t.Fatalf("%q: slurp parser accepted it", doc)
+		}
+		for _, window := range []int{16, 64 << 10} {
+			err := streamTurtle(strings.NewReader(doc), window, 4096, func(*TermBlock) error { return nil })
+			if err == nil || err.Error() != wantErr.Error() {
+				t.Errorf("%q window=%d: err %v, want %v", doc, window, err, wantErr)
+			}
+		}
+	}
+}
+
+// TestStreamTurtleBlockBytes: per-block byte accounting covers the document.
+func TestStreamTurtleBlockBytes(t *testing.T) {
+	total := 0
+	err := streamTurtle(strings.NewReader(turtleStreamDoc), 64, 2, func(blk *TermBlock) error {
+		total += blk.Bytes
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trailing whitespace after the last statement is not attributed to any
+	// block, so the sum covers the document up to the final '.'.
+	if last := strings.LastIndexByte(turtleStreamDoc, '.'); total < last+1 || total > len(turtleStreamDoc) {
+		t.Fatalf("block bytes sum to %d, want within [%d, %d]", total, last+1, len(turtleStreamDoc))
+	}
+}

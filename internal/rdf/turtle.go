@@ -1,7 +1,6 @@
 package rdf
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strings"
@@ -26,31 +25,39 @@ const (
 
 // ReadTurtle parses a Turtle document into a dataset. Terms are stored in
 // their N-Triples surface form, so datasets read from Turtle and from
-// N-Triples are interchangeable.
+// N-Triples are interchangeable. The input is decoded as a bounded-window
+// stream (see StreamTurtle); only the dataset itself is materialized.
 func ReadTurtle(r io.Reader) (*Dataset, error) {
-	p := &turtleParser{
-		ds:       NewDataset(),
-		prefixes: map[string]string{},
-	}
-	br := bufio.NewReader(r)
-	data, err := io.ReadAll(br)
+	ds := NewDataset()
+	var remap []Value
+	err := StreamTurtle(r, StreamConfig{}, func(blk *TermBlock) error {
+		remap = ds.AppendBlock(blk, remap)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("turtle: %w", err)
-	}
-	p.input = string(data)
-	if err := p.parse(); err != nil {
 		return nil, err
 	}
-	return p.ds, nil
+	return ds, nil
+}
+
+// stmtTriple is one parsed statement's worth of output, buffered on the
+// parser so a statement interrupted by the end of the streaming window can
+// be retried after a refill without emitting its triples twice.
+type stmtTriple struct {
+	s, p, o string
 }
 
 type turtleParser struct {
-	ds       *Dataset
+	pending  []stmtTriple // triples of statements not yet committed
 	prefixes map[string]string
 	base     string
 	input    string
 	pos      int
 	line     int
+	// final reports that input ends the document: nothing follows the
+	// window, so constructs that would otherwise wait for more bytes (a
+	// comment without its newline yet) can be consumed to the end.
+	final bool
 }
 
 func (p *turtleParser) errf(format string, args ...any) error {
@@ -68,9 +75,18 @@ func (p *turtleParser) skipWS() {
 		case c == ' ' || c == '\t' || c == '\r':
 			p.pos++
 		case c == '#':
-			for p.pos < len(p.input) && p.input[p.pos] != '\n' {
-				p.pos++
+			nl := strings.IndexByte(p.input[p.pos:], '\n')
+			if nl < 0 {
+				// The comment may continue past a non-final window edge;
+				// leave it for the caller to refill rather than consuming a
+				// truncated prefix the statement retry could not restore.
+				if !p.final {
+					return
+				}
+				p.pos = len(p.input)
+				return
 			}
+			p.pos += nl
 		default:
 			return
 		}
@@ -93,15 +109,6 @@ func (p *turtleParser) expect(c byte) error {
 		return p.errf("expected %q, got %s", c, got)
 	}
 	p.pos++
-	return nil
-}
-
-func (p *turtleParser) parse() error {
-	for !p.eof() {
-		if err := p.statement(); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
@@ -184,7 +191,7 @@ func (p *turtleParser) triples() error {
 			if err != nil {
 				return err
 			}
-			p.ds.Add(subj, pred, obj)
+			p.pending = append(p.pending, stmtTriple{subj, pred, obj})
 			p.skipWS()
 			if p.pos < len(p.input) && p.input[p.pos] == ',' {
 				p.pos++

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/rdf"
+	"repro/internal/source"
 )
 
 // Re-exported model types. See package repro/internal/cind for details.
@@ -98,7 +99,75 @@ type (
 
 	// SyntaxError describes one malformed N-Triples line (with line number).
 	SyntaxError = rdf.SyntaxError
+
+	// Source names a set of input files — N-Triples or Turtle, plain or
+	// gzipped, direct paths or globs — decoded as a bounded stream in
+	// canonical document order (the sorted, deduplicated expansion of its
+	// inputs).
+	Source = source.Spec
+	// Partitioner decides which worker a streamed triple lands on. Placement
+	// never changes the discovered result, only data movement.
+	Partitioner = source.Partitioner
+	// IngestStats reports what the streaming ingest layer did: per-rank
+	// triple counts, placement shuffle bytes, and skipped lines.
+	IngestStats = core.IngestStats
+	// Malformed is one skipped input line, attributed to its file.
+	Malformed = source.Malformed
+	// InputError marks a failure to open or decode an input file — as
+	// opposed to a failed discovery — for exit-code classification.
+	InputError = source.InputError
 )
+
+// Source resolution sentinels (errors.Is).
+var (
+	// ErrLenientTurtle rejects lenient mode on Turtle input.
+	ErrLenientTurtle = source.ErrLenientTurtle
+	// ErrNoInput means the source's inputs matched no files at all.
+	ErrNoInput = source.ErrNoInput
+	// ErrBadFormat rejects an unknown Source.Format.
+	ErrBadFormat = source.ErrBadFormat
+)
+
+// Source format names (Source.Format).
+const (
+	// FormatAuto resolves each file's format from its extension, after
+	// stripping a .gz suffix (.ttl/.turtle → Turtle, anything else →
+	// N-Triples).
+	FormatAuto = source.FormatAuto
+	// FormatNT forces N-Triples decoding for every input file.
+	FormatNT = source.FormatNT
+	// FormatTurtle forces Turtle decoding for every input file.
+	FormatTurtle = source.FormatTurtle
+)
+
+// PartitionerByName maps a CLI partitioner name to its implementation: ""
+// or "hash" (spread triples by hashing all three elements) or "subject"
+// (keep each subject's triples on one worker).
+func PartitionerByName(name string) (Partitioner, error) { return source.ByName(name) }
+
+// DiscoverSource streams a source spec through discovery without ever
+// materializing the input files in memory: the streaming counterpart of
+// DiscoverContext, returning the global dictionary alongside the result. On
+// a cluster, every worker rank streams only its own file assignment and a
+// dictionary-merge collective produces the canonical dictionary — the
+// coordinator never holds a triple — while the output stays byte-identical
+// to a single-process run over the same inputs.
+func DiscoverSource(ctx context.Context, src Source, cfg Config) (*Result, *rdf.Dictionary, *Stats, error) {
+	return core.DiscoverSource(ctx, src, cfg)
+}
+
+// ReadSource folds a whole source spec into one in-memory Dataset in
+// canonical document order — for callers that need the full dataset
+// resident (query serving, spot checks) but still want streamed, gzip-aware,
+// multi-file input handling. Lenient-mode skipped lines come back attributed
+// to their files.
+func ReadSource(src Source) (*Dataset, []Malformed, error) {
+	resolved, err := src.Resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	return resolved.ReadDataset()
+}
 
 // Injected fault kinds.
 const (
